@@ -1,0 +1,100 @@
+// Command datagen materialises a synthetic world to disk: one CSV per
+// relation plus a claims.tsv with the document's claims and annotations.
+// Useful for inspecting what the generator produces and for feeding the
+// corpus into external tools.
+//
+// Usage:
+//
+//	datagen -out dir [-scale small|paper] [-seed n] [-max-relations n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+func main() {
+	out := flag.String("out", "world", "output directory")
+	scale := flag.String("scale", "small", "world scale: small or paper")
+	seed := flag.Int64("seed", 7, "world seed")
+	maxRel := flag.Int("max-relations", 100, "cap on CSV files written (0 = all)")
+	flag.Parse()
+
+	cfg := worldgen.SmallScale()
+	if *scale == "paper" {
+		cfg = worldgen.PaperScale()
+	}
+	cfg.Seed = *seed
+
+	w, err := worldgen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(*out, "relations"), 0o755); err != nil {
+		fatal(err)
+	}
+
+	written := 0
+	for _, name := range w.Corpus.Names() {
+		if *maxRel > 0 && written >= *maxRel {
+			break
+		}
+		rel, err := w.Corpus.Relation(name)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*out, "relations", name+".csv"))
+		if err != nil {
+			fatal(err)
+		}
+		err = rel.WriteCSV(f)
+		cerr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		written++
+	}
+
+	jf, err := os.Create(filepath.Join(*out, "document.json"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Document.WriteJSON(jf); err != nil {
+		fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		fatal(err)
+	}
+
+	cf, err := os.Create(filepath.Join(*out, "claims.tsv"))
+	if err != nil {
+		fatal(err)
+	}
+	defer cf.Close()
+	fmt.Fprintln(cf, "id\tsection\tkind\tcorrect\tparam\ttext\trelations\tkeys\tattrs\tformula\tvalue")
+	for _, c := range w.Document.Claims {
+		fmt.Fprintf(cf, "%d\t%d\t%s\t%v\t%g\t%s\t%s\t%s\t%s\t%s\t%g\n",
+			c.ID, c.Section, c.Kind, c.Correct, c.Param, c.Text,
+			strings.Join(c.Truth.Relations, ";"),
+			strings.Join(c.Truth.Keys, ";"),
+			strings.Join(c.Truth.Attrs, ";"),
+			c.Truth.Formula, c.Truth.Value)
+	}
+
+	s := w.Corpus.Stats()
+	fmt.Printf("wrote %d relation CSVs (of %d) and %d claims to %s\n",
+		written, s.Relations, len(w.Document.Claims), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

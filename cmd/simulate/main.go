@@ -1,0 +1,77 @@
+// Command simulate runs the §6.2 report-scale simulation: Manual vs
+// Sequential vs Scrutinizer over a full synthetic report, printing the
+// Table 2 summary and the accumulated-time / accuracy series.
+//
+// Usage:
+//
+//	simulate [-scale small|paper] [-batch n] [-team n] [-seed n] [-systems manual,sequential,scrutinizer]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/sim"
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "world scale: small or paper")
+	batch := flag.Int("batch", 0, "batch size (0 = scale default)")
+	team := flag.Int("team", 3, "team size")
+	seed := flag.Int64("seed", 2018, "world seed")
+	systemsFlag := flag.String("systems", "", "comma-separated subset of manual,sequential,scrutinizer")
+	flag.Parse()
+
+	cfg := sim.DefaultSimulationConfig()
+	if *scale == "small" {
+		cfg.World = worldgen.SmallScale()
+		cfg.World.NumClaims = 200
+		cfg.BatchSize = 25
+	}
+	cfg.World.Seed = *seed
+	cfg.TeamSize = *team
+	if *batch > 0 {
+		cfg.BatchSize = *batch
+	}
+	if *systemsFlag != "" {
+		for _, name := range strings.Split(*systemsFlag, ",") {
+			switch strings.TrimSpace(name) {
+			case "manual":
+				cfg.Systems = append(cfg.Systems, sim.SystemManual)
+			case "sequential":
+				cfg.Systems = append(cfg.Systems, sim.SystemSequential)
+			case "scrutinizer":
+				cfg.Systems = append(cfg.Systems, sim.SystemScrutinizer)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown system %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	res, err := sim.RunSimulation(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("simulated %d claims, team of %d, batch %d\n\n", res.Claims, cfg.TeamSize, cfg.BatchSize)
+	fmt.Printf("%-14s %8s %9s %8s %8s %12s %10s\n",
+		"System", "Weeks", "%Savings", "AvgAcc", "MaxAcc", "Comp(mins)", "ResultAcc")
+	for _, s := range res.Systems {
+		fmt.Printf("%-14s %8.2f %8.0f%% %8.2f %8.2f %12.1f %9.1f%%\n",
+			s.System, s.Weeks, s.Savings*100, s.AvgAccuracy, s.MaxAccuracy, s.ComputeMinutes, s.ResultAccuracy*100)
+	}
+
+	fmt.Println("\naccumulated weeks by verified claims:")
+	for _, s := range res.Systems {
+		fmt.Printf("%-14s", s.System)
+		for _, p := range s.Series {
+			fmt.Printf(" %d:%.2f", p.VerifiedClaims, p.Weeks)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,445 @@
+// Package aggcheck implements a simplified AggChecker-style baseline (Jo et
+// al., SIGMOD 2019) — the closest prior system in the paper's Table 3. It
+// differs from Scrutinizer exactly along the Table 3 axes:
+//
+//   - it handles only explicit claims (the parameter must be stated);
+//   - its operation library is a fixed, small set (nine templates), with no
+//     learning of new formulas from past checks;
+//   - it is single-user: keyword matching replaces crowd validation, and
+//     there is no question planning, batching or active learning.
+//
+// The package exists to make the Table 3 comparison quantitative: the
+// bench/experiments code measures what fraction of a document the baseline
+// can even attempt, and its accuracy on that fraction, against Scrutinizer.
+package aggcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/query"
+	"github.com/repro/scrutinizer/internal/table"
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// opLibrary is the fixed template set ("SPA + 9 ops" in Table 3). Each
+// template uses at most two cells of a single relation.
+var opLibrary = []string{
+	"a.A1",
+	"a.A1 / b.A2",
+	"(a.A1 / b.A2) - 1",
+	"a.A1 - b.A2",
+	"a.A1 + b.A1",
+	"(a.A1 / b.A1) * 100",
+	"AVG(a.A1, b.A2)",
+	"MAX(a.A1, b.A2)",
+	"MIN(a.A1, b.A2)",
+}
+
+// Ops returns the baseline's operation library (for reporting).
+func Ops() []string { return append([]string(nil), opLibrary...) }
+
+// Verdict is the baseline's per-claim outcome.
+type Verdict int
+
+const (
+	// Unsupported: the claim is general, or no parameter can be parsed.
+	Unsupported Verdict = iota
+	// NoMatch: no template instantiation reproduced the parameter.
+	NoMatch
+	// Match: a query matched the stated parameter.
+	Match
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Unsupported:
+		return "unsupported"
+	case NoMatch:
+		return "no-match"
+	case Match:
+		return "match"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Result is one checked claim.
+type Result struct {
+	Verdict Verdict
+	// Query is the matching query (Verdict == Match).
+	Query *query.Query
+	// Value is Query's result.
+	Value float64
+	// Tried is how many instantiations were executed.
+	Tried int
+}
+
+// Config bounds the keyword matcher.
+type Config struct {
+	// TopRelations and TopKeys bound the keyword-matched candidates.
+	TopRelations, TopKeys int
+	// Tolerance is the admissible error rate for the equality test.
+	Tolerance float64
+	// MaxTried caps instantiations per claim.
+	MaxTried int
+}
+
+// DefaultConfig mirrors the original system's small candidate sets.
+func DefaultConfig() Config {
+	return Config{TopRelations: 3, TopKeys: 5, Tolerance: 0.05, MaxTried: 4000}
+}
+
+// Checker is the assembled baseline bound to a corpus.
+type Checker struct {
+	cfg    Config
+	corpus *table.Corpus
+	// relTokens / keyTokens are the keyword index.
+	relTokens map[string][]string
+	keyTokens map[string][]string // key code -> tokens
+	keyRels   map[string][]string // key code -> relations containing it
+}
+
+// New builds the keyword index over the corpus.
+func New(corpus *table.Corpus, cfg Config) (*Checker, error) {
+	if corpus == nil || corpus.Len() == 0 {
+		return nil, fmt.Errorf("aggcheck: empty corpus")
+	}
+	if cfg.TopRelations <= 0 {
+		cfg.TopRelations = 3
+	}
+	if cfg.TopKeys <= 0 {
+		cfg.TopKeys = 5
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.05
+	}
+	if cfg.MaxTried <= 0 {
+		cfg.MaxTried = 4000
+	}
+	c := &Checker{
+		cfg:       cfg,
+		corpus:    corpus,
+		relTokens: make(map[string][]string),
+		keyTokens: make(map[string][]string),
+		keyRels:   make(map[string][]string),
+	}
+	for _, name := range corpus.Names() {
+		rel, err := corpus.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		toks := splitIdent(name)
+		for _, meta := range []string{"family", "region", "scenario"} {
+			toks = append(toks, textproc.Tokenize(rel.Meta(meta))...)
+		}
+		c.relTokens[name] = toks
+		for _, key := range rel.Keys() {
+			if _, seen := c.keyTokens[key]; !seen {
+				c.keyTokens[key] = splitIdent(key)
+			}
+			c.keyRels[key] = append(c.keyRels[key], name)
+		}
+	}
+	return c, nil
+}
+
+// splitIdent tokenises CamelCase/underscore identifiers: "PerCapiElecCons"
+// -> [per capi elec cons].
+func splitIdent(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '_' || r == '-' || r == ' ':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// tokenMatch: prefix match of at least three characters in either direction
+// ("capi" matches "capita", "elec" matches "electricity").
+func tokenMatch(a, b string) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) < 3 {
+		return a == b
+	}
+	return strings.HasPrefix(b, a)
+}
+
+// overlap scores how many of the index tokens appear in the claim tokens.
+func overlap(indexToks, claimToks []string) int {
+	score := 0
+	for _, it := range indexToks {
+		for _, ct := range claimToks {
+			if tokenMatch(it, ct) {
+				score++
+				break
+			}
+		}
+	}
+	return score
+}
+
+// Check attempts to verify a single claim.
+func (c *Checker) Check(cl *claims.Claim) Result {
+	// Explicit claims only; the parameter must come from the text.
+	if cl == nil || cl.Kind != claims.Explicit {
+		return Result{Verdict: Unsupported}
+	}
+	param, ok := claims.ExtractParameter(cl.Text)
+	if !ok {
+		return Result{Verdict: Unsupported}
+	}
+
+	claimToks := textproc.Tokenize(cl.Sentence + " " + cl.Text)
+
+	// Keyword-match keys, then relations containing them.
+	type scored struct {
+		val   string
+		score int
+	}
+	var keyScores []scored
+	for key, toks := range c.keyTokens {
+		if s := overlap(toks, claimToks); s > 0 {
+			keyScores = append(keyScores, scored{key, s})
+		}
+	}
+	sort.Slice(keyScores, func(i, j int) bool {
+		if keyScores[i].score != keyScores[j].score {
+			return keyScores[i].score > keyScores[j].score
+		}
+		return keyScores[i].val < keyScores[j].val
+	})
+	if len(keyScores) > c.cfg.TopKeys {
+		keyScores = keyScores[:c.cfg.TopKeys]
+	}
+	if len(keyScores) == 0 {
+		return Result{Verdict: NoMatch}
+	}
+
+	relSet := map[string]int{}
+	for _, ks := range keyScores {
+		for _, rel := range c.keyRels[ks.val] {
+			relSet[rel] += overlap(c.relTokens[rel], claimToks)
+		}
+	}
+	var relScores []scored
+	for rel, s := range relSet {
+		relScores = append(relScores, scored{rel, s})
+	}
+	sort.Slice(relScores, func(i, j int) bool {
+		if relScores[i].score != relScores[j].score {
+			return relScores[i].score > relScores[j].score
+		}
+		return relScores[i].val < relScores[j].val
+	})
+	if len(relScores) > c.cfg.TopRelations {
+		relScores = relScores[:c.cfg.TopRelations]
+	}
+
+	// Candidate attributes: numeric tokens in the text that are existing
+	// attribute labels (years).
+	var attrs []string
+	seenAttr := map[string]bool{}
+	for _, tok := range claimToks {
+		if len(tok) == 4 && tok >= "1900" && tok <= "2099" && !seenAttr[tok] {
+			seenAttr[tok] = true
+			attrs = append(attrs, tok)
+		}
+	}
+	if len(attrs) == 0 {
+		return Result{Verdict: NoMatch}
+	}
+	// Also consider the preceding year for single-year growth phrasing.
+	if len(attrs) == 1 {
+		if y := attrs[0]; y > "1900" {
+			prev := fmt.Sprintf("%04d", atoiOr(y)-1)
+			attrs = append(attrs, prev)
+		}
+	}
+
+	res := Result{Verdict: NoMatch}
+	for _, op := range opLibrary {
+		node, err := expr.Parse(op)
+		if err != nil {
+			continue
+		}
+		aliases := expr.Aliases(node)
+		attrVars := expr.AttrVars(node)
+		for _, rs := range relScores {
+			rel, err := c.corpus.Relation(rs.val)
+			if err != nil {
+				continue
+			}
+			// Enumerate key assignments per alias and attribute
+			// assignments per variable.
+			keyChoices := make([]string, 0, len(keyScores))
+			for _, ks := range keyScores {
+				if rel.HasKey(ks.val) {
+					keyChoices = append(keyChoices, ks.val)
+				}
+			}
+			if len(keyChoices) == 0 {
+				continue
+			}
+			attrChoices := make([]string, 0, len(attrs))
+			for _, a := range attrs {
+				if rel.HasAttr(a) {
+					attrChoices = append(attrChoices, a)
+				}
+			}
+			if len(attrChoices) < len(attrVars) {
+				continue
+			}
+			c.tryAssignments(cl, param, node, aliases, attrVars, rs.val, keyChoices, attrChoices, &res)
+			if res.Verdict == Match {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+func atoiOr(s string) int {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// tryAssignments enumerates (key, attribute) assignments for one template
+// on one relation, stopping on the first match or budget exhaustion.
+func (c *Checker) tryAssignments(cl *claims.Claim, param float64, node expr.Node,
+	aliases, attrVars []string, relName string, keyChoices, attrChoices []string, res *Result) {
+
+	keyIdx := make([]int, len(aliases))
+	for {
+		attrIdx := make([]int, len(attrVars))
+		for {
+			if res.Tried >= c.cfg.MaxTried {
+				return
+			}
+			// Distinct attributes per variable.
+			okAttrs := true
+			seen := map[int]bool{}
+			for _, ai := range attrIdx {
+				if seen[ai] {
+					okAttrs = false
+					break
+				}
+				seen[ai] = true
+			}
+			if okAttrs {
+				res.Tried++
+				q := &query.Query{Select: node, AttrBindings: map[string]string{}}
+				for vi, v := range attrVars {
+					q.AttrBindings[v] = attrChoices[attrIdx[vi]]
+				}
+				for ai, alias := range aliases {
+					q.Bindings = append(q.Bindings, query.Binding{
+						Alias: alias, Relation: relName, Key: keyChoices[keyIdx[ai]],
+					})
+				}
+				if v, err := q.Execute(c.corpus); err == nil {
+					if claims.RelClose(v, param, c.cfg.Tolerance) {
+						res.Verdict = Match
+						res.Query = q
+						res.Value = v
+						return
+					}
+				}
+			}
+			if !advance(attrIdx, len(attrChoices)) {
+				break
+			}
+		}
+		if !advance(keyIdx, len(keyChoices)) {
+			return
+		}
+	}
+}
+
+// advance increments a mixed-radix odometer; false when it wraps.
+func advance(idx []int, base int) bool {
+	if len(idx) == 0 {
+		return false
+	}
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < base {
+			return true
+		}
+		idx[i] = 0
+	}
+	return false
+}
+
+// Coverage summarises a document-level run.
+type Coverage struct {
+	Total       int
+	Unsupported int
+	NoMatch     int
+	Matched     int
+	// Correct counts claims where the baseline's conclusion (Match =>
+	// claim correct, NoMatch => claim incorrect) agrees with the ground
+	// truth; unsupported claims are excluded.
+	Correct int
+}
+
+// Attempted returns the number of claims the baseline could engage with.
+func (c Coverage) Attempted() int { return c.Total - c.Unsupported }
+
+// Accuracy is Correct / Attempted (0 when nothing was attempted).
+func (c Coverage) Accuracy() float64 {
+	if c.Attempted() == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.Attempted())
+}
+
+// CheckDocument runs the baseline over a whole document.
+func (c *Checker) CheckDocument(doc *claims.Document) Coverage {
+	var cov Coverage
+	for _, cl := range doc.Claims {
+		cov.Total++
+		r := c.Check(cl)
+		switch r.Verdict {
+		case Unsupported:
+			cov.Unsupported++
+		case NoMatch:
+			cov.NoMatch++
+			if !cl.Correct {
+				cov.Correct++
+			}
+		case Match:
+			cov.Matched++
+			if cl.Correct {
+				cov.Correct++
+			}
+		}
+	}
+	return cov
+}

@@ -1,0 +1,242 @@
+package aggcheck
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/table"
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+func fixtureCorpus(t *testing.T) *table.Corpus {
+	t.Helper()
+	c := table.NewCorpus()
+	rel := table.MustNewRelation("EnerDema_Glob_StatPoli", "Index", []string{"2016", "2017"})
+	rel.SetMeta("family", "energy demand")
+	rel.SetMeta("region", "global")
+	rel.SetMeta("scenario", "stated policies")
+	rows := map[string][]float64{
+		"TotaElecDema": {21546, 22209},
+		"TotaCoalDema": {2390, 2412},
+	}
+	for k, v := range rows {
+		if err := rel.AddRow(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(rel); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerdictString(t *testing.T) {
+	if Unsupported.String() != "unsupported" || NoMatch.String() != "no-match" || Match.String() != "match" {
+		t.Error("verdict strings wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Error("unknown verdict should print")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := New(table.NewCorpus(), DefaultConfig()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	// Zero config fields get defaults.
+	c, err := New(fixtureCorpus(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.TopKeys == 0 || c.cfg.Tolerance == 0 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestSplitIdent(t *testing.T) {
+	got := splitIdent("PerCapiElecCons")
+	want := []string{"per", "capi", "elec", "cons"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitIdent = %v", got)
+	}
+	got = splitIdent("EnerDema_Glob_StatPoli")
+	want = []string{"ener", "dema", "glob", "stat", "poli"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitIdent underscore = %v", got)
+	}
+}
+
+func TestTokenMatch(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"elec", "electricity", true},
+		{"electricity", "elec", true},
+		{"capi", "capita", true},
+		{"coal", "coal", true},
+		{"oil", "oil", true},
+		{"oil", "oils", true},    // 3+ char prefix matches
+		{"no", "nothing", false}, // sub-3-char tokens must match exactly
+		{"gas", "coal", false},
+	}
+	for _, c := range cases {
+		if got := tokenMatch(c.a, c.b); got != c.want {
+			t.Errorf("tokenMatch(%q, %q) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestCheckExplicitLookupMatch(t *testing.T) {
+	checker, err := New(fixtureCorpus(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &claims.Claim{
+		ID:   1,
+		Kind: claims.Explicit,
+		Text: "total electricity demand reached 22 209 units in 2017",
+		Sentence: "In the stated policies scenario global energy demand: " +
+			"total electricity demand reached 22 209 units in 2017.",
+		Correct: true,
+	}
+	res := checker.Check(cl)
+	if res.Verdict != Match {
+		t.Fatalf("verdict = %s (tried %d)", res.Verdict, res.Tried)
+	}
+	if res.Value != 22209 {
+		t.Errorf("value = %g", res.Value)
+	}
+	if res.Query == nil {
+		t.Error("matching query missing")
+	}
+}
+
+func TestCheckGrowthClaim(t *testing.T) {
+	checker, err := New(fixtureCorpus(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 22209/21546 - 1 = 3.08%; the (a/b - 1) template should find it
+	// given both years in text... only 2017 appears; the checker expands
+	// to the preceding year.
+	cl := &claims.Claim{
+		ID:       2,
+		Kind:     claims.Explicit,
+		Text:     "total electricity demand grew by 3.1% in 2017",
+		Sentence: "Global energy demand: total electricity demand grew by 3.1% in 2017.",
+		Correct:  true,
+	}
+	res := checker.Check(cl)
+	if res.Verdict != Match {
+		t.Fatalf("growth verdict = %s (tried %d)", res.Verdict, res.Tried)
+	}
+}
+
+func TestCheckRejectsGeneralClaims(t *testing.T) {
+	checker, err := New(fixtureCorpus(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &claims.Claim{
+		ID:   3,
+		Kind: claims.General,
+		Text: "electricity demand expanded aggressively",
+	}
+	if res := checker.Check(cl); res.Verdict != Unsupported {
+		t.Errorf("general claim verdict = %s", res.Verdict)
+	}
+	if res := checker.Check(nil); res.Verdict != Unsupported {
+		t.Error("nil claim should be unsupported")
+	}
+	// Explicit claim with no parsable parameter.
+	cl = &claims.Claim{ID: 4, Kind: claims.Explicit, Text: "demand moved somewhat"}
+	if res := checker.Check(cl); res.Verdict != Unsupported {
+		t.Errorf("parameterless claim verdict = %s", res.Verdict)
+	}
+}
+
+func TestCheckNoMatchOnWrongParameter(t *testing.T) {
+	checker, err := New(fixtureCorpus(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &claims.Claim{
+		ID:       5,
+		Kind:     claims.Explicit,
+		Text:     "total electricity demand reached 99 999 units in 2017",
+		Sentence: "total electricity demand reached 99 999 units in 2017",
+		Correct:  false,
+	}
+	res := checker.Check(cl)
+	if res.Verdict != NoMatch {
+		t.Errorf("wrong parameter verdict = %s", res.Verdict)
+	}
+}
+
+func TestCheckDocumentCoverage(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := New(w.Corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := checker.CheckDocument(w.Document)
+	if cov.Total != len(w.Document.Claims) {
+		t.Fatalf("total = %d", cov.Total)
+	}
+	// The baseline must refuse general claims — Table 3's key limit.
+	general := 0
+	for _, c := range w.Document.Claims {
+		if c.Kind == claims.General {
+			general++
+		}
+	}
+	if cov.Unsupported < general {
+		t.Errorf("unsupported %d < general claims %d", cov.Unsupported, general)
+	}
+	if cov.Attempted() != cov.Total-cov.Unsupported {
+		t.Error("Attempted arithmetic wrong")
+	}
+	if cov.Matched+cov.NoMatch != cov.Attempted() {
+		t.Error("attempted split wrong")
+	}
+	// Sanity for Accuracy bounds.
+	if a := cov.Accuracy(); a < 0 || a > 1 {
+		t.Errorf("accuracy = %g", a)
+	}
+	if (Coverage{}).Accuracy() != 0 {
+		t.Error("empty coverage accuracy should be 0")
+	}
+}
+
+func TestOpsExposed(t *testing.T) {
+	ops := Ops()
+	if len(ops) != 9 {
+		t.Errorf("op library = %d entries, want 9 (Table 3)", len(ops))
+	}
+	ops[0] = "mutated"
+	if Ops()[0] == "mutated" {
+		t.Error("Ops must return a copy")
+	}
+}
+
+func TestAdvanceOdometer(t *testing.T) {
+	idx := []int{0, 0}
+	count := 1
+	for advance(idx, 3) {
+		count++
+	}
+	if count != 9 {
+		t.Errorf("odometer enumerated %d states, want 9", count)
+	}
+	if advance(nil, 3) {
+		t.Error("empty odometer should not advance")
+	}
+}

@@ -1,0 +1,99 @@
+package claims
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonClaim is the storage form of a Claim.
+type jsonClaim struct {
+	ID       int          `json:"id"`
+	Text     string       `json:"text"`
+	Sentence string       `json:"sentence,omitempty"`
+	Section  int          `json:"section"`
+	Kind     string       `json:"kind"`
+	Param    *float64     `json:"param,omitempty"`
+	Cmp      string       `json:"cmp,omitempty"`
+	Correct  bool         `json:"correct"`
+	Truth    *GroundTruth `json:"truth,omitempty"`
+}
+
+// jsonDocument is the storage form of a Document.
+type jsonDocument struct {
+	Title    string      `json:"title"`
+	Sections int         `json:"sections"`
+	Claims   []jsonClaim `json:"claims"`
+}
+
+// WriteJSON serialises the document (including annotations) as indented
+// JSON, suitable for archiving past checks and bootstrapping future runs.
+func (d *Document) WriteJSON(w io.Writer) error {
+	out := jsonDocument{Title: d.Title, Sections: d.Sections}
+	for _, c := range d.Claims {
+		if c == nil {
+			return fmt.Errorf("claims: nil claim in document %q", d.Title)
+		}
+		jc := jsonClaim{
+			ID: c.ID, Text: c.Text, Sentence: c.Sentence,
+			Section: c.Section, Kind: c.Kind.String(),
+			Correct: c.Correct, Truth: c.Truth,
+		}
+		if c.HasParam {
+			p := c.Param
+			jc.Param = &p
+			jc.Cmp = c.Cmp.String()
+		}
+		out.Claims = append(out.Claims, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a document previously written by WriteJSON and validates
+// it.
+func ReadJSON(r io.Reader) (*Document, error) {
+	var in jsonDocument
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("claims: decoding document: %w", err)
+	}
+	d := &Document{Title: in.Title, Sections: in.Sections}
+	for _, jc := range in.Claims {
+		c := &Claim{
+			ID: jc.ID, Text: jc.Text, Sentence: jc.Sentence,
+			Section: jc.Section, Correct: jc.Correct, Truth: jc.Truth,
+		}
+		switch jc.Kind {
+		case "explicit", "":
+			c.Kind = Explicit
+		case "general":
+			c.Kind = General
+		default:
+			return nil, fmt.Errorf("claims: claim %d has unknown kind %q", jc.ID, jc.Kind)
+		}
+		if jc.Param != nil {
+			c.Param = *jc.Param
+			c.HasParam = true
+			switch jc.Cmp {
+			case "=", "":
+				c.Cmp = OpEq
+			case "!=":
+				c.Cmp = OpNeq
+			case "<":
+				c.Cmp = OpLt
+			case ">":
+				c.Cmp = OpGt
+			default:
+				return nil, fmt.Errorf("claims: claim %d has unknown comparison %q", jc.ID, jc.Cmp)
+			}
+		}
+		d.Claims = append(d.Claims, c)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

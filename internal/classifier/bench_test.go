@@ -1,0 +1,62 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// benchSet builds a training set with the label/feature shape of the
+// paper-scale relation classifier: hundreds of labels, sparse features.
+func benchSet(nExamples, nLabels, nnz int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, nExamples)
+	for i := range out {
+		label := rng.Intn(nLabels)
+		f := textproc.Vector{label: 1} // separable core signal
+		for j := 0; j < nnz; j++ {
+			f[nLabels+rng.Intn(2000)] = rng.Float64()
+		}
+		out[i] = Example{Features: f, Label: fmt.Sprintf("label-%d", label)}
+	}
+	return out
+}
+
+func BenchmarkTrain500x200(b *testing.B) {
+	set := benchSet(500, 200, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(Config{Epochs: 5, Seed: 1})
+		if err := c.Train(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictTopK(b *testing.B) {
+	set := benchSet(500, 200, 40, 2)
+	c := New(Config{Epochs: 5, Seed: 1})
+	if err := c.Train(set); err != nil {
+		b.Fatal(err)
+	}
+	f := set[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TopK(f, 10)
+	}
+}
+
+func BenchmarkEntropy(b *testing.B) {
+	set := benchSet(300, 100, 40, 3)
+	c := New(Config{Epochs: 4, Seed: 1})
+	if err := c.Train(set); err != nil {
+		b.Fatal(err)
+	}
+	f := set[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Entropy(f)
+	}
+}

@@ -1,0 +1,439 @@
+// Package classifier implements the four property classifiers of the
+// paper's Section 3.1 as multinomial logistic regression (softmax) over the
+// sparse feature vectors of package feature, trained with AdaGrad and L2
+// regularisation. The classifiers expose exactly the contract Scrutinizer
+// needs:
+//
+//   - top-k label lists with probabilities (answer options, Corollary 2),
+//   - full probability distributions (pruning power, Theorem 3),
+//   - prediction entropy (training utility, Definition 7),
+//   - cheap retraining as crowd labels accumulate (Algorithm 1 line 20).
+//
+// This substitutes the scikit-learn models of the authors' Python
+// implementation; see DESIGN.md.
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/repro/scrutinizer/internal/stats"
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// Config controls training.
+type Config struct {
+	// Epochs is the number of passes over the training set (default 12).
+	Epochs int
+	// LearningRate is the AdaGrad base step (default 0.5).
+	LearningRate float64
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+	// Seed drives the (deterministic) example shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 12
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Example is one training observation.
+type Example struct {
+	Features textproc.Vector
+	Label    string
+}
+
+// Prediction is a scored label.
+type Prediction struct {
+	Label string
+	Prob  float64
+}
+
+// Classifier is a softmax regression model over a growing label vocabulary.
+// The zero value is not usable; create with New.
+type Classifier struct {
+	cfg      Config
+	labels   []string
+	labelIdx map[string]int
+	// weights[c] is the sparse weight vector of class c; bias[c] its bias.
+	weights []map[int]float64
+	bias    []float64
+	// adagrad accumulators, same shape.
+	gsq     []map[int]float64
+	gsqBias []float64
+	trained int // number of examples seen in the last Train call
+
+	// inv is the inverted scoring index built after training: for each
+	// feature index, the (class, weight) pairs with nonzero weight. It
+	// turns per-class map lookups into cache-friendly slice scans, which
+	// dominates inference cost at paper scale (hundreds of labels ×
+	// ~10^2 features per claim).
+	inv     [][]classWeight
+	invBase int // inv[i] covers feature index invBase+i
+}
+
+type classWeight struct {
+	class  int
+	weight float64
+}
+
+// buildIndex constructs the inverted index from the per-class weight maps,
+// in deterministic (feature asc, class asc) order.
+func (c *Classifier) buildIndex() {
+	c.inv = nil
+	minF, maxF := int(^uint(0)>>1), -1
+	for _, w := range c.weights {
+		for fi := range w {
+			if fi < minF {
+				minF = fi
+			}
+			if fi > maxF {
+				maxF = fi
+			}
+		}
+	}
+	if maxF < 0 {
+		return
+	}
+	c.invBase = minF
+	c.inv = make([][]classWeight, maxF-minF+1)
+	for class := 0; class < len(c.weights); class++ {
+		for fi, wv := range c.weights[class] {
+			if wv != 0 {
+				c.inv[fi-c.invBase] = append(c.inv[fi-c.invBase], classWeight{class, wv})
+			}
+		}
+	}
+	for i := range c.inv {
+		row := c.inv[i]
+		sort.Slice(row, func(a, b int) bool { return row[a].class < row[b].class })
+	}
+}
+
+// New creates an empty classifier.
+func New(cfg Config) *Classifier {
+	return &Classifier{
+		cfg:      cfg.withDefaults(),
+		labelIdx: make(map[string]int),
+	}
+}
+
+// Labels returns the label vocabulary in first-seen order. Callers must not
+// mutate the returned slice.
+func (c *Classifier) Labels() []string { return c.labels }
+
+// NumLabels returns the vocabulary size.
+func (c *Classifier) NumLabels() int { return len(c.labels) }
+
+// TrainedOn returns the size of the training set from the last Train call.
+func (c *Classifier) TrainedOn() int { return c.trained }
+
+func (c *Classifier) ensureLabel(l string) int {
+	if i, ok := c.labelIdx[l]; ok {
+		return i
+	}
+	i := len(c.labels)
+	c.labelIdx[l] = i
+	c.labels = append(c.labels, l)
+	c.weights = append(c.weights, make(map[int]float64))
+	c.bias = append(c.bias, 0)
+	c.gsq = append(c.gsq, make(map[int]float64))
+	c.gsqBias = append(c.gsqBias, 0)
+	return i
+}
+
+// Train fits the model on examples from scratch (weights are reset, the
+// label vocabulary is rebuilt). Retraining from scratch matches Algorithm 1,
+// which retrains classifiers after each verified batch.
+func (c *Classifier) Train(examples []Example) error {
+	if len(examples) == 0 {
+		return fmt.Errorf("classifier: no training examples")
+	}
+	// Reset.
+	c.labels = nil
+	c.labelIdx = make(map[string]int)
+	c.weights = nil
+	c.bias = nil
+	c.gsq = nil
+	c.gsqBias = nil
+	c.inv = nil // rebuilt after the epochs; sgdStep uses the map path
+	for _, ex := range examples {
+		if ex.Label == "" {
+			return fmt.Errorf("classifier: empty label in training set")
+		}
+		c.ensureLabel(ex.Label)
+	}
+	c.trained = len(examples)
+
+	// Pre-sort each example's feature indexes so gradient accumulation is
+	// deterministic (sparse vectors are maps with randomised iteration).
+	sortedIdx := make([][]int, len(examples))
+	for i, ex := range examples {
+		sortedIdx[i] = ex.Features.Indices()
+	}
+
+	// Deterministic shuffled order via an LCG permutation per epoch.
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	state := uint64(c.cfg.Seed)*6364136223846793005 + 1442695040888963407
+
+	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
+		// Fisher-Yates with the LCG.
+		for i := len(order) - 1; i > 0; i-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state>>33) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, idx := range order {
+			c.sgdStep(examples[idx], sortedIdx[idx])
+		}
+	}
+	c.buildIndex()
+	return nil
+}
+
+// sgdStep applies one AdaGrad update for a single example; featIdx is the
+// example's sorted feature-index list.
+func (c *Classifier) sgdStep(ex Example, featIdx []int) {
+	probs := c.probsFor(ex.Features, featIdx)
+	target := c.labelIdx[ex.Label]
+	lr := c.cfg.LearningRate
+	l2 := c.cfg.L2
+	for class := range c.labels {
+		g := probs[class]
+		if class == target {
+			g -= 1
+		}
+		// Skip classes with negligible gradient: with hundreds of labels
+		// almost all softmax probabilities are ~0 and updating them is
+		// wasted work (keeps paper-scale retraining in seconds, like the
+		// sparse updates of mature learners).
+		if g > -1e-4 && g < 1e-4 {
+			continue
+		}
+		w := c.weights[class]
+		gs := c.gsq[class]
+		for _, fi := range featIdx {
+			x := ex.Features[fi]
+			grad := g*x + l2*w[fi]
+			gs[fi] += grad * grad
+			w[fi] -= lr * grad / (math.Sqrt(gs[fi]) + 1e-8)
+		}
+		gb := g + l2*c.bias[class]
+		c.gsqBias[class] += gb * gb
+		c.bias[class] -= lr * gb / (math.Sqrt(c.gsqBias[class]) + 1e-8)
+	}
+}
+
+// probsFor computes softmax probabilities for the feature vector across the
+// current vocabulary. featIdx is the vector's sorted index list (computed on
+// demand if nil); fixed ordering keeps float accumulation deterministic.
+// After training, scoring runs over the inverted index (feature → class
+// weights); during training it falls back to the per-class weight maps.
+func (c *Classifier) probsFor(f textproc.Vector, featIdx []int) []float64 {
+	if featIdx == nil {
+		featIdx = f.Indices()
+	}
+	n := len(c.labels)
+	scores := make([]float64, n)
+	maxScore := math.Inf(-1)
+	if c.inv != nil {
+		copy(scores, c.bias)
+		for _, fi := range featIdx {
+			ii := fi - c.invBase
+			if ii < 0 || ii >= len(c.inv) {
+				continue
+			}
+			x := f[fi]
+			for _, cw := range c.inv[ii] {
+				scores[cw.class] += cw.weight * x
+			}
+		}
+		for class := 0; class < n; class++ {
+			if scores[class] > maxScore {
+				maxScore = scores[class]
+			}
+		}
+	} else {
+		for class := 0; class < n; class++ {
+			s := c.bias[class]
+			w := c.weights[class]
+			for _, fi := range featIdx {
+				if wv, ok := w[fi]; ok {
+					s += wv * f[fi]
+				}
+			}
+			scores[class] = s
+			if s > maxScore {
+				maxScore = s
+			}
+		}
+	}
+	var z float64
+	for class := 0; class < n; class++ {
+		scores[class] = math.Exp(scores[class] - maxScore)
+		z += scores[class]
+	}
+	for class := 0; class < n; class++ {
+		scores[class] /= z
+	}
+	return scores
+}
+
+// Probs returns the probability distribution over labels for a feature
+// vector, aligned with Labels(). It returns nil when the model is untrained.
+func (c *Classifier) Probs(f textproc.Vector) []float64 {
+	if len(c.labels) == 0 {
+		return nil
+	}
+	return c.probsFor(f, nil)
+}
+
+// ProbsIdx is Probs with the vector's pre-sorted index list supplied by the
+// caller, avoiding the per-call sort on hot inference paths. idx must be
+// f.Indices() (or a prefix-equal copy).
+func (c *Classifier) ProbsIdx(f textproc.Vector, idx []int) []float64 {
+	if len(c.labels) == 0 {
+		return nil
+	}
+	return c.probsFor(f, idx)
+}
+
+// TopKIdx is TopK with a caller-supplied sorted index list.
+func (c *Classifier) TopKIdx(f textproc.Vector, idx []int, k int) []Prediction {
+	probs := c.ProbsIdx(f, idx)
+	if probs == nil || k <= 0 {
+		return nil
+	}
+	return c.rankTopK(probs, k)
+}
+
+// EntropyIdx is Entropy with a caller-supplied sorted index list.
+func (c *Classifier) EntropyIdx(f textproc.Vector, idx []int) float64 {
+	probs := c.ProbsIdx(f, idx)
+	if probs == nil {
+		return 1
+	}
+	return stats.Entropy(probs)
+}
+
+// Analyze returns the top-k predictions and the predictive entropy from a
+// single scoring pass — the engine needs both per claim per batch, and the
+// scoring pass dominates. Untrained models return (nil, 1).
+func (c *Classifier) Analyze(f textproc.Vector, idx []int, k int) ([]Prediction, float64) {
+	probs := c.ProbsIdx(f, idx)
+	if probs == nil {
+		return nil, 1
+	}
+	return c.rankTopK(probs, k), stats.Entropy(probs)
+}
+
+// Predict returns the single most probable label (ties broken by label
+// string for determinism) and its probability. ok is false when untrained.
+func (c *Classifier) Predict(f textproc.Vector) (label string, prob float64, ok bool) {
+	top := c.TopK(f, 1)
+	if len(top) == 0 {
+		return "", 0, false
+	}
+	return top[0].Label, top[0].Prob, true
+}
+
+// TopK returns the k most probable labels in descending probability order,
+// ties broken lexicographically.
+func (c *Classifier) TopK(f textproc.Vector, k int) []Prediction {
+	probs := c.Probs(f)
+	if probs == nil || k <= 0 {
+		return nil
+	}
+	return c.rankTopK(probs, k)
+}
+
+func (c *Classifier) rankTopK(probs []float64, k int) []Prediction {
+	preds := make([]Prediction, len(probs))
+	for i, p := range probs {
+		preds[i] = Prediction{Label: c.labels[i], Prob: p}
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].Prob != preds[j].Prob {
+			return preds[i].Prob > preds[j].Prob
+		}
+		return preds[i].Label < preds[j].Label
+	})
+	if k > len(preds) {
+		k = len(preds)
+	}
+	return preds[:k]
+}
+
+// Entropy returns the Shannon entropy (nats) of the predictive distribution
+// — the per-model term of the training-utility heuristic (Definition 7).
+// Untrained models report the maximum possible uncertainty proxy of 1.
+func (c *Classifier) Entropy(f textproc.Vector) float64 {
+	probs := c.Probs(f)
+	if probs == nil {
+		return 1
+	}
+	return stats.Entropy(probs)
+}
+
+// ProbOf returns the probability assigned to a specific label, or 0 for
+// unknown labels / untrained models.
+func (c *Classifier) ProbOf(f textproc.Vector, label string) float64 {
+	probs := c.Probs(f)
+	if probs == nil {
+		return 0
+	}
+	i, ok := c.labelIdx[label]
+	if !ok {
+		return 0
+	}
+	return probs[i]
+}
+
+// Accuracy computes top-1 accuracy over a labelled evaluation set; labels
+// absent from the vocabulary always count as misses (they can never be
+// predicted).
+func (c *Classifier) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, ex := range examples {
+		if got, _, ok := c.Predict(ex.Features); ok && got == ex.Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(examples))
+}
+
+// TopKAccuracy computes the fraction of examples whose true label appears in
+// the model's top-k predictions (Figure 10).
+func (c *Classifier) TopKAccuracy(examples []Example, k int) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, ex := range examples {
+		for _, p := range c.TopK(ex.Features, k) {
+			if p.Label == ex.Label {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(examples))
+}

@@ -1,0 +1,279 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// separableSet builds a linearly separable 3-class problem on sparse
+// features: class i fires feature i strongly plus noise features.
+func separableSet(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"relA", "relB", "relC"}
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		class := i % 3
+		f := textproc.Vector{class: 1.0}
+		// noise
+		f[3+rng.Intn(5)] = rng.Float64() * 0.3
+		out = append(out, Example{Features: f, Label: labels[class]})
+	}
+	return out
+}
+
+func TestTrainPredictSeparable(t *testing.T) {
+	c := New(Config{Seed: 1})
+	train := separableSet(90, 7)
+	if err := c.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	test := separableSet(30, 99)
+	if acc := c.Accuracy(test); acc < 0.95 {
+		t.Errorf("accuracy on separable data = %g, want >= 0.95", acc)
+	}
+	if c.NumLabels() != 3 || c.TrainedOn() != 90 {
+		t.Errorf("NumLabels=%d TrainedOn=%d", c.NumLabels(), c.TrainedOn())
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	c := New(Config{})
+	if err := c.Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if err := c.Train([]Example{{Features: textproc.Vector{0: 1}}}); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestUntrainedBehaviour(t *testing.T) {
+	c := New(Config{})
+	f := textproc.Vector{0: 1}
+	if c.Probs(f) != nil {
+		t.Error("untrained Probs should be nil")
+	}
+	if _, _, ok := c.Predict(f); ok {
+		t.Error("untrained Predict should report not-ok")
+	}
+	if got := c.Entropy(f); got != 1 {
+		t.Errorf("untrained Entropy = %g, want 1", got)
+	}
+	if got := c.ProbOf(f, "x"); got != 0 {
+		t.Errorf("untrained ProbOf = %g", got)
+	}
+	if c.TopK(f, 3) != nil {
+		t.Error("untrained TopK should be nil")
+	}
+	if got := c.Accuracy(nil); got != 0 {
+		t.Errorf("empty accuracy = %g", got)
+	}
+}
+
+func TestProbsSumToOne(t *testing.T) {
+	c := New(Config{Seed: 2})
+	if err := c.Train(separableSet(60, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		f := textproc.Vector{trial % 8: 1}
+		probs := c.Probs(f)
+		var s float64
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %g", p)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("probs sum to %g", s)
+		}
+	}
+}
+
+func TestTopKOrderingAndBounds(t *testing.T) {
+	c := New(Config{Seed: 4})
+	if err := c.Train(separableSet(60, 5)); err != nil {
+		t.Fatal(err)
+	}
+	f := textproc.Vector{0: 1}
+	top := c.TopK(f, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) = %v", top)
+	}
+	if top[0].Prob < top[1].Prob {
+		t.Error("TopK not sorted descending")
+	}
+	if top[0].Label != "relA" {
+		t.Errorf("top label = %q, want relA", top[0].Label)
+	}
+	if got := c.TopK(f, 100); len(got) != 3 {
+		t.Errorf("TopK beyond vocab = %d entries", len(got))
+	}
+	if c.TopK(f, 0) != nil {
+		t.Error("TopK(0) should be nil")
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	// Two identical classes -> equal probabilities; tie must break
+	// lexicographically.
+	c := New(Config{Seed: 6, Epochs: 1})
+	examples := []Example{
+		{Features: textproc.Vector{0: 1}, Label: "zeta"},
+		{Features: textproc.Vector{0: 1}, Label: "alpha"},
+	}
+	if err := c.Train(examples); err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopK(textproc.Vector{1: 1}, 2) // feature unseen -> near-uniform
+	if math.Abs(top[0].Prob-top[1].Prob) < 1e-6 && top[0].Label != "alpha" {
+		t.Errorf("tie should break to alpha, got %v", top)
+	}
+}
+
+func TestEntropyDropsWithTraining(t *testing.T) {
+	small := New(Config{Seed: 1, Epochs: 2})
+	if err := small.Train(separableSet(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	big := New(Config{Seed: 1})
+	if err := big.Train(separableSet(300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f := textproc.Vector{0: 1}
+	if big.Entropy(f) >= small.Entropy(f) {
+		t.Errorf("entropy should drop with more training: small=%g big=%g",
+			small.Entropy(f), big.Entropy(f))
+	}
+}
+
+func TestProbOf(t *testing.T) {
+	c := New(Config{Seed: 3})
+	if err := c.Train(separableSet(60, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f := textproc.Vector{0: 1}
+	if p := c.ProbOf(f, "relA"); p < 0.5 {
+		t.Errorf("ProbOf(relA) = %g, want > 0.5", p)
+	}
+	if p := c.ProbOf(f, "unknown"); p != 0 {
+		t.Errorf("ProbOf(unknown) = %g", p)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	c := New(Config{Seed: 5})
+	if err := c.Train(separableSet(90, 11)); err != nil {
+		t.Fatal(err)
+	}
+	test := separableSet(30, 12)
+	a1 := c.TopKAccuracy(test, 1)
+	a3 := c.TopKAccuracy(test, 3)
+	if a3 < a1 {
+		t.Errorf("top-3 accuracy %g < top-1 %g", a3, a1)
+	}
+	if a3 != 1 {
+		t.Errorf("top-3 over 3 classes must be 1, got %g", a3)
+	}
+	if got := c.TopKAccuracy(nil, 1); got != 0 {
+		t.Errorf("empty TopKAccuracy = %g", got)
+	}
+}
+
+func TestRetrainRebuildsVocabulary(t *testing.T) {
+	c := New(Config{Seed: 1, Epochs: 3})
+	if err := c.Train([]Example{
+		{Features: textproc.Vector{0: 1}, Label: "old1"},
+		{Features: textproc.Vector{1: 1}, Label: "old2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]Example{
+		{Features: textproc.Vector{0: 1}, Label: "new1"},
+		{Features: textproc.Vector{1: 1}, Label: "new2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range c.Labels() {
+		if l == "old1" || l == "old2" {
+			t.Errorf("stale label %q survived retrain", l)
+		}
+	}
+	if c.NumLabels() != 2 {
+		t.Errorf("NumLabels = %d", c.NumLabels())
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	train := separableSet(60, 1)
+	f := textproc.Vector{0: 1, 4: 0.2}
+	c1 := New(Config{Seed: 9})
+	c2 := New(Config{Seed: 9})
+	if err := c1.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := c1.Probs(f), c2.Probs(f)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("training not deterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestAccuracyCountsUnknownLabelsAsMisses(t *testing.T) {
+	c := New(Config{Seed: 1, Epochs: 2})
+	if err := c.Train(separableSet(30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	test := []Example{{Features: textproc.Vector{0: 1}, Label: "never-seen-label"}}
+	if got := c.Accuracy(test); got != 0 {
+		t.Errorf("unknown label accuracy = %g, want 0", got)
+	}
+}
+
+func TestIdxMethodsMatchPlainOnes(t *testing.T) {
+	c := New(Config{Seed: 8})
+	if err := c.Train(separableSet(90, 21)); err != nil {
+		t.Fatal(err)
+	}
+	f := textproc.Vector{0: 1, 5: 0.3, 7: 0.1}
+	idx := f.Indices()
+
+	p1, p2 := c.Probs(f), c.ProbsIdx(f, idx)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("ProbsIdx differs at %d: %g vs %g", i, p1[i], p2[i])
+		}
+	}
+	t1, t2 := c.TopK(f, 3), c.TopKIdx(f, idx, 3)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("TopKIdx differs at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	if c.Entropy(f) != c.EntropyIdx(f, idx) {
+		t.Error("EntropyIdx differs")
+	}
+	// Untrained behaviour matches too.
+	u := New(Config{})
+	if u.ProbsIdx(f, idx) != nil || u.TopKIdx(f, idx, 2) != nil || u.EntropyIdx(f, idx) != 1 {
+		t.Error("untrained Idx methods inconsistent")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Epochs != 12 || c.LearningRate != 0.5 || c.L2 != 1e-4 {
+		t.Errorf("defaults = %+v", c)
+	}
+	c = Config{L2: -1}.withDefaults()
+	if c.L2 != 0 {
+		t.Errorf("negative L2 should clamp to 0, got %g", c.L2)
+	}
+}

@@ -1,0 +1,343 @@
+// Package core implements the Scrutinizer engine itself: the four property
+// classifiers glued to the feature pipeline (§3.1), query generation from
+// classifier candidates (Algorithm 2), single-claim verification through
+// planned question screens answered by a crowd (§5.1), and the main
+// batch-verification loop with claim ordering (Algorithm 1, §5.2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/classifier"
+	"github.com/repro/scrutinizer/internal/feature"
+	"github.com/repro/scrutinizer/internal/formula"
+	"github.com/repro/scrutinizer/internal/planner"
+	"github.com/repro/scrutinizer/internal/table"
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// PropertyKind enumerates the four query properties predicted by the
+// classifiers.
+type PropertyKind int
+
+const (
+	PropRelation PropertyKind = iota
+	PropKey
+	PropAttr
+	PropFormula
+)
+
+// String implements fmt.Stringer.
+func (p PropertyKind) String() string {
+	switch p {
+	case PropRelation:
+		return "relation"
+	case PropKey:
+		return "key"
+	case PropAttr:
+		return "attribute"
+	case PropFormula:
+		return "formula"
+	}
+	return fmt.Sprintf("PropertyKind(%d)", int(p))
+}
+
+// PropertyKinds lists all four kinds in canonical order.
+func PropertyKinds() []PropertyKind {
+	return []PropertyKind{PropRelation, PropKey, PropAttr, PropFormula}
+}
+
+// labelSep joins multi-valued properties (e.g. two key values) into a single
+// classification label; '|' never occurs in generated vocabulary.
+const labelSep = "|"
+
+// JoinLabel encodes a value list as one classifier label.
+func JoinLabel(values []string) string { return strings.Join(values, labelSep) }
+
+// SplitLabel decodes a classifier label back into its value list.
+func SplitLabel(label string) []string {
+	if label == "" {
+		return nil
+	}
+	return strings.Split(label, labelSep)
+}
+
+// TruthLabel extracts the training label of one property from a ground-truth
+// annotation. Formula labels are canonicalised (parsed and re-rendered) so
+// that labels derived from annotations and labels derived from generalising
+// accepted queries share one vocabulary.
+func TruthLabel(t *claims.GroundTruth, kind PropertyKind) string {
+	if t == nil {
+		return ""
+	}
+	switch kind {
+	case PropRelation:
+		return JoinLabel(t.Relations)
+	case PropKey:
+		return JoinLabel(t.Keys)
+	case PropAttr:
+		return JoinLabel(t.Attrs)
+	case PropFormula:
+		return CanonicalFormula(t.Formula)
+	}
+	return ""
+}
+
+// CanonicalFormula parses and re-renders a formula string into the
+// classifier's canonical label form; unparseable input is returned verbatim.
+func CanonicalFormula(src string) string {
+	if src == "" {
+		return ""
+	}
+	f, err := formula.ParseFormula(src)
+	if err != nil {
+		return src
+	}
+	return f.String()
+}
+
+// Config parameterises the engine.
+type Config struct {
+	// Classifier configures all four models.
+	Classifier classifier.Config
+	// Cost is the §5.1 crowd cost model.
+	Cost planner.CostModel
+	// Tolerance is the admissible error rate e of Definition 2.
+	Tolerance float64
+	// TopK is how many candidates each classifier contributes per
+	// property (the paper shows up to ten answer options per property in
+	// the simulation).
+	TopK int
+	// MaxAssignments caps the brute-force variable-assignment loop of
+	// Algorithm 2 per formula, keeping query generation sub-second as in
+	// the paper.
+	MaxAssignments int
+	// MaxAlternates bounds how many non-matching queries are kept as
+	// correction suggestions (Example 4).
+	MaxAlternates int
+}
+
+// DefaultConfig mirrors the experimental setup of §6.
+func DefaultConfig() Config {
+	return Config{
+		Classifier:     classifier.Config{Epochs: 6, LearningRate: 0.5, L2: 1e-4, Seed: 1},
+		Cost:           planner.DefaultCostModel(),
+		Tolerance:      0.05,
+		TopK:           10,
+		MaxAssignments: 20000,
+		MaxAlternates:  5,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Cost == (planner.CostModel{}) {
+		c.Cost = d.Cost
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = d.Tolerance
+	}
+	if c.TopK <= 0 {
+		c.TopK = d.TopK
+	}
+	if c.MaxAssignments <= 0 {
+		c.MaxAssignments = d.MaxAssignments
+	}
+	if c.MaxAlternates <= 0 {
+		c.MaxAlternates = d.MaxAlternates
+	}
+	return c
+}
+
+// Engine is the assembled Scrutinizer system for one corpus + document pair.
+type Engine struct {
+	corpus *table.Corpus
+	pipe   *feature.Pipeline
+	cfg    Config
+
+	models map[PropertyKind]*classifier.Classifier
+	lib    *formula.Library
+
+	featCache map[int]textproc.Vector // claim ID -> features
+	idxCache  map[int][]int           // claim ID -> sorted feature indices
+}
+
+// NewEngine wires an engine from a corpus and a fitted feature pipeline.
+func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engine, error) {
+	if corpus == nil {
+		return nil, fmt.Errorf("core: nil corpus")
+	}
+	if pipe == nil {
+		return nil, fmt.Errorf("core: nil feature pipeline")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		corpus:    corpus,
+		pipe:      pipe,
+		cfg:       cfg,
+		models:    make(map[PropertyKind]*classifier.Classifier, 4),
+		lib:       formula.NewLibrary(),
+		featCache: make(map[int]textproc.Vector),
+		idxCache:  make(map[int][]int),
+	}
+	for _, k := range PropertyKinds() {
+		e.models[k] = classifier.New(cfg.Classifier)
+	}
+	return e, nil
+}
+
+// Corpus returns the engine's relational corpus.
+func (e *Engine) Corpus() *table.Corpus { return e.corpus }
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Library returns the formula library accumulated from training labels.
+func (e *Engine) Library() *formula.Library { return e.lib }
+
+// Model returns the classifier for a property kind.
+func (e *Engine) Model(kind PropertyKind) *classifier.Classifier { return e.models[kind] }
+
+// Featurize returns (and caches) the feature vector of a claim.
+func (e *Engine) Featurize(c *claims.Claim) textproc.Vector {
+	if v, ok := e.featCache[c.ID]; ok {
+		return v
+	}
+	v := e.pipe.Vector(c.Sentence, c.Text)
+	e.featCache[c.ID] = v
+	e.idxCache[c.ID] = v.Indices()
+	return v
+}
+
+// featIdx returns the cached sorted index list of a claim's features.
+func (e *Engine) featIdx(c *claims.Claim) []int {
+	if idx, ok := e.idxCache[c.ID]; ok {
+		return idx
+	}
+	e.Featurize(c)
+	return e.idxCache[c.ID]
+}
+
+// Train retrains all four classifiers from the annotated claims (those with
+// Truth set). Claims without annotations are skipped. It also refreshes the
+// formula library. Algorithm 1 calls this after every verified batch.
+func (e *Engine) Train(annotated []*claims.Claim) error {
+	sets := make(map[PropertyKind][]classifier.Example, 4)
+	e.lib = formula.NewLibrary()
+	for _, c := range annotated {
+		if c == nil || c.Truth == nil {
+			continue
+		}
+		f := e.Featurize(c)
+		for _, k := range PropertyKinds() {
+			label := TruthLabel(c.Truth, k)
+			if label == "" {
+				continue
+			}
+			sets[k] = append(sets[k], classifier.Example{Features: f, Label: label})
+		}
+		if c.Truth.Formula != "" {
+			if _, err := e.lib.AddString(c.Truth.Formula); err != nil {
+				return fmt.Errorf("core: claim %d has malformed formula %q: %w", c.ID, c.Truth.Formula, err)
+			}
+		}
+	}
+	for _, k := range PropertyKinds() {
+		if len(sets[k]) == 0 {
+			continue // stay untrained for this property (cold start)
+		}
+		if err := e.models[k].Train(sets[k]); err != nil {
+			return fmt.Errorf("core: training %s classifier: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Candidates returns, for each property, the classifier's top-k options with
+// probabilities — the raw material for question planning (§5.1) and query
+// generation (§4.3). Untrained properties yield empty option lists.
+func (e *Engine) Candidates(c *claims.Claim) []planner.Property {
+	f := e.Featurize(c)
+	idx := e.featIdx(c)
+	out := make([]planner.Property, 0, 4)
+	for _, k := range PropertyKinds() {
+		var opts []planner.Option
+		for _, p := range e.models[k].TopKIdx(f, idx, e.cfg.TopK) {
+			opts = append(opts, planner.Option{Value: p.Label, Prob: p.Prob})
+		}
+		out = append(out, planner.Property{
+			Name:    k.String(),
+			Options: opts,
+			// The query context (relations, keys, attributes) must be
+			// validated by the crowd regardless of pruning power;
+			// formulas are filtered by tentative execution instead
+			// (§4.3) unless the greedy selection decides a formula
+			// screen is worth its cost.
+			Required: k != PropFormula,
+		})
+	}
+	return out
+}
+
+// Utility is the training utility u(c) of Definition 7: the sum of the
+// predictive entropies of all four models on the claim.
+func (e *Engine) Utility(c *claims.Claim) float64 {
+	f := e.Featurize(c)
+	idx := e.featIdx(c)
+	var u float64
+	for _, k := range PropertyKinds() {
+		u += e.models[k].EntropyIdx(f, idx)
+	}
+	return u
+}
+
+// PlanQuestions builds the §5.1 question plan for a claim from the current
+// classifier state.
+func (e *Engine) PlanQuestions(c *claims.Claim) (*planner.Plan, *planner.CandidateSpace, error) {
+	cs := planner.NewCandidateSpace(e.Candidates(c))
+	plan, err := planner.BuildPlan(cs, e.cfg.Cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, cs, nil
+}
+
+// ExpectedCost estimates the crowd time (seconds) to verify the claim under
+// the current models — the v(c) input to the scheduler (Definition 8).
+func (e *Engine) ExpectedCost(c *claims.Claim) float64 {
+	cost, _ := e.Assess(c)
+	return cost
+}
+
+// Assess returns the expected verification cost v(c) and training utility
+// u(c) of a claim from one scoring pass per model (Algorithm 1 needs both
+// for every remaining claim before every batch, so this is the scheduler's
+// hot path).
+func (e *Engine) Assess(c *claims.Claim) (cost, utility float64) {
+	f := e.Featurize(c)
+	idx := e.featIdx(c)
+	props := make([]planner.Property, 0, 4)
+	for _, k := range PropertyKinds() {
+		top, entropy := e.models[k].Analyze(f, idx, e.cfg.TopK)
+		utility += entropy
+		var opts []planner.Option
+		for _, p := range top {
+			opts = append(opts, planner.Option{Value: p.Label, Prob: p.Prob})
+		}
+		props = append(props, planner.Property{
+			Name:     k.String(),
+			Options:  opts,
+			Required: k != PropFormula,
+		})
+	}
+	plan, err := planner.BuildPlan(planner.NewCandidateSpace(props), e.cfg.Cost)
+	if err != nil {
+		return e.cfg.Cost.ManualCost(), utility
+	}
+	return plan.ExpectedCost, utility
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/crowd"
+	"github.com/repro/scrutinizer/internal/planner"
+)
+
+// Oracle answers the planner's questions about a claim. It is the
+// mixed-initiative boundary of the system: the simulated crowd implements
+// it for experiments, and interactive implementations (e.g. a terminal or
+// web UI) plug real fact checkers into the very same verification flow.
+//
+// Implementations report the seconds of human effort each answer consumed;
+// the engine accumulates them into Outcome.Seconds.
+type Oracle interface {
+	// AnswerProperty shows one property screen (§5.1): candidate options
+	// in display order, best first. It returns the confirmed or
+	// suggested value ("" when the checker cannot answer).
+	AnswerProperty(c *claims.Claim, kind PropertyKind, options []planner.Option) (value string, seconds float64)
+	// AnswerFinal shows the final screen: candidate queries as SQL. It
+	// returns the confirmed or hand-written SQL ("" when the checker
+	// gives up).
+	AnswerFinal(c *claims.Claim, candidates []string) (sql string, seconds float64)
+}
+
+// teamOracle adapts the simulated crowd to the Oracle interface, answering
+// from ground-truth annotations (the experimental setting).
+type teamOracle struct {
+	engine *Engine
+	team   *crowd.Team
+}
+
+// NewTeamOracle wraps a simulated crowd team as an Oracle. Claims passed to
+// the oracle must carry ground-truth annotations.
+func (e *Engine) NewTeamOracle(team *crowd.Team) (Oracle, error) {
+	if team == nil || team.Size() == 0 {
+		return nil, fmt.Errorf("core: empty crowd team")
+	}
+	return &teamOracle{engine: e, team: team}, nil
+}
+
+func (o *teamOracle) AnswerProperty(c *claims.Claim, kind PropertyKind, options []planner.Option) (string, float64) {
+	truth := TruthLabel(c.Truth, kind)
+	return o.team.AskScreen(options, truth, o.engine.cfg.Cost)
+}
+
+func (o *teamOracle) AnswerFinal(c *claims.Claim, candidates []string) (string, float64) {
+	truthQ, err := o.engine.TruthQuery(c)
+	if err != nil {
+		return "", 0
+	}
+	return o.team.AskFinal(candidates, truthQ.SQL(), o.engine.cfg.Cost)
+}
+
+// ScriptedOracle answers from pre-recorded values — deterministic fixtures
+// for tests and demos of the mixed-initiative flow. Missing entries yield
+// empty answers.
+type ScriptedOracle struct {
+	// Properties maps claim ID -> property kind -> answer.
+	Properties map[int]map[PropertyKind]string
+	// Finals maps claim ID -> accepted SQL.
+	Finals map[int]string
+	// SecondsPerAnswer is charged per answered screen.
+	SecondsPerAnswer float64
+}
+
+// AnswerProperty implements Oracle.
+func (s *ScriptedOracle) AnswerProperty(c *claims.Claim, kind PropertyKind, _ []planner.Option) (string, float64) {
+	if m, ok := s.Properties[c.ID]; ok {
+		if v, ok := m[kind]; ok {
+			return v, s.SecondsPerAnswer
+		}
+	}
+	return "", s.SecondsPerAnswer
+}
+
+// AnswerFinal implements Oracle.
+func (s *ScriptedOracle) AnswerFinal(c *claims.Claim, candidates []string) (string, float64) {
+	if v, ok := s.Finals[c.ID]; ok {
+		return v, s.SecondsPerAnswer
+	}
+	// Default: accept the top candidate when one exists.
+	if len(candidates) > 0 {
+		return candidates[0], s.SecondsPerAnswer
+	}
+	return "", s.SecondsPerAnswer
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/crowd"
+)
+
+func TestNewTeamOracleValidation(t *testing.T) {
+	e, _ := buildEngine(t, tinyWorld())
+	if _, err := e.NewTeamOracle(nil); err == nil {
+		t.Error("nil team accepted")
+	}
+	if _, err := e.NewTeamOracle(&crowd.Team{}); err == nil {
+		t.Error("empty team accepted")
+	}
+	team, err := crowd.NewTeam("O", 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewTeamOracle(team); err != nil {
+		t.Errorf("valid team rejected: %v", err)
+	}
+}
+
+func TestVerifyClaimWithValidation(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if _, err := e.VerifyClaimWith(nil, &ScriptedOracle{}); err == nil {
+		t.Error("nil claim accepted")
+	}
+	if _, err := e.VerifyClaimWith(w.Document.Claims[0], nil); err == nil {
+		t.Error("nil oracle accepted")
+	}
+}
+
+// TestScriptedOracleDrivesVerification shows the mixed-initiative flow with
+// pre-recorded human answers: the scripted context plus formula produce the
+// verifying query without any ground-truth plumbing inside the engine. The
+// engine is trained so that every property (including the formula) earns a
+// question screen; on a cold engine the human would instead write the query
+// on the final screen (see TestScriptedOracleHandWrittenSQL).
+func TestScriptedOracleDrivesVerification(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Document.Claims[0]
+	script := &ScriptedOracle{
+		Properties: map[int]map[PropertyKind]string{
+			c.ID: {
+				PropRelation: JoinLabel(c.Truth.Relations),
+				PropKey:      JoinLabel(c.Truth.Keys),
+				PropAttr:     JoinLabel(c.Truth.Attrs),
+				PropFormula:  CanonicalFormula(c.Truth.Formula),
+			},
+		},
+		SecondsPerAnswer: 7,
+	}
+	out, err := e.VerifyClaimWith(c, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == VerdictSkipped {
+		t.Fatalf("scripted verification skipped: %+v", out)
+	}
+	if (out.Verdict == VerdictCorrect) != c.Correct {
+		t.Errorf("verdict %v, claim Correct=%v", out.Verdict, c.Correct)
+	}
+	// 3 context screens + formula screen + final = 5 answers at 7s.
+	if out.Seconds != 5*7 {
+		t.Errorf("seconds = %g, want 35", out.Seconds)
+	}
+}
+
+// TestScriptedOracleWithoutAnswersSkips: an oracle with no script and no
+// candidates cannot resolve cold-start claims; the engine skips gracefully.
+func TestScriptedOracleWithoutAnswersSkips(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	c := w.Document.Claims[1]
+	out, err := e.VerifyClaimWith(c, &ScriptedOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictSkipped {
+		t.Errorf("verdict = %v, want skipped", out.Verdict)
+	}
+	if out.Query != nil {
+		t.Error("skipped outcome should carry no query")
+	}
+}
+
+// TestScriptedOracleHandWrittenSQL: the scripted final answer can be a
+// hand-written query that the engine parses and executes (the "suggest new
+// option" path of §5.1 for real humans).
+func TestScriptedOracleHandWrittenSQL(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	c := w.Document.Claims[2]
+	truthQ, err := e.TruthQuery(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := &ScriptedOracle{
+		Finals:           map[int]string{c.ID: truthQ.SQL()},
+		SecondsPerAnswer: 3,
+	}
+	out, err := e.VerifyClaimWith(c, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == VerdictSkipped {
+		t.Fatal("hand-written SQL should be accepted")
+	}
+	if out.Query == nil || out.Query.SQL() != truthQ.SQL() {
+		t.Errorf("accepted query = %v", out.Query)
+	}
+}
+
+// TestGeneralClaimWithoutTruthSkips covers the oracle flow on a claim with
+// no annotation and no parameter (nothing to judge against).
+func TestGeneralClaimWithoutTruthSkips(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	donor := w.Document.Claims[0]
+	truthQ, err := e.TruthQuery(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &claims.Claim{ID: 9999, Text: "mystery level", Sentence: "mystery level", Kind: claims.General}
+	script := &ScriptedOracle{Finals: map[int]string{c.ID: truthQ.SQL()}}
+	out, err := e.VerifyClaimWith(c, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictSkipped {
+		t.Errorf("verdict = %v, want skipped (nothing to judge)", out.Verdict)
+	}
+}

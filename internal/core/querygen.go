@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/formula"
+	"github.com/repro/scrutinizer/internal/query"
+)
+
+// Context is the crowd-validated query context (Algorithm 2 input): the
+// relations, key values and attribute labels that the correct query draws
+// from. "The algorithm assumes that the input information for relations,
+// key values and attributes are correct as these come from the crowd
+// validation."
+type Context struct {
+	Relations []string
+	Keys      []string
+	Attrs     []string
+}
+
+// GeneratedQuery is one output of query generation: an executable query and
+// its tentative-execution value.
+type GeneratedQuery struct {
+	Query   *query.Query
+	Value   float64
+	Formula string
+}
+
+// GenerateQueries implements Algorithm 2. Given the validated context, a
+// ranked formula list, and the claim parameter p (explicit claims), it
+// enumerates variable assignments per formula, executes them tentatively,
+// and splits the results into solutions S (value ≈ p within tolerance) and
+// alternates SA (everything else, kept as correction suggestions and as the
+// candidate set for general claims).
+func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p float64, hasParam bool) (solutions, alternates []GeneratedQuery) {
+	budget := e.cfg.MaxAssignments
+	for _, f := range formulas {
+		if f == nil || f.Expr == nil {
+			continue
+		}
+		sols, alts, used := e.generateForFormula(ctx, f, p, hasParam, budget)
+		budget -= used
+		solutions = append(solutions, sols...)
+		alternates = append(alternates, alts...)
+		if budget <= 0 {
+			break
+		}
+	}
+	// Deduplicate by SQL and rank: solutions by |value - p|, alternates by
+	// closeness to the parameter (most plausible corrections first).
+	solutions = dedupeQueries(solutions)
+	alternates = dedupeQueries(alternates)
+	if hasParam {
+		sort.SliceStable(solutions, func(i, j int) bool {
+			return math.Abs(solutions[i].Value-p) < math.Abs(solutions[j].Value-p)
+		})
+		sort.SliceStable(alternates, func(i, j int) bool {
+			return math.Abs(alternates[i].Value-p) < math.Abs(alternates[j].Value-p)
+		})
+	}
+	if len(alternates) > e.cfg.MaxAlternates {
+		alternates = alternates[:e.cfg.MaxAlternates]
+	}
+	return solutions, alternates
+}
+
+// generateForFormula enumerates assignments for one formula under an
+// assignment budget; it returns the assignments tried.
+func (e *Engine) generateForFormula(ctx Context, f *formula.Formula, p float64, hasParam bool, budget int) (sols, alts []GeneratedQuery, used int) {
+	aliases := expr.Aliases(f.Expr)
+	attrVars := f.AttrVars
+
+	if len(ctx.Relations) == 0 || len(ctx.Keys) == 0 {
+		return nil, nil, 0
+	}
+	if len(attrVars) > 0 && len(ctx.Attrs) == 0 {
+		return nil, nil, 0
+	}
+
+	// Enumerate attribute-variable assignments: injective mappings of
+	// context attributes onto attribute variables (years in a CAGR are
+	// distinct), falling back to allowing repeats when the context has
+	// fewer attributes than the formula needs.
+	attrAssigns := injectiveAssignments(ctx.Attrs, len(attrVars))
+	if len(attrAssigns) == 0 && len(attrVars) > 0 {
+		attrAssigns = repeatedAssignments(ctx.Attrs, len(attrVars))
+	}
+	if len(attrVars) == 0 {
+		attrAssigns = [][]string{nil}
+	}
+
+	// Enumerate (relation, key) pairs per alias.
+	type cell struct{ rel, key string }
+	var pairs []cell
+	for _, r := range ctx.Relations {
+		rel, err := e.corpus.Relation(r)
+		if err != nil {
+			continue
+		}
+		for _, k := range ctx.Keys {
+			if rel.HasKey(k) {
+				pairs = append(pairs, cell{r, k})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, nil, 0
+	}
+
+	// Odometer over pairs^|aliases| × attrAssigns.
+	idx := make([]int, len(aliases))
+	for {
+		for _, aa := range attrAssigns {
+			used++
+			if used > budget {
+				return sols, alts, used
+			}
+			q := &query.Query{Select: f.Expr, AttrBindings: map[string]string{}}
+			for vi, v := range attrVars {
+				q.AttrBindings[v] = aa[vi]
+			}
+			for ai, alias := range aliases {
+				pr := pairs[idx[ai]]
+				q.Bindings = append(q.Bindings, query.Binding{Alias: alias, Relation: pr.rel, Key: pr.key})
+			}
+			val, err := q.Execute(e.corpus)
+			if err != nil {
+				continue // missing cell, domain error, ... prune silently
+			}
+			g := GeneratedQuery{Query: q, Value: val, Formula: f.String()}
+			if hasParam && claims.RelClose(val, p, e.cfg.Tolerance) {
+				sols = append(sols, g)
+			} else {
+				alts = append(alts, g)
+			}
+		}
+		// Advance odometer.
+		carry := len(aliases) - 1
+		for carry >= 0 {
+			idx[carry]++
+			if idx[carry] < len(pairs) {
+				break
+			}
+			idx[carry] = 0
+			carry--
+		}
+		if carry < 0 {
+			break
+		}
+	}
+	return sols, alts, used
+}
+
+// injectiveAssignments enumerates ordered selections of n distinct values.
+func injectiveAssignments(values []string, n int) [][]string {
+	if n == 0 {
+		return [][]string{nil}
+	}
+	if len(values) < n {
+		return nil
+	}
+	var out [][]string
+	cur := make([]string, 0, n)
+	usedIdx := make([]bool, len(values))
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i, v := range values {
+			if usedIdx[i] {
+				continue
+			}
+			usedIdx[i] = true
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+			usedIdx[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// repeatedAssignments enumerates ordered selections with repetition.
+func repeatedAssignments(values []string, n int) [][]string {
+	if n == 0 {
+		return [][]string{nil}
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	var out [][]string
+	cur := make([]string, 0, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for _, v := range values {
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+func dedupeQueries(qs []GeneratedQuery) []GeneratedQuery {
+	seen := make(map[string]bool, len(qs))
+	out := qs[:0]
+	for _, g := range qs {
+		sql := g.Query.SQL()
+		if seen[sql] {
+			continue
+		}
+		seen[sql] = true
+		out = append(out, g)
+	}
+	return out
+}
+
+// TruthQuery builds the canonical ground-truth query of an annotated claim:
+// formula aliases bind, in order, to (Relations[i mod], Keys[i mod]); the
+// i-th attribute variable binds to Attrs[i]. The synthetic world generator
+// produces annotations consistent with this convention, so the truth query
+// always executes.
+func (e *Engine) TruthQuery(c *claims.Claim) (*query.Query, error) {
+	if c == nil || c.Truth == nil {
+		return nil, fmt.Errorf("core: claim has no ground-truth annotation")
+	}
+	f, err := formula.ParseFormula(c.Truth.Formula)
+	if err != nil {
+		return nil, fmt.Errorf("core: claim %d: %w", c.ID, err)
+	}
+	aliases := expr.Aliases(f.Expr)
+	if len(c.Truth.Relations) == 0 || len(c.Truth.Keys) == 0 {
+		return nil, fmt.Errorf("core: claim %d annotation lacks relations or keys", c.ID)
+	}
+	if len(f.AttrVars) > len(c.Truth.Attrs) {
+		return nil, fmt.Errorf("core: claim %d annotation has %d attrs, formula needs %d",
+			c.ID, len(c.Truth.Attrs), len(f.AttrVars))
+	}
+	q := &query.Query{Select: f.Expr, AttrBindings: map[string]string{}}
+	for i, v := range f.AttrVars {
+		q.AttrBindings[v] = c.Truth.Attrs[i]
+	}
+	for i, alias := range aliases {
+		q.Bindings = append(q.Bindings, query.Binding{
+			Alias:    alias,
+			Relation: c.Truth.Relations[i%len(c.Truth.Relations)],
+			Key:      c.Truth.Keys[i%len(c.Truth.Keys)],
+		})
+	}
+	return q, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/formula"
+)
+
+func TestInjectiveAssignments(t *testing.T) {
+	got := injectiveAssignments([]string{"x", "y"}, 2)
+	want := [][]string{{"x", "y"}, {"y", "x"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("injective = %v", got)
+	}
+	if got := injectiveAssignments([]string{"x"}, 2); got != nil {
+		t.Errorf("too few values should be nil, got %v", got)
+	}
+	if got := injectiveAssignments([]string{"x"}, 0); len(got) != 1 || got[0] != nil {
+		t.Errorf("n=0 should be a single empty assignment, got %v", got)
+	}
+	// 3 choose 2 ordered = 6.
+	if got := injectiveAssignments([]string{"a", "b", "c"}, 2); len(got) != 6 {
+		t.Errorf("P(3,2) = %d, want 6", len(got))
+	}
+}
+
+func TestRepeatedAssignments(t *testing.T) {
+	got := repeatedAssignments([]string{"x", "y"}, 2)
+	if len(got) != 4 {
+		t.Errorf("2^2 = %d, want 4", len(got))
+	}
+	if got := repeatedAssignments(nil, 2); got != nil {
+		t.Errorf("no values should be nil, got %v", got)
+	}
+	if got := repeatedAssignments([]string{"x"}, 0); len(got) != 1 {
+		t.Errorf("n=0 = %v", got)
+	}
+}
+
+func TestDedupeQueries(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	c := w.Document.Claims[0]
+	f, err := formula.ParseFormula(c.Truth.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{Relations: c.Truth.Relations, Keys: c.Truth.Keys, Attrs: c.Truth.Attrs}
+	// Passing the same formula twice must not duplicate outputs.
+	s1, a1 := e.GenerateQueries(ctx, []*formula.Formula{f}, c.Param, c.HasParam)
+	s2, a2 := e.GenerateQueries(ctx, []*formula.Formula{f, f}, c.Param, c.HasParam)
+	if len(s2) != len(s1) || len(a2) != len(a1) {
+		t.Errorf("duplicate formula changed outputs: (%d,%d) vs (%d,%d)",
+			len(s1), len(a1), len(s2), len(a2))
+	}
+}
+
+func TestGenerateQueriesBudget(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	e.cfg.MaxAssignments = 1 // starve the enumeration
+	c := w.Document.Claims[0]
+	f, err := formula.ParseFormula(c.Truth.Formula)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{Relations: c.Truth.Relations, Keys: c.Truth.Keys, Attrs: c.Truth.Attrs}
+	sols, alts := e.GenerateQueries(ctx, []*formula.Formula{f}, c.Param, c.HasParam)
+	if len(sols)+len(alts) > 1 {
+		t.Errorf("budget 1 produced %d queries", len(sols)+len(alts))
+	}
+}
+
+func TestTruthQueryErrors(t *testing.T) {
+	e, _ := buildEngine(t, tinyWorld())
+	if _, err := e.TruthQuery(nil); err == nil {
+		t.Error("nil claim accepted")
+	}
+	mk := func(f string, rels, keys, attrs []string) *claims.Claim {
+		return &claims.Claim{ID: 1, Truth: &claims.GroundTruth{
+			Relations: rels, Keys: keys, Attrs: attrs, Formula: f,
+		}}
+	}
+	if _, err := e.TruthQuery(mk("((((", []string{"R"}, []string{"K"}, []string{"2017"})); err == nil {
+		t.Error("malformed formula accepted")
+	}
+	if _, err := e.TruthQuery(mk("a.A1", nil, []string{"K"}, []string{"2017"})); err == nil {
+		t.Error("missing relations accepted")
+	}
+	if _, err := e.TruthQuery(mk("a.A1 / b.A2", []string{"R"}, []string{"K"}, []string{"2017"})); err == nil {
+		t.Error("too few attrs accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package crowd
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/planner"
+)
+
+var cm = planner.DefaultCostModel()
+
+func perfectWorker(t *testing.T, seed int64) *Worker {
+	t.Helper()
+	w, err := NewWorker("W", 1.0, 1.0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	if _, err := NewWorker("W", 0, 1, 1); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := NewWorker("W", -1, 1, 1); err == nil {
+		t.Error("negative speed accepted")
+	}
+	if _, err := NewWorker("W", 1, 1.5, 1); err == nil {
+		t.Error("accuracy > 1 accepted")
+	}
+	if _, err := NewWorker("W", 1, -0.1, 1); err == nil {
+		t.Error("negative accuracy accepted")
+	}
+}
+
+func TestPerfectWorkerPicksTruthFirst(t *testing.T) {
+	w := perfectWorker(t, 1)
+	options := []planner.Option{{Value: "truth", Prob: 0.9}, {Value: "other", Prob: 0.1}}
+	ans := w.AnswerScreen(options, "truth", cm)
+	if ans.Value != "truth" || ans.Suggested {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.OptionsRead != 1 {
+		t.Errorf("read %d options, want 1", ans.OptionsRead)
+	}
+	if ans.Seconds != cm.VerifyProperty {
+		t.Errorf("seconds = %g, want %g", ans.Seconds, cm.VerifyProperty)
+	}
+}
+
+func TestPerfectWorkerReadsPastWrongOptions(t *testing.T) {
+	w := perfectWorker(t, 2)
+	options := []planner.Option{{Value: "wrong1", Prob: 0.5}, {Value: "wrong2", Prob: 0.3}, {Value: "truth", Prob: 0.2}}
+	ans := w.AnswerScreen(options, "truth", cm)
+	if ans.Value != "truth" {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.OptionsRead != 3 {
+		t.Errorf("read %d options, want 3", ans.OptionsRead)
+	}
+	if ans.Seconds != 3*cm.VerifyProperty {
+		t.Errorf("seconds = %g", ans.Seconds)
+	}
+}
+
+func TestPerfectWorkerSuggestsWhenTruthAbsent(t *testing.T) {
+	w := perfectWorker(t, 3)
+	options := []planner.Option{{Value: "wrong", Prob: 1}}
+	ans := w.AnswerScreen(options, "truth", cm)
+	if !ans.Suggested || ans.Value != "truth" {
+		t.Errorf("answer = %+v", ans)
+	}
+	want := cm.VerifyProperty + cm.SuggestProperty
+	if ans.Seconds != want {
+		t.Errorf("seconds = %g, want %g", ans.Seconds, want)
+	}
+}
+
+func TestAnswerFinal(t *testing.T) {
+	w := perfectWorker(t, 4)
+	ans := w.AnswerFinal([]string{"q1", "q2"}, "q2", cm)
+	if ans.Value != "q2" || ans.Suggested {
+		t.Errorf("final = %+v", ans)
+	}
+	if ans.Seconds != 2*cm.VerifyFull {
+		t.Errorf("seconds = %g", ans.Seconds)
+	}
+	// Truth absent -> write query at cost sf.
+	ans = w.AnswerFinal([]string{"q1"}, "q9", cm)
+	if !ans.Suggested || ans.Value != "q9" {
+		t.Errorf("final suggest = %+v", ans)
+	}
+	if ans.Seconds != cm.VerifyFull+cm.SuggestFull {
+		t.Errorf("seconds = %g", ans.Seconds)
+	}
+}
+
+func TestManualVerify(t *testing.T) {
+	w := perfectWorker(t, 5)
+	ans := w.ManualVerify("q", cm)
+	if ans.Value != "q" || !ans.Suggested || ans.Seconds != cm.SuggestFull {
+		t.Errorf("manual = %+v", ans)
+	}
+}
+
+func TestSpeedScalesTime(t *testing.T) {
+	slow, err := NewWorker("S", 2.0, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := slow.ManualVerify("q", cm)
+	if ans.Seconds != 2*cm.SuggestFull {
+		t.Errorf("slow manual seconds = %g", ans.Seconds)
+	}
+}
+
+func TestInaccurateWorkerErrsSometimes(t *testing.T) {
+	w, err := NewWorker("Bad", 1.0, 0.0, 7) // always misjudges
+	if err != nil {
+		t.Fatal(err)
+	}
+	options := []planner.Option{{Value: "wrong", Prob: 0.5}, {Value: "truth", Prob: 0.5}}
+	ans := w.AnswerScreen(options, "truth", cm)
+	if ans.Value == "truth" {
+		t.Errorf("zero-accuracy worker found truth: %+v", ans)
+	}
+}
+
+func TestVoteMajority(t *testing.T) {
+	answers := []Answer{
+		{Value: "x", Seconds: 10},
+		{Value: "y", Seconds: 20},
+		{Value: "x", Seconds: 30},
+	}
+	v, secs := Vote(answers)
+	if v != "x" {
+		t.Errorf("vote = %q", v)
+	}
+	if secs != 60 {
+		t.Errorf("total seconds = %g", secs)
+	}
+}
+
+func TestVoteTieBreaksToEarliestWorker(t *testing.T) {
+	answers := []Answer{{Value: "b"}, {Value: "a"}}
+	v, _ := Vote(answers)
+	if v != "b" {
+		t.Errorf("tie should go to first worker's answer, got %q", v)
+	}
+}
+
+func TestTeamMajorityCorrectsOneBadWorker(t *testing.T) {
+	good1 := perfectWorker(t, 8)
+	good2 := perfectWorker(t, 9)
+	bad, err := NewWorker("Bad", 1.0, 0.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := &Team{Workers: []*Worker{bad, good1, good2}}
+	options := []planner.Option{{Value: "truth", Prob: 0.6}, {Value: "other", Prob: 0.4}}
+	v, secs := team.AskScreen(options, "truth", cm)
+	if v != "truth" {
+		t.Errorf("majority vote = %q, want truth", v)
+	}
+	if secs <= 0 {
+		t.Error("no time recorded")
+	}
+	v, _ = team.AskFinal([]string{"truth", "other"}, "truth", cm)
+	if v != "truth" {
+		t.Errorf("final vote = %q", v)
+	}
+}
+
+func TestNewTeam(t *testing.T) {
+	team, err := NewTeam("S", 4, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if team.Size() != 4 {
+		t.Fatalf("size = %d", team.Size())
+	}
+	names := map[string]bool{}
+	for _, w := range team.Workers {
+		names[w.Name] = true
+		if w.Speed < 0.75 || w.Speed > 1.25 {
+			t.Errorf("worker %s speed %g out of range", w.Name, w.Speed)
+		}
+		if w.Accuracy < 0.9 || w.Accuracy > 1 {
+			t.Errorf("worker %s accuracy %g out of range", w.Name, w.Accuracy)
+		}
+	}
+	if !names["S1"] || !names["S4"] {
+		t.Errorf("names = %v", names)
+	}
+	if _, err := NewTeam("X", 0, 0.9, 1); err == nil {
+		t.Error("empty team accepted")
+	}
+}
+
+func TestTeamDeterministic(t *testing.T) {
+	t1, err := NewTeam("T", 3, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTeam("T", 3, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1.Workers {
+		if t1.Workers[i].Speed != t2.Workers[i].Speed || t1.Workers[i].Accuracy != t2.Workers[i].Accuracy {
+			t.Fatal("team construction not deterministic")
+		}
+	}
+}

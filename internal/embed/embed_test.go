@@ -1,0 +1,180 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// trainingCorpus builds sentences where "coal"/"gas"/"oil" share contexts
+// and "solar"/"wind" share different contexts, so distributional similarity
+// should cluster them.
+func trainingCorpus() []string {
+	var out []string
+	fossil := []string{"coal", "gas", "oil"}
+	renewable := []string{"solar", "wind"}
+	for i := 0; i < 30; i++ {
+		for _, f := range fossil {
+			out = append(out,
+				fmt.Sprintf("global %s demand grew strongly in power generation sector %d", f, i%3),
+				fmt.Sprintf("%s fired plants increased emissions output", f))
+		}
+		for _, r := range renewable {
+			out = append(out,
+				fmt.Sprintf("new %s capacity additions expanded in renewable markets %d", r, i%3),
+				fmt.Sprintf("%s farms installed record renewable capacity", r))
+		}
+	}
+	return out
+}
+
+func TestTrainBasicProperties(t *testing.T) {
+	m, err := Train(trainingCorpus(), Config{Dim: 32, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 32 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+	if m.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	if !m.Has("coal") || !m.Has("solar") {
+		t.Fatal("expected words missing")
+	}
+	if m.Has("neverseen") {
+		t.Error("unknown word reported present")
+	}
+	if m.Vector("neverseen") != nil {
+		t.Error("unknown vector should be nil")
+	}
+	// Vectors are unit-norm (or zero).
+	v := m.Vector("coal")
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if math.Abs(n-1) > 1e-9 {
+		t.Errorf("coal vector norm^2 = %g, want 1", n)
+	}
+}
+
+func TestTrainDistributionalSimilarity(t *testing.T) {
+	m, err := Train(trainingCorpus(), Config{Dim: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := m.Similarity("coal", "gas")
+	across := m.Similarity("coal", "solar")
+	if within <= across {
+		t.Errorf("similarity(coal,gas)=%g should exceed similarity(coal,solar)=%g", within, across)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	sents := trainingCorpus()
+	m1, err := Train(sents, Config{Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(sents, Config{Dim: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := m1.Vector("coal"), m2.Vector("coal")
+	for d := range v1 {
+		if v1[d] != v2[d] {
+			t.Fatalf("not deterministic at dim %d: %g vs %g", d, v1[d], v2[d])
+		}
+	}
+}
+
+func TestSentenceVector(t *testing.T) {
+	m, err := Train(trainingCorpus(), Config{Dim: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := m.SentenceVector("coal demand grew")
+	if len(sv) != 16 {
+		t.Fatalf("SentenceVector len = %d", len(sv))
+	}
+	var nonzero bool
+	for _, x := range sv {
+		if x != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("known-word sentence should have nonzero embedding")
+	}
+	// All-unknown sentence -> zero vector, not NaN.
+	sv = m.SentenceVector("xqzt blorp")
+	for _, x := range sv {
+		if x != 0 || math.IsNaN(x) {
+			t.Errorf("unknown sentence vector should be zeros, got %v", sv)
+			break
+		}
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	m, err := Train(trainingCorpus(), Config{Dim: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Similarity("coal", "neverseen"); got != 0 {
+		t.Errorf("unknown word similarity = %g", got)
+	}
+	if got := m.Similarity("coal", "coal"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self similarity = %g", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	m, err := Train(trainingCorpus(), Config{Dim: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := m.Nearest("coal", 5)
+	if len(near) != 5 {
+		t.Fatalf("Nearest = %v", near)
+	}
+	found := false
+	for _, w := range near {
+		if w == "gas" || w == "oil" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a fossil sibling among nearest of coal, got %v", near)
+	}
+	if m.Nearest("neverseen", 3) != nil {
+		t.Error("nearest of unknown should be nil")
+	}
+	if m.Nearest("coal", 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+	if got := m.Nearest("coal", 100000); len(got) != m.VocabSize()-1 {
+		t.Errorf("k beyond vocab: %d, want %d", len(got), m.VocabSize()-1)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Error("no sentences accepted")
+	}
+	if _, err := Train([]string{"one two"}, Config{MinCount: 50}); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+	// Single-token sentences: vocabulary exists but no co-occurrence.
+	if _, err := Train([]string{"a", "a", "a"}, Config{MinCount: 1}); err == nil {
+		t.Error("no co-occurrences accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Dim != 64 || c.Window != 4 || c.MinCount != 2 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,379 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalOrFatal(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := Eval(n, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+var emptyEnv = MapEnv{}
+
+func TestParseEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"2 ^ 3 ^ 2", 512}, // right-assoc
+		{"-3 + 5", 2},
+		{"--4", 4},
+		{"1 - 2 - 3", -4}, // left-assoc
+		{"2e2 + 0.5", 200.5},
+		{"ABS(-3.5)", 3.5},
+		{"POWER(2, 10)", 1024},
+		{"SQRT(16)", 4},
+		{"MIN(3, 1, 2)", 1},
+		{"MAX(3, 1, 2)", 3},
+		{"SUM(1, 2, 3, 4)", 10},
+		{"AVG(2, 4)", 3},
+		{"ROUND(2.6)", 3},
+		{"SIGN(-9)", -1},
+		{"SIGN(0)", 0},
+		{"EXP(0)", 1},
+		{"LN(1)", 0},
+		{"LOG(100)", 2},
+		{"CAGR(121, 100, 2)", 0.1},
+		{"3 > 2", 1},
+		{"3 < 2", 0},
+		{"2 >= 2", 1},
+		{"1 <= 0", 0},
+		{"5 = 5", 1},
+		{"5 != 5", 0},
+	}
+	for _, c := range cases {
+		if got := evalOrFatal(t, c.src, emptyEnv); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%q = %g, want %g", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCellRefsAndAttrVars(t *testing.T) {
+	env := MapEnv{
+		Cells: map[string]float64{"a.2017": 22209, "b.2016": 21546},
+		Attrs: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	// The paper's Example 1 CAGR check.
+	got := evalOrFatal(t, "POWER(a.A1/b.A2, 1/(A1-A2)) - 1", env)
+	want := 22209.0/21546.0 - 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CAGR formula = %g, want %g", got, want)
+	}
+	// Concrete attributes bypass variable resolution.
+	got = evalOrFatal(t, "a.2017 / b.2016", env)
+	if math.Abs(got-22209.0/21546.0) > 1e-9 {
+		t.Errorf("concrete refs = %g", got)
+	}
+}
+
+func TestParseQuotedAttribute(t *testing.T) {
+	env := MapEnv{Cells: map[string]float64{"a.Total Final": 10}}
+	got := evalOrFatal(t, `a."Total Final" * 2`, env)
+	if got != 20 {
+		t.Errorf("quoted attr = %g", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "POWER(1", "1 ) 2", "foo", "foo + 1",
+		"a.", "1..2", `a."unterminated`, "!", "!3", "1 ! 2",
+		"POWER(1,2,3)", "NOSUCHFN(1)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseUnknownIdentSuggestsShape(t *testing.T) {
+	_, err := Parse("banana")
+	if err == nil || !strings.Contains(err.Error(), "unknown identifier") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := MapEnv{Attrs: map[string]string{"A1": "NotANumber"}}
+	cases := []string{
+		"1/0",
+		"SQRT(-1)",
+		"LOG(0)",
+		"LN(-1)",
+		"CAGR(1, 0, 5)",
+		"CAGR(1, 1, 0)",
+		"POWER(-1, 0.5)",
+		"a.2017", // no cell
+		"A1 + 1", // attr not numeric
+		"A9 + 1", // unbound attr var
+	}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Eval(n, env); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", src)
+		}
+	}
+	if _, err := Eval(nil, emptyEnv); err == nil {
+		t.Error("Eval(nil) should error")
+	}
+	if _, err := Eval(BinOp{Op: "?", Left: Num{1}, Right: Num{1}}, emptyEnv); err == nil {
+		t.Error("unknown operator should error")
+	}
+	if _, err := Eval(Call{Fn: "POWER", Args: []Node{Num{1}}}, emptyEnv); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := Eval(Call{Fn: "SUM"}, emptyEnv); err == nil {
+		t.Error("variadic with zero args should error")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"POWER(a.A1/b.A2, 1/(A1-A2)) - 1",
+		"(a.2017 / b.2000)",
+		"a.A1 - b.A2 + 3.5",
+		"SUM(a.A1, b.A2, 1) / AVG(a.A1, 2)",
+		"a.A1 > 100",
+		"-(a.A1 + 1)",
+		"CAGR(a.A1, b.A2, A1 - A2)",
+	}
+	env := MapEnv{
+		Cells: map[string]float64{"a.2017": 5, "b.2016": 4, "a.2016": 3, "b.2017": 6},
+		Attrs: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, n1.String(), err)
+		}
+		v1, err1 := Eval(n1, env)
+		v2, err2 := Eval(n2, env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round trip errors differ for %q: %v vs %v", src, err1, err2)
+		}
+		if err1 == nil && math.Abs(v1-v2) > 1e-12 {
+			t.Errorf("round trip of %q: %g vs %g", src, v1, v2)
+		}
+		if !Equal(n1, n2) {
+			t.Errorf("round trip of %q not structurally equal: %q vs %q", src, n1, n2)
+		}
+	}
+}
+
+func TestAliasesAndAttrVars(t *testing.T) {
+	n := MustParse("POWER(a.A1/b.A2, 1/(A1-A2)) - 1 + c.2017")
+	al := Aliases(n)
+	if len(al) != 3 || al[0] != "a" || al[1] != "b" || al[2] != "c" {
+		t.Errorf("Aliases = %v", al)
+	}
+	av := AttrVars(n)
+	if len(av) != 2 || av[0] != "A1" || av[1] != "A2" {
+		t.Errorf("AttrVars = %v", av)
+	}
+}
+
+func TestIsAttrVarName(t *testing.T) {
+	yes := []string{"A1", "A2", "A10", "A999"}
+	no := []string{"", "A", "B1", "a1", "A1b", "AA1", "2017"}
+	for _, s := range yes {
+		if !IsAttrVarName(s) {
+			t.Errorf("IsAttrVarName(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if IsAttrVarName(s) {
+			t.Errorf("IsAttrVarName(%q) = true", s)
+		}
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	// a.A1 / b.A2 has 2 cell refs + 1 op = 3
+	if got := Complexity(MustParse("a.A1 / b.A2")); got != 3 {
+		t.Errorf("Complexity = %d, want 3", got)
+	}
+	// POWER(a.A1/b.A2, 1/(A1-A2)) - 1:
+	// Call, 2 BinOp(/), BinOp(-) outer, BinOp(-) inner, 2 CellRef, 2 AttrVar, 2 Num = 11
+	if got := Complexity(MustParse("POWER(a.A1/b.A2, 1/(A1-A2)) - 1")); got != 11 {
+		t.Errorf("Complexity = %d, want 11", got)
+	}
+	if got := Complexity(nil); got != 0 {
+		t.Errorf("Complexity(nil) = %d", got)
+	}
+}
+
+func TestFunctionsListSortedAndComplete(t *testing.T) {
+	fns := Functions()
+	if len(fns) < 10 {
+		t.Fatalf("library too small: %v", fns)
+	}
+	for i := 1; i < len(fns); i++ {
+		if fns[i-1] >= fns[i] {
+			t.Fatalf("Functions not sorted: %v", fns)
+		}
+	}
+	for _, f := range []string{"POWER", "CAGR", "ABS", "SUM"} {
+		if !IsFunction(f) {
+			t.Errorf("IsFunction(%q) = false", f)
+		}
+	}
+	if !IsFunction("power") {
+		t.Error("IsFunction should be case-insensitive")
+	}
+	if IsFunction("NOPE") {
+		t.Error("IsFunction(NOPE) = true")
+	}
+}
+
+func TestQuotedAttrRendering(t *testing.T) {
+	// Attributes that are neither plain numbers nor identifiers render
+	// quoted and round-trip.
+	cases := []CellRef{
+		{Alias: "a", Attr: "2024Q4"},
+		{Alias: "a", Attr: "Total Final"},
+		{Alias: "a", Attr: "H1"},
+		{Alias: "a", Attr: "2017"},
+	}
+	env := MapEnv{Cells: map[string]float64{
+		"a.2024Q4": 1, "a.Total Final": 2, "a.H1": 3, "a.2017": 4,
+	}}
+	for _, c := range cases {
+		n, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", c.String(), err)
+		}
+		v1, err1 := Eval(c, env)
+		v2, err2 := Eval(n, env)
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Errorf("round trip of %q: %g/%v vs %g/%v", c.String(), v1, err1, v2, err2)
+		}
+	}
+	// Quoting shape checks.
+	if got := (CellRef{Alias: "a", Attr: "2024Q4"}).String(); got != `a."2024Q4"` {
+		t.Errorf("mixed attr = %q", got)
+	}
+	if got := (CellRef{Alias: "a", Attr: "2017"}).String(); got != "a.2017" {
+		t.Errorf("numeric attr = %q", got)
+	}
+	if got := (CellRef{Alias: "a", Attr: "Total"}).String(); got != "a.Total" {
+		t.Errorf("ident attr = %q", got)
+	}
+	if got := (CellRef{Alias: "a", Attr: ""}).String(); got != `a.""` {
+		t.Errorf("empty attr = %q", got)
+	}
+}
+
+func TestComparisonOperatorsOnCellValues(t *testing.T) {
+	env := MapEnv{Cells: map[string]float64{"d.2017": 150}}
+	// Example 9's Boolean check shape.
+	if got := evalOrFatal(t, "d.2017 > 100", env); got != 1 {
+		t.Errorf("boolean check = %g", got)
+	}
+	if got := evalOrFatal(t, "d.2017 <= 100", env); got != 0 {
+		t.Errorf("boolean check = %g", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// Nested combinations of functions (Definition 3 allows nesting).
+	env := MapEnv{Cells: map[string]float64{"a.2017": 16}}
+	got := evalOrFatal(t, "SQRT(SQRT(ABS(-a.2017)))", env)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("nested = %g, want 2", got)
+	}
+	// Deep parenthesisation parses fine.
+	got = evalOrFatal(t, "((((((1))))))", emptyEnv)
+	if got != 1 {
+		t.Errorf("parens = %g", got)
+	}
+}
+
+// Property: any generated expression over safe operations parses back from
+// its String() and evaluates to the same value.
+func TestRandomExprRoundTripProperty(t *testing.T) {
+	env := MapEnv{
+		Cells: map[string]float64{"a.2017": 3, "b.2016": 7},
+		Attrs: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	var gen func(rng *rand.Rand, depth int) Node
+	gen = func(rng *rand.Rand, depth int) Node {
+		if depth <= 0 || rng.Float64() < 0.3 {
+			switch rng.Intn(4) {
+			case 0:
+				return Num{Value: float64(rng.Intn(20) + 1)}
+			case 1:
+				return CellRef{Alias: "a", Attr: "A1"}
+			case 2:
+				return CellRef{Alias: "b", Attr: "A2"}
+			default:
+				return AttrVar{Name: "A1"}
+			}
+		}
+		switch rng.Intn(6) {
+		case 0, 1:
+			return BinOp{Op: []string{"+", "-", "*"}[rng.Intn(3)], Left: gen(rng, depth-1), Right: gen(rng, depth-1)}
+		case 2:
+			return Neg{Operand: gen(rng, depth-1)}
+		case 3:
+			return Call{Fn: "SUM", Args: []Node{gen(rng, depth-1), gen(rng, depth-1)}}
+		case 4:
+			return Call{Fn: "ABS", Args: []Node{gen(rng, depth-1)}}
+		default:
+			return Call{Fn: "MAX", Args: []Node{gen(rng, depth-1), gen(rng, depth-1)}}
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := gen(rng, 4)
+		parsed, err := Parse(n.String())
+		if err != nil {
+			return false
+		}
+		v1, err1 := Eval(n, env)
+		v2, err2 := Eval(parsed, env)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return math.Abs(v1-v2) < 1e-9 || (math.IsNaN(v1) && math.IsNaN(v2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Complexity is positive for any non-nil expression and additive
+// under BinOp composition.
+func TestComplexityAdditiveProperty(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := Num{Value: float64(x)}
+		b := Num{Value: float64(y)}
+		return Complexity(BinOp{Op: "+", Left: a, Right: b}) == Complexity(a)+Complexity(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

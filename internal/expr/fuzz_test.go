@@ -1,0 +1,43 @@
+package expr
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every successfully
+// parsed expression round-trips through String() to a structurally equal
+// tree. Run the seeds as part of `go test`; extend with `go test -fuzz
+// FuzzParse ./internal/expr`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"POWER(a.A1/b.A2, 1/(A1-A2)) - 1",
+		"(a.2017 / b.2000)",
+		"a.A1 > 100",
+		"SUM(a.A1, b.A2, 1) / AVG(a.A1, 2)",
+		`a."Total Final" * 2`,
+		"CAGR(a.A1, b.A2, A1 - A2)",
+		"-(-(-1))",
+		"1e3 ^ 0.5",
+		"", "(", ")", "a.", "..", "1..", "!=", "POWER(", "\"", "'",
+		"a.A1 >= b.A2 <= 1", // double comparison is a parse error
+		"𝛼 + 1",             // non-ASCII letters
+		"a.𝛼",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip.
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", n.String(), src, err)
+		}
+		if !Equal(n, n2) {
+			t.Fatalf("round trip of %q changed structure: %q vs %q", src, n, n2)
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the expression surface syntax into a Node. The grammar, in
+// precedence order (low to high):
+//
+//	expr    := cmp
+//	cmp     := add (( ">" | "<" | ">=" | "<=" | "=" | "!=" ) add)?
+//	add     := mul (("+" | "-") mul)*
+//	mul     := pow (("*" | "/") pow)*
+//	pow     := unary ("^" pow)?            // right-associative
+//	unary   := "-" unary | primary
+//	primary := NUMBER | ident "(" args ")" | ident "." field | ident | "(" expr ")"
+//
+// idents that match the function library become Calls; "alias.field" becomes
+// a CellRef; A<digits> idents become AttrVars; anything else is an error.
+// Field names may be attribute variables, concrete labels like 2017, or
+// quoted labels like "Total Final Consumption".
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	n, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("expr: unexpected %q at position %d in %q", p.peek().text, p.peek().pos, src)
+	}
+	return n, nil
+}
+
+// MustParse is Parse for statically known-good expressions; panics on error.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot, seenExp := false, false
+			for j < len(src) {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					// A dot is part of the number only if followed by a
+					// digit; "a.2017" style references never start with a
+					// digit, so here the left side is numeric.
+					if j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+						seenDot = true
+						j++
+						continue
+					}
+					break
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j+1 < len(src) {
+					next := src[j+1]
+					if next >= '0' && next <= '9' || ((next == '+' || next == '-') && j+2 < len(src) && src[j+2] >= '0' && src[j+2] <= '9') {
+						seenExp = true
+						j += 2
+						continue
+					}
+					break
+				}
+				break
+			}
+			toks = append(toks, token{tokNum, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("expr: unterminated string at position %d in %q", i, src)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '>' || c == '<' || c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("expr: unexpected '!' at position %d in %q", i, src)
+			} else {
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '^' || c == '=':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("expr: unexpected character %q at position %d in %q", c, i, src)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEnd() {
+		return token{tokOp, "<eof>", len(p.src)}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, fmt.Errorf("expr: expected %s at position %d in %q, got %q", what, t.pos, p.src, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case ">", "<", ">=", "<=", "=", "!=":
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinOp{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	left, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePow() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp && t.text == "^" {
+		p.next()
+		right, err := p.parsePow() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{Op: "^", Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.text == "-" {
+		p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -NUMBER into a literal so String() round-trips cleanly.
+		if n, ok := operand.(Num); ok {
+			return Num{Value: -n.Value}, nil
+		}
+		return Neg{Operand: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNum:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at position %d: %w", t.text, t.pos, err)
+		}
+		return Num{Value: v}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokIdent:
+		p.next()
+		// Function call?
+		if p.peek().kind == tokLParen && IsFunction(t.text) {
+			p.next()
+			var args []Node
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseCmp()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			fn := strings.ToUpper(t.text)
+			if err := CheckArity(fn, len(args)); err != nil {
+				return nil, fmt.Errorf("%w at position %d in %q", err, t.pos, p.src)
+			}
+			return Call{Fn: fn, Args: args}, nil
+		}
+		// Cell reference alias.attr?
+		if p.peek().kind == tokDot {
+			p.next()
+			ft := p.peek()
+			switch ft.kind {
+			case tokIdent, tokNum, tokString:
+				p.next()
+				return CellRef{Alias: t.text, Attr: ft.text}, nil
+			default:
+				return nil, fmt.Errorf("expr: expected attribute after %q. at position %d in %q", t.text, ft.pos, p.src)
+			}
+		}
+		if IsAttrVarName(t.text) {
+			return AttrVar{Name: t.text}, nil
+		}
+		return nil, fmt.Errorf("expr: unknown identifier %q at position %d in %q (expected function, alias.attr, or A<n>)", t.text, t.pos, p.src)
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q at position %d in %q", t.text, t.pos, p.src)
+	}
+}

@@ -1,0 +1,83 @@
+// Package feature assembles the classifier input of the paper's Figure 4:
+// for each claim inside a sentence, the averaged sentence embedding is
+// concatenated with TF-IDF scores of the claim's word unigrams and bigrams,
+// followed by TF-IDF scores of its character trigrams.
+//
+// The Pipeline owns the fitted vectoriser and the embedding model; it maps
+// (sentence, claim) pairs to sparse vectors in a fixed feature space so the
+// classifiers can be retrained repeatedly on a growing label set without
+// re-fitting features (the paper retrains classifiers per batch, not the
+// feature extractors).
+package feature
+
+import (
+	"fmt"
+
+	"github.com/repro/scrutinizer/internal/embed"
+	"github.com/repro/scrutinizer/internal/textproc"
+)
+
+// Config controls pipeline construction.
+type Config struct {
+	// Embedding configures the word-embedding model; Dim 0 means the
+	// embed package default.
+	Embedding embed.Config
+	// MinDF is the document-frequency cutoff for TF-IDF terms.
+	MinDF int
+}
+
+// Pipeline converts (sentence, claim) text pairs into feature vectors.
+type Pipeline struct {
+	emb   *embed.Model
+	tfidf *textproc.Vectorizer
+	dim   int
+}
+
+// Fit builds the pipeline from the document's sentences and claims. Both
+// the embedding and the TF-IDF vocabulary are learned once per document;
+// they do not depend on verification labels.
+func Fit(sentences, claimTexts []string, cfg Config) (*Pipeline, error) {
+	if len(sentences) == 0 {
+		return nil, fmt.Errorf("feature: no sentences")
+	}
+	m, err := embed.Train(sentences, cfg.Embedding)
+	if err != nil {
+		return nil, fmt.Errorf("feature: training embeddings: %w", err)
+	}
+	vz := textproc.NewVectorizer(cfg.MinDF)
+	docs := make([][]string, len(claimTexts))
+	for i, c := range claimTexts {
+		docs[i] = textproc.ClaimTokens(c)
+	}
+	vz.Fit(docs)
+	return &Pipeline{
+		emb:   m,
+		tfidf: vz,
+		dim:   m.Dim() + vz.Dim(),
+	}, nil
+}
+
+// Dim returns the total feature dimension: embedding dim + TF-IDF
+// vocabulary size.
+func (p *Pipeline) Dim() int { return p.dim }
+
+// EmbeddingDim returns the dense prefix width.
+func (p *Pipeline) EmbeddingDim() int { return p.emb.Dim() }
+
+// Vector featurises one claim in its sentence context. Embedding components
+// occupy indexes [0, EmbeddingDim); TF-IDF components follow.
+func (p *Pipeline) Vector(sentence, claim string) textproc.Vector {
+	v := make(textproc.Vector)
+	for d, x := range p.emb.SentenceVector(sentence) {
+		if x != 0 {
+			v[d] = x
+		}
+	}
+	tf := p.tfidf.Transform(textproc.ClaimTokens(claim))
+	v.AddInto(tf, p.emb.Dim())
+	return v
+}
+
+// Model exposes the underlying embedding model (used by diagnostics and the
+// examples).
+func (p *Pipeline) Model() *embed.Model { return p.emb }

@@ -1,0 +1,101 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/embed"
+)
+
+func fitPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	var sentences, claimTexts []string
+	for i := 0; i < 25; i++ {
+		sentences = append(sentences,
+			fmt.Sprintf("global coal demand grew by %d%% in 2017", i%7),
+			fmt.Sprintf("solar capacity additions expanded strongly in %d", 2000+i))
+		claimTexts = append(claimTexts,
+			fmt.Sprintf("coal demand grew by %d%%", i%7),
+			"solar capacity expanded strongly")
+	}
+	p, err := Fit(sentences, claimTexts, Config{Embedding: embed.Config{Dim: 16, Seed: 1}, MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFitDimensions(t *testing.T) {
+	p := fitPipeline(t)
+	if p.EmbeddingDim() != 16 {
+		t.Errorf("EmbeddingDim = %d", p.EmbeddingDim())
+	}
+	if p.Dim() <= p.EmbeddingDim() {
+		t.Errorf("Dim = %d should exceed embedding dim", p.Dim())
+	}
+	if p.Model() == nil {
+		t.Error("Model should be exposed")
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	p := fitPipeline(t)
+	v := p.Vector("global coal demand grew by 3% in 2017", "coal demand grew by 3%")
+	var hasDense, hasSparse bool
+	for i := range v {
+		if i < p.EmbeddingDim() {
+			hasDense = true
+		} else {
+			hasSparse = true
+		}
+		if i < 0 || i >= p.Dim() {
+			t.Fatalf("feature index %d out of range [0, %d)", i, p.Dim())
+		}
+	}
+	if !hasDense || !hasSparse {
+		t.Errorf("vector should span both families: dense=%v sparse=%v", hasDense, hasSparse)
+	}
+}
+
+func TestVectorsDifferAcrossClaims(t *testing.T) {
+	p := fitPipeline(t)
+	v1 := p.Vector("global coal demand grew by 3% in 2017", "coal demand grew by 3%")
+	v2 := p.Vector("solar capacity additions expanded strongly in 2017", "solar capacity expanded strongly")
+	same := len(v1) == len(v2)
+	if same {
+		for i, x := range v1 {
+			if v2[i] != x {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different claims should produce different vectors")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, Config{}); err == nil {
+		t.Error("no sentences accepted")
+	}
+	// Sentences exist but embedding training fails (no co-occurrence).
+	if _, err := Fit([]string{"a", "b"}, []string{"a"}, Config{Embedding: embed.Config{MinCount: 1}}); err == nil {
+		t.Error("untrainable embedding accepted")
+	}
+}
+
+func TestUnknownClaimStillGetsSentenceEmbedding(t *testing.T) {
+	p := fitPipeline(t)
+	v := p.Vector("global coal demand grew by 3% in 2017", "entirely novel words qqq")
+	hasDense := false
+	for i := range v {
+		if i < p.EmbeddingDim() {
+			hasDense = true
+			break
+		}
+	}
+	if !hasDense {
+		t.Error("sentence embedding should be present even for unknown claim tokens")
+	}
+}

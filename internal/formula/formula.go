@@ -1,0 +1,364 @@
+// Package formula implements Section 4.2 of the paper: turning previously
+// checked claims into generic formulas with variables, so that check logic
+// can be reused on unseen claims, and instantiating those formulas back into
+// concrete queries during query generation.
+//
+// A formula is an expression (package expr) whose cell references use
+// canonical binding aliases (a, b, c, ...) and whose attributes are
+// canonical attribute variables (A1, A2, ...), e.g.
+//
+//	POWER(a.A1/b.A2, 1/(A1-A2)) - 1
+//
+// Generalize maps a concrete SELECT expression to its formula; the mapping
+// preserves function names, operations and constants while replacing
+// relations and attribute labels with variables (paper Example 8).
+// Reconstruct resolves spreadsheet-style annotation chains into a single
+// expression before generalisation (the "Reconstruction" problem of §4.2).
+package formula
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/repro/scrutinizer/internal/expr"
+)
+
+// Formula is a canonicalised check template.
+type Formula struct {
+	// Expr is the canonical expression tree.
+	Expr expr.Node
+	// NumBindings is the number of distinct binding variables (a, b, ...).
+	NumBindings int
+	// AttrVars lists the attribute variables (A1, A2, ...) in order.
+	AttrVars []string
+}
+
+// String renders the canonical formula; equal strings mean equal formulas,
+// which is what the formula classifier predicts over.
+func (f *Formula) String() string {
+	if f == nil || f.Expr == nil {
+		return ""
+	}
+	return f.Expr.String()
+}
+
+// Complexity counts expression elements (Figure 6 metric contribution).
+func (f *Formula) Complexity() int { return expr.Complexity(f.Expr) }
+
+// alphabet for canonical binding aliases.
+const aliasAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+func canonicalAlias(i int) string {
+	if i < len(aliasAlphabet) {
+		return string(aliasAlphabet[i])
+	}
+	return "x" + strconv.Itoa(i)
+}
+
+// Generalize converts a concrete check expression into a Formula:
+//
+//   - each distinct (alias, attribute-label) context becomes a canonical
+//     binding alias in first-appearance order: a, b, c ...
+//   - each distinct attribute label becomes a canonical variable A1, A2 ...
+//   - numeric literals that equal an attribute label used elsewhere in the
+//     expression are replaced by the same variable (years appearing as
+//     constants, e.g. the 2017-2016 exponent of Example 8)
+//   - all other constants, operators and functions are preserved
+//
+// The second return value maps canonical attribute variables back to the
+// concrete labels they replaced, so callers can recover the original.
+func Generalize(concrete expr.Node) (*Formula, map[string]string, error) {
+	if concrete == nil {
+		return nil, nil, fmt.Errorf("formula: nil expression")
+	}
+	// Pass 1: collect attribute labels from cell references, in
+	// first-appearance order.
+	var labels []string
+	labelVar := map[string]string{}
+	expr.Walk(concrete, func(n expr.Node) {
+		if c, ok := n.(expr.CellRef); ok {
+			if _, seen := labelVar[c.Attr]; !seen {
+				labelVar[c.Attr] = "A" + strconv.Itoa(len(labels)+1)
+				labels = append(labels, c.Attr)
+			}
+		}
+	})
+	// Pass 2: canonical aliases in first-appearance order.
+	aliasMap := map[string]string{}
+	expr.Walk(concrete, func(n expr.Node) {
+		if c, ok := n.(expr.CellRef); ok {
+			if _, seen := aliasMap[c.Alias]; !seen {
+				aliasMap[c.Alias] = canonicalAlias(len(aliasMap))
+			}
+		}
+	})
+	// Pass 3: rewrite.
+	rewritten := rewrite(concrete, aliasMap, labelVar)
+	attrVars := make([]string, 0, len(labels))
+	reverse := make(map[string]string, len(labels))
+	for _, l := range labels {
+		attrVars = append(attrVars, labelVar[l])
+		reverse[labelVar[l]] = l
+	}
+	return &Formula{
+		Expr:        rewritten,
+		NumBindings: len(aliasMap),
+		AttrVars:    attrVars,
+	}, reverse, nil
+}
+
+func rewrite(n expr.Node, aliasMap, labelVar map[string]string) expr.Node {
+	switch t := n.(type) {
+	case expr.CellRef:
+		alias := t.Alias
+		if a, ok := aliasMap[t.Alias]; ok {
+			alias = a
+		}
+		attr := t.Attr
+		if v, ok := labelVar[t.Attr]; ok {
+			attr = v
+		}
+		return expr.CellRef{Alias: alias, Attr: attr}
+	case expr.Num:
+		// A numeric literal that matches an attribute label elsewhere in
+		// the expression becomes the corresponding variable (years used
+		// in arithmetic).
+		label := strconv.FormatFloat(t.Value, 'g', -1, 64)
+		if v, ok := labelVar[label]; ok {
+			return expr.AttrVar{Name: v}
+		}
+		return t
+	case expr.AttrVar:
+		return t
+	case expr.BinOp:
+		return expr.BinOp{
+			Op:    t.Op,
+			Left:  rewrite(t.Left, aliasMap, labelVar),
+			Right: rewrite(t.Right, aliasMap, labelVar),
+		}
+	case expr.Neg:
+		return expr.Neg{Operand: rewrite(t.Operand, aliasMap, labelVar)}
+	case expr.Call:
+		args := make([]expr.Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rewrite(a, aliasMap, labelVar)
+		}
+		return expr.Call{Fn: t.Fn, Args: args}
+	default:
+		return n
+	}
+}
+
+// ParseFormula parses a canonical formula string (the classifier's label
+// vocabulary is made of these).
+func ParseFormula(src string) (*Formula, error) {
+	n, err := expr.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("formula: %w", err)
+	}
+	return &Formula{
+		Expr:        n,
+		NumBindings: len(expr.Aliases(n)),
+		AttrVars:    expr.AttrVars(n),
+	}, nil
+}
+
+// MustParseFormula panics on error; for tests and generators.
+func MustParseFormula(src string) *Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// CellAssignment instantiates one binding alias of a formula: which
+// (relation, key) pair it reads, with attribute variables resolved through
+// the shared attribute assignment.
+type CellAssignment struct {
+	Alias    string
+	Relation string
+	Key      string
+}
+
+// Instantiation is a full variable assignment for a formula: one
+// CellAssignment per binding alias plus a concrete label per attribute
+// variable.
+type Instantiation struct {
+	Cells []CellAssignment
+	Attrs map[string]string
+}
+
+// Instantiate applies an instantiation, producing the (still canonical-
+// alias) expression plus binding/attribute maps ready to build a query. It
+// validates that every alias and attribute variable is covered.
+func (f *Formula) Instantiate(inst Instantiation) (expr.Node, error) {
+	if f == nil || f.Expr == nil {
+		return nil, fmt.Errorf("formula: instantiating nil formula")
+	}
+	have := map[string]bool{}
+	for _, c := range inst.Cells {
+		have[c.Alias] = true
+	}
+	for _, a := range expr.Aliases(f.Expr) {
+		if !have[a] {
+			return nil, fmt.Errorf("formula: alias %q not covered by instantiation", a)
+		}
+	}
+	for _, v := range f.AttrVars {
+		if _, ok := inst.Attrs[v]; !ok {
+			return nil, fmt.Errorf("formula: attribute variable %q not covered by instantiation", v)
+		}
+	}
+	return f.Expr, nil
+}
+
+// Reconstruct resolves annotation chains into a single expression. Fact
+// checkers annotate claims with named intermediate steps (spreadsheet
+// cells); each definition is an expression that may reference other
+// definitions by name. Reconstruct(root, defs) recursively replaces every
+// reference until only look-ups (cell references) and constants remain —
+// the paper's "recursively replacing each value by its corresponding
+// function in the annotations until we reach a look-up".
+//
+// References are modelled as zero-binding cell references step.NAME, e.g.
+// step.growth refers to defs["growth"].
+func Reconstruct(root expr.Node, defs map[string]expr.Node) (expr.Node, error) {
+	return reconstruct(root, defs, make(map[string]bool))
+}
+
+// RefNamespace is the alias namespace reserved for intermediate-step
+// references inside annotations.
+const RefNamespace = "step"
+
+func reconstruct(n expr.Node, defs map[string]expr.Node, visiting map[string]bool) (expr.Node, error) {
+	switch t := n.(type) {
+	case expr.CellRef:
+		if t.Alias != RefNamespace {
+			return t, nil
+		}
+		def, ok := defs[t.Attr]
+		if !ok {
+			return nil, fmt.Errorf("formula: annotation references undefined step %q", t.Attr)
+		}
+		if visiting[t.Attr] {
+			return nil, fmt.Errorf("formula: annotation step %q is cyclically defined", t.Attr)
+		}
+		visiting[t.Attr] = true
+		resolved, err := reconstruct(def, defs, visiting)
+		visiting[t.Attr] = false
+		if err != nil {
+			return nil, err
+		}
+		return resolved, nil
+	case expr.BinOp:
+		l, err := reconstruct(t.Left, defs, visiting)
+		if err != nil {
+			return nil, err
+		}
+		r, err := reconstruct(t.Right, defs, visiting)
+		if err != nil {
+			return nil, err
+		}
+		return expr.BinOp{Op: t.Op, Left: l, Right: r}, nil
+	case expr.Neg:
+		o, err := reconstruct(t.Operand, defs, visiting)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg{Operand: o}, nil
+	case expr.Call:
+		args := make([]expr.Node, len(t.Args))
+		for i, a := range t.Args {
+			r, err := reconstruct(a, defs, visiting)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return expr.Call{Fn: t.Fn, Args: args}, nil
+	default:
+		return n, nil
+	}
+}
+
+// Library is a deduplicating store of formulas keyed by canonical string;
+// it tracks occurrence counts so the corpus statistics (Table 1) and the
+// classifier label space can be derived from it.
+type Library struct {
+	byKey  map[string]*Formula
+	counts map[string]int
+	order  []string
+}
+
+// NewLibrary creates an empty formula library.
+func NewLibrary() *Library {
+	return &Library{
+		byKey:  make(map[string]*Formula),
+		counts: make(map[string]int),
+	}
+}
+
+// Add inserts (or counts) a formula and returns its canonical key.
+func (l *Library) Add(f *Formula) string {
+	key := f.String()
+	if _, ok := l.byKey[key]; !ok {
+		l.byKey[key] = f
+		l.order = append(l.order, key)
+	}
+	l.counts[key]++
+	return key
+}
+
+// AddString parses and inserts a formula given as text.
+func (l *Library) AddString(src string) (string, error) {
+	f, err := ParseFormula(src)
+	if err != nil {
+		return "", err
+	}
+	return l.Add(f), nil
+}
+
+// Get returns the formula with the given canonical key.
+func (l *Library) Get(key string) (*Formula, bool) {
+	f, ok := l.byKey[key]
+	return f, ok
+}
+
+// Len returns the number of distinct formulas.
+func (l *Library) Len() int { return len(l.order) }
+
+// Count returns the occurrence count of a formula key.
+func (l *Library) Count(key string) int { return l.counts[key] }
+
+// Keys returns formula keys in first-insertion order.
+func (l *Library) Keys() []string { return l.order }
+
+// Counts returns occurrence counts aligned with a sorted key list; used for
+// the frequency percentiles of Table 1.
+func (l *Library) Counts() []float64 {
+	keys := append([]string(nil), l.order...)
+	sort.Strings(keys)
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		out[i] = float64(l.counts[k])
+	}
+	return out
+}
+
+// TopK returns the k most frequent formula keys (ties broken
+// lexicographically for determinism).
+func (l *Library) TopK(k int) []string {
+	keys := append([]string(nil), l.order...)
+	sort.Slice(keys, func(i, j int) bool {
+		if l.counts[keys[i]] != l.counts[keys[j]] {
+			return l.counts[keys[i]] > l.counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	return keys[:k]
+}

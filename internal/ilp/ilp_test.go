@@ -1,0 +1,377 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("sense strings wrong")
+	}
+	if Sense(9).String() == "" {
+		t.Error("unknown sense should still print")
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := NewModel()
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.Feasible && m.allConstraintsHoldEmpty() {
+		t.Errorf("empty model: %+v", sol)
+	}
+}
+
+func TestUnconstrainedTakesPositives(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar("a", 5)
+	b := m.AddVar("b", -2)
+	c := m.AddVar("c", 3)
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.Feasible {
+		t.Fatalf("solve: %+v", sol)
+	}
+	if !sol.X[a] || sol.X[b] || !sol.X[c] {
+		t.Errorf("X = %v", sol.X)
+	}
+	if sol.Objective != 8 {
+		t.Errorf("objective = %g", sol.Objective)
+	}
+	if m.VarName(a) != "a" || m.NumVars() != 3 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestKnapsackExact(t *testing.T) {
+	// Classic: values 60,100,120; weights 10,20,30; capacity 50 -> 220.
+	m := NewModel()
+	v1 := m.AddVar("x1", 60)
+	v2 := m.AddVar("x2", 100)
+	v3 := m.AddVar("x3", 120)
+	if err := m.AddConstraint(Constraint{
+		Name:  "cap",
+		Terms: []Term{{v1, 10}, {v2, 20}, {v3, 30}},
+		Sense: LE,
+		RHS:   50,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || sol.Objective != 220 {
+		t.Errorf("knapsack: %+v", sol)
+	}
+	if sol.X[v1] || !sol.X[v2] || !sol.X[v3] {
+		t.Errorf("knapsack X = %v", sol.X)
+	}
+}
+
+func TestCardinalityBounds(t *testing.T) {
+	// Pick exactly 2 of 4 maximizing utility.
+	m := NewModel()
+	utils := []float64{3, 9, 1, 7}
+	vars := make([]int, 4)
+	terms := make([]Term, 4)
+	for i, u := range utils {
+		vars[i] = m.AddVar("", u)
+		terms[i] = Term{vars[i], 1}
+	}
+	if err := m.AddConstraint(Constraint{Terms: terms, Sense: EQ, RHS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || sol.Objective != 16 {
+		t.Errorf("cardinality: %+v", sol)
+	}
+	count := 0
+	for _, on := range sol.X {
+		if on {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("selected %d, want 2", count)
+	}
+}
+
+func TestGEConstraintForcesSelection(t *testing.T) {
+	// All negative objective but GE forces at least one on: pick the
+	// cheapest.
+	m := NewModel()
+	a := m.AddVar("a", -5)
+	b := m.AddVar("b", -1)
+	if err := m.AddConstraint(Constraint{
+		Terms: []Term{{a, 1}, {b, 1}}, Sense: GE, RHS: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.Feasible {
+		t.Fatalf("solve: %+v", sol)
+	}
+	if sol.X[a] || !sol.X[b] || sol.Objective != -1 {
+		t.Errorf("GE: %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar("a", 1)
+	if err := m.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Sense: GE, RHS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if sol.Feasible {
+		t.Errorf("infeasible model reported feasible: %+v", sol)
+	}
+}
+
+func TestImplicationConstraint(t *testing.T) {
+	// The scheduler's pattern: section var sr >= claim var cs, i.e.
+	// cs - sr <= 0. Selecting the claim must force the section cost.
+	m := NewModel()
+	cs := m.AddVar("claim", 10)
+	sr := m.AddVar("section", -4) // section read costs 4 (modelled in objective)
+	if err := m.AddConstraint(Constraint{
+		Name:  "link",
+		Terms: []Term{{cs, 1}, {sr, -1}},
+		Sense: LE,
+		RHS:   0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.X[cs] || !sol.X[sr] {
+		t.Errorf("implication: %+v", sol)
+	}
+	if sol.Objective != 6 {
+		t.Errorf("objective = %g, want 6", sol.Objective)
+	}
+}
+
+func TestAddConstraintValidates(t *testing.T) {
+	m := NewModel()
+	m.AddVar("a", 1)
+	if err := m.AddConstraint(Constraint{Terms: []Term{{5, 1}}}); err == nil {
+		t.Error("bad variable index accepted")
+	}
+	if err := m.AddConstraint(Constraint{Terms: []Term{{-1, 1}}}); err == nil {
+		t.Error("negative variable index accepted")
+	}
+}
+
+// bruteForce solves tiny instances exactly for cross-checks.
+func bruteForce(m *Model) (float64, bool) {
+	n := m.NumVars()
+	best := math.Inf(-1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		x := make([]bool, n)
+		for j := 0; j < n; j++ {
+			x[j] = mask&(1<<j) != 0
+		}
+		if m.feasibleComplete(x) {
+			found = true
+			if obj := m.objectiveOf(x); obj > best {
+				best = obj
+			}
+		}
+	}
+	return best, found
+}
+
+// TestRandomInstancesMatchBruteForce cross-checks the solver against
+// exhaustive enumeration on random small models with mixed senses.
+func TestRandomInstancesMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 3 + rng.Intn(8)
+		for j := 0; j < n; j++ {
+			m.AddVar("", float64(rng.Intn(21)-8))
+		}
+		nCons := 1 + rng.Intn(4)
+		for i := 0; i < nCons; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					terms = append(terms, Term{j, float64(rng.Intn(9) - 2)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			sense := Sense(rng.Intn(3))
+			rhs := float64(rng.Intn(12) - 2)
+			if err := m.AddConstraint(Constraint{Terms: terms, Sense: sense, RHS: rhs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, feasible := bruteForce(m)
+		sol := m.Solve(Options{MaxNodes: 1 << 22, TimeLimit: 30 * time.Second})
+		if sol.Feasible != feasible {
+			t.Fatalf("seed %d: feasible=%v want %v", seed, sol.Feasible, feasible)
+		}
+		if feasible && math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("seed %d: objective=%g want %g", seed, sol.Objective, want)
+		}
+		if feasible && !sol.Optimal {
+			t.Fatalf("seed %d: expected proof of optimality", seed)
+		}
+	}
+}
+
+func TestAnytimeBudget(t *testing.T) {
+	// A large knapsack with a tiny node budget must still return a
+	// feasible incumbent, flagged non-optimal... or optimal if greedy
+	// already matched. Just require feasibility.
+	rng := rand.New(rand.NewSource(42))
+	m := NewModel()
+	var terms []Term
+	for j := 0; j < 60; j++ {
+		m.AddVar("", 1+rng.Float64()*9)
+		terms = append(terms, Term{j, 1 + rng.Float64()*4})
+	}
+	if err := m.AddConstraint(Constraint{Terms: terms, Sense: LE, RHS: 30}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{MaxNodes: 50, TimeLimit: time.Second})
+	if !sol.Feasible {
+		t.Fatalf("anytime solve found nothing: %+v", sol)
+	}
+	if sol.Nodes > 51 {
+		t.Errorf("node budget exceeded: %d", sol.Nodes)
+	}
+}
+
+func TestSolutionObjectiveMatchesAssignment(t *testing.T) {
+	// Whatever the solver returns, the reported objective must equal the
+	// recomputed objective of X and X must be feasible.
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 4 + rng.Intn(10)
+		var terms []Term
+		for j := 0; j < n; j++ {
+			m.AddVar("", rng.Float64()*10-2)
+			terms = append(terms, Term{j, 1})
+		}
+		if err := m.AddConstraint(Constraint{Terms: terms, Sense: LE, RHS: float64(n / 2)}); err != nil {
+			t.Fatal(err)
+		}
+		sol := m.Solve(Options{})
+		if !sol.Feasible {
+			t.Fatalf("seed %d infeasible", seed)
+		}
+		if !m.feasibleComplete(sol.X) {
+			t.Fatalf("seed %d returned infeasible X", seed)
+		}
+		if math.Abs(m.objectiveOf(sol.X)-sol.Objective) > 1e-9 {
+			t.Fatalf("seed %d objective mismatch", seed)
+		}
+	}
+}
+
+func TestEqualityConstraintExact(t *testing.T) {
+	// x1 + 2*x2 + 3*x3 = 5 has solutions {x2,x3} and {x1,x2,... no:
+	// 1+2+3=6, 2+3=5 ✓, 1+... 1+2=3, 1+3=4. Unique: {x2,x3}.
+	m := NewModel()
+	v1 := m.AddVar("x1", 1)
+	v2 := m.AddVar("x2", 1)
+	v3 := m.AddVar("x3", 1)
+	if err := m.AddConstraint(Constraint{
+		Terms: []Term{{v1, 1}, {v2, 2}, {v3, 3}}, Sense: EQ, RHS: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.Feasible {
+		t.Fatalf("solve: %+v", sol)
+	}
+	if sol.X[v1] || !sol.X[v2] || !sol.X[v3] {
+		t.Errorf("X = %v, want [false true true]", sol.X)
+	}
+}
+
+func TestNegativeCoefficientsInLEConstraint(t *testing.T) {
+	// x1 - x2 <= 0 with positive objectives forces x2 on whenever x1 is.
+	m := NewModel()
+	v1 := m.AddVar("x1", 10)
+	v2 := m.AddVar("x2", 1)
+	if err := m.AddConstraint(Constraint{
+		Terms: []Term{{v1, 1}, {v2, -1}}, Sense: LE, RHS: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || !sol.X[v1] || !sol.X[v2] || sol.Objective != 11 {
+		t.Errorf("solve: %+v", sol)
+	}
+}
+
+func TestZeroObjectiveFeasibilityProblem(t *testing.T) {
+	// All-zero objective: the solver just needs any feasible point of
+	// x1 + x2 >= 1.
+	m := NewModel()
+	v1 := m.AddVar("x1", 0)
+	v2 := m.AddVar("x2", 0)
+	if err := m.AddConstraint(Constraint{
+		Terms: []Term{{v1, 1}, {v2, 1}}, Sense: GE, RHS: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Feasible || (!sol.X[v1] && !sol.X[v2]) {
+		t.Errorf("solve: %+v", sol)
+	}
+}
+
+func TestConflictingEqualities(t *testing.T) {
+	m := NewModel()
+	v := m.AddVar("x", 1)
+	if err := m.AddConstraint(Constraint{Terms: []Term{{v, 1}}, Sense: EQ, RHS: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddConstraint(Constraint{Terms: []Term{{v, 1}}, Sense: EQ, RHS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if sol.Feasible {
+		t.Errorf("conflicting equalities reported feasible: %+v", sol)
+	}
+}
+
+func TestFractionalRHS(t *testing.T) {
+	// Budget 2.5 with unit weights admits at most two variables.
+	m := NewModel()
+	var terms []Term
+	for j := 0; j < 4; j++ {
+		m.AddVar("", float64(j+1))
+		terms = append(terms, Term{j, 1})
+	}
+	if err := m.AddConstraint(Constraint{Terms: terms, Sense: LE, RHS: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	sol := m.Solve(Options{})
+	if !sol.Optimal || sol.Objective != 7 { // picks values 3 and 4
+		t.Errorf("solve: %+v", sol)
+	}
+}
+
+func BenchmarkSolveKnapsack30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel()
+	var terms []Term
+	for j := 0; j < 30; j++ {
+		m.AddVar("", 1+rng.Float64()*9)
+		terms = append(terms, Term{j, 1 + rng.Float64()*4})
+	}
+	if err := m.AddConstraint(Constraint{Terms: terms, Sense: LE, RHS: 25}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Solve(Options{})
+	}
+}

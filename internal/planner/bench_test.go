@@ -1,0 +1,37 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchProps(nProps, nOpts int) []Property {
+	props := make([]Property, nProps)
+	for i := range props {
+		opts := make([]Option, nOpts)
+		for j := range opts {
+			opts[j] = Option{Value: fmt.Sprintf("v%d", j), Prob: 1 / float64(nOpts)}
+		}
+		props[i] = Property{Name: fmt.Sprintf("p%d", i), Options: opts, Required: i < 3}
+	}
+	return props
+}
+
+func BenchmarkGreedySelect(b *testing.B) {
+	cs := NewCandidateSpace(benchProps(4, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.GreedySelect(4)
+	}
+}
+
+func BenchmarkBuildPlan(b *testing.B) {
+	cs := NewCandidateSpace(benchProps(4, 10))
+	cm := DefaultCostModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPlan(cs, cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

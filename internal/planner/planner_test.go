@@ -1,0 +1,411 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CostModel{
+		{},
+		{VerifyProperty: -1, VerifyFull: 1, SuggestProperty: 1, SuggestFull: 2},
+		{VerifyProperty: 5, VerifyFull: 2, SuggestProperty: 1, SuggestFull: 10}, // vp >= vf
+		{VerifyProperty: 1, VerifyFull: 2, SuggestProperty: 10, SuggestFull: 5}, // sp >= sf
+	}
+	for i, cm := range bad {
+		if err := cm.Validate(); err == nil {
+			t.Errorf("case %d: bad model accepted: %+v", i, cm)
+		}
+	}
+}
+
+func TestCorollary1Budgets(t *testing.T) {
+	cm := DefaultCostModel()
+	// nop = sf/vf = 180/15 = 12; nsc = sf/(vp+sp) = 180/12 = 15.
+	if got := cm.NumOptions(); got != 12 {
+		t.Errorf("NumOptions = %d, want 12", got)
+	}
+	if got := cm.NumScreens(); got != 15 {
+		t.Errorf("NumScreens = %d, want 15", got)
+	}
+	// Theorem 1 with Corollary 1 settings limits overhead to factor <= 3
+	// (two terms of sf each at most sf, plus baseline).
+	if b := cm.OverheadBound(cm.NumOptions(), cm.NumScreens()); b > 2.0+1e-9 {
+		t.Errorf("Corollary 1 overhead bound = %g, want <= 2 (so total <= 3x)", b)
+	}
+	// Minimum clamps.
+	tiny := CostModel{VerifyProperty: 1, VerifyFull: 100, SuggestProperty: 2, SuggestFull: 50}
+	if tiny.NumOptions() != 1 {
+		t.Errorf("NumOptions should clamp to 1")
+	}
+}
+
+func TestSortOptions(t *testing.T) {
+	opts := []Option{{"b", 0.2}, {"a", 0.5}, {"c", 0.2}, {"d", 0.1}}
+	sorted := SortOptions(opts)
+	if sorted[0].Value != "a" {
+		t.Errorf("first = %v", sorted[0])
+	}
+	// Equal probabilities tie-break by value.
+	if sorted[1].Value != "b" || sorted[2].Value != "c" {
+		t.Errorf("tie break: %v", sorted)
+	}
+	// Input not mutated.
+	if opts[0].Value != "b" {
+		t.Error("input mutated")
+	}
+}
+
+func TestExpectedVerificationCostTheorem2(t *testing.T) {
+	// Options with probs 0.6, 0.3, 0.1 and vp=2:
+	// cost = 2*[(1-0) + (1-0.6) + (1-0.9)] = 2*1.5 = 3.
+	opts := []Option{{"x", 0.6}, {"y", 0.3}, {"z", 0.1}}
+	got := ExpectedVerificationCost(opts, 2)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("cost = %g, want 3", got)
+	}
+	if got := ExpectedVerificationCost(nil, 2); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+}
+
+func TestCorollary2SortedOrderIsCheapest(t *testing.T) {
+	// Expected cost of the probability-sorted order must be minimal
+	// among random permutations.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		opts := make([]Option, n)
+		rem := 1.0
+		for i := range opts {
+			p := rem * rng.Float64()
+			opts[i] = Option{Value: string(rune('a' + i)), Prob: p}
+			rem -= p
+		}
+		best := ExpectedVerificationCost(SortOptions(opts), 1)
+		for perm := 0; perm < 20; perm++ {
+			shuffled := append([]Option(nil), opts...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if c := ExpectedVerificationCost(shuffled, 1); c < best-1e-9 {
+				t.Fatalf("found cheaper order: %g < %g", c, best)
+			}
+		}
+	}
+}
+
+func props3() []Property {
+	return []Property{
+		{Name: "relation", Options: []Option{{"GED", 0.7}, {"WEB", 0.3}}},
+		{Name: "key", Options: []Option{{"k1", 0.5}, {"k2", 0.3}, {"k3", 0.2}}},
+		{Name: "formula", Options: []Option{{"f1", 0.9}, {"f2", 0.1}}},
+	}
+}
+
+func TestCandidateSpaceSize(t *testing.T) {
+	cs := NewCandidateSpace(props3())
+	if cs.Size() != 12 {
+		t.Errorf("Size = %d, want 12", cs.Size())
+	}
+	empty := NewCandidateSpace(nil)
+	if empty.Size() != 1 {
+		t.Errorf("empty Size = %d, want 1", empty.Size())
+	}
+	if len(cs.Properties()) != 3 {
+		t.Error("Properties accessor wrong")
+	}
+}
+
+func TestPruningPowerSingleProperty(t *testing.T) {
+	cs := NewCandidateSpace(props3())
+	// Selecting the key property (3 options): survivors = 2*1*2 = 4,
+	// pruning power = 12 - 4 = 8.
+	got := cs.PruningPower([]int{1})
+	if math.Abs(got-8) > 1e-9 {
+		t.Errorf("PruningPower([key]) = %g, want 8", got)
+	}
+	// Empty selection prunes nothing.
+	if got := cs.PruningPower(nil); got != 0 {
+		t.Errorf("PruningPower(nil) = %g", got)
+	}
+	// All selected: survivors = 1, power = 11.
+	if got := cs.PruningPower([]int{0, 1, 2}); math.Abs(got-11) > 1e-9 {
+		t.Errorf("PruningPower(all) = %g, want 11", got)
+	}
+}
+
+func TestPruningPowerMonotoneAndSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nProps := 2 + rng.Intn(3)
+		props := make([]Property, nProps)
+		for i := range props {
+			nOpt := 1 + rng.Intn(5)
+			opts := make([]Option, nOpt)
+			for j := range opts {
+				opts[j] = Option{Value: string(rune('a' + j)), Prob: rng.Float64()}
+			}
+			props[i] = Property{Name: string(rune('A' + i)), Options: opts}
+		}
+		cs := NewCandidateSpace(props)
+		// Monotone: adding a property never decreases power.
+		var sel []int
+		prev := 0.0
+		for i := 0; i < nProps; i++ {
+			sel = append(sel, i)
+			cur := cs.PruningPower(sel)
+			if cur < prev-1e-9 {
+				t.Fatalf("not monotone: %g after %g", cur, prev)
+			}
+			prev = cur
+		}
+		// Submodular: gain of adding prop i to S1 ⊆ S2 is >= gain on S2.
+		if nProps >= 3 {
+			s1 := []int{0}
+			s2 := []int{0, 1}
+			gain1 := cs.PruningPower(append(append([]int{}, s1...), 2)) - cs.PruningPower(s1)
+			gain2 := cs.PruningPower(append(append([]int{}, s2...), 2)) - cs.PruningPower(s2)
+			if gain1 < gain2-1e-9 {
+				t.Fatalf("not submodular: gain1=%g < gain2=%g", gain1, gain2)
+			}
+		}
+	}
+}
+
+func TestGreedySelectPrefersBiggerFanout(t *testing.T) {
+	cs := NewCandidateSpace(props3())
+	sel := cs.GreedySelect(1)
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Errorf("GreedySelect(1) = %v, want [1] (key has 3 options)", sel)
+	}
+	sel = cs.GreedySelect(10)
+	if len(sel) != 3 {
+		t.Errorf("GreedySelect(10) = %v, want all 3", sel)
+	}
+	// Single-option properties are never selected.
+	cs2 := NewCandidateSpace([]Property{
+		{Name: "fixed", Options: []Option{{"only", 1}}},
+		{Name: "open", Options: []Option{{"a", 0.5}, {"b", 0.5}}},
+	})
+	sel = cs2.GreedySelect(5)
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Errorf("GreedySelect skipped-degenerate = %v", sel)
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	// Greedy must achieve >= (1 - 1/e) of the best exhaustive selection
+	// of the same cardinality (Theorem 5).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		nProps := 4
+		props := make([]Property, nProps)
+		for i := range props {
+			nOpt := 2 + rng.Intn(4)
+			opts := make([]Option, nOpt)
+			for j := range opts {
+				opts[j] = Option{Value: string(rune('a' + j)), Prob: rng.Float64()}
+			}
+			props[i] = Property{Name: string(rune('A' + i)), Options: opts}
+		}
+		cs := NewCandidateSpace(props)
+		k := 2
+		greedy := cs.PruningPower(cs.GreedySelect(k))
+		best := 0.0
+		for i := 0; i < nProps; i++ {
+			for j := i + 1; j < nProps; j++ {
+				if p := cs.PruningPower([]int{i, j}); p > best {
+					best = p
+				}
+			}
+		}
+		if greedy < (1-1/math.E)*best-1e-9 {
+			t.Fatalf("greedy %g below (1-1/e) of optimal %g", greedy, best)
+		}
+	}
+}
+
+func TestBuildPlan(t *testing.T) {
+	cm := DefaultCostModel()
+	cs := NewCandidateSpace(props3())
+	plan, err := BuildPlan(cs, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Screens) != 3 {
+		t.Errorf("screens = %d, want 3", len(plan.Screens))
+	}
+	if plan.CandidateCount != 12 {
+		t.Errorf("candidates = %d", plan.CandidateCount)
+	}
+	if plan.PruningPower <= 0 {
+		t.Error("pruning power should be positive")
+	}
+	if plan.ExpectedCost <= 0 {
+		t.Error("expected cost should be positive")
+	}
+	// Assisted verification must beat the manual baseline in expectation
+	// for this well-classified claim.
+	if plan.ExpectedCost >= cm.ManualCost() {
+		t.Errorf("plan cost %g should beat manual %g", plan.ExpectedCost, cm.ManualCost())
+	}
+	// Screens show options sorted by probability.
+	for _, s := range plan.Screens {
+		for i := 1; i < len(s.Options); i++ {
+			if s.Options[i-1].Prob < s.Options[i].Prob {
+				t.Errorf("screen %s options unsorted", s.Property)
+			}
+		}
+	}
+	// Invalid cost model is rejected.
+	if _, err := BuildPlan(cs, CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+func TestBuildPlanTruncatesToOptionBudget(t *testing.T) {
+	cm := CostModel{VerifyProperty: 1, VerifyFull: 30, SuggestProperty: 5, SuggestFull: 60}
+	// nop = 2, nsc = 10.
+	var opts []Option
+	for i := 0; i < 10; i++ {
+		opts = append(opts, Option{Value: string(rune('a' + i)), Prob: 0.1})
+	}
+	cs := NewCandidateSpace([]Property{{Name: "key", Options: opts}})
+	plan, err := BuildPlan(cs, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Screens) != 1 {
+		t.Fatalf("screens = %d", len(plan.Screens))
+	}
+	if len(plan.Screens[0].Options) != 2 {
+		t.Errorf("options shown = %d, want nop=2", len(plan.Screens[0].Options))
+	}
+	if plan.FinalOptions > 2 {
+		t.Errorf("final options = %d exceeds nop", plan.FinalOptions)
+	}
+}
+
+func TestBuildPlanConfidentClassifierCheap(t *testing.T) {
+	cm := DefaultCostModel()
+	confident := NewCandidateSpace([]Property{
+		{Name: "relation", Options: []Option{{"GED", 0.99}, {"WEB", 0.01}}},
+		{Name: "key", Options: []Option{{"k1", 0.99}, {"k2", 0.01}}},
+	})
+	uncertain := NewCandidateSpace([]Property{
+		{Name: "relation", Options: []Option{{"GED", 0.5}, {"WEB", 0.5}}},
+		{Name: "key", Options: []Option{{"k1", 0.5}, {"k2", 0.5}}},
+	})
+	p1, err := BuildPlan(confident, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPlan(uncertain, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ExpectedCost >= p2.ExpectedCost {
+		t.Errorf("confident plan %g should be cheaper than uncertain %g",
+			p1.ExpectedCost, p2.ExpectedCost)
+	}
+}
+
+func TestBuildPlanForcesRequiredProperties(t *testing.T) {
+	cm := DefaultCostModel()
+	// A required property with no options (cold start) must still earn a
+	// screen whose expected cost is the suggestion cost sp.
+	cs := NewCandidateSpace([]Property{
+		{Name: "relation", Required: true},
+		{Name: "formula", Options: []Option{{"f1", 0.6}, {"f2", 0.4}}},
+	})
+	plan, err := BuildPlan(cs, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relScreen *Screen
+	for i := range plan.Screens {
+		if plan.Screens[i].Property == "relation" {
+			relScreen = &plan.Screens[i]
+		}
+	}
+	if relScreen == nil {
+		t.Fatal("required property got no screen")
+	}
+	if relScreen.ExpectedCost != cm.SuggestProperty {
+		t.Errorf("empty required screen cost = %g, want sp=%g",
+			relScreen.ExpectedCost, cm.SuggestProperty)
+	}
+}
+
+func TestBuildPlanColdStartCostsAboutManual(t *testing.T) {
+	cm := DefaultCostModel()
+	// Cold start: three required context properties with no options, a
+	// formula property with no predictions. The plan's expected cost must
+	// be within the Theorem 1 bound of the manual baseline and at least
+	// the manual cost (the checker ends up writing the query).
+	cs := NewCandidateSpace([]Property{
+		{Name: "relation", Required: true},
+		{Name: "key", Required: true},
+		{Name: "attribute", Required: true},
+		{Name: "formula"},
+	})
+	plan, err := BuildPlan(cs, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ExpectedCost < cm.ManualCost() {
+		t.Errorf("cold-start plan %g cheaper than manual %g", plan.ExpectedCost, cm.ManualCost())
+	}
+	bound := (1 + cm.OverheadBound(cm.NumOptions(), cm.NumScreens())) * cm.ManualCost()
+	if plan.ExpectedCost > bound {
+		t.Errorf("cold-start plan %g exceeds Theorem 1 bound %g", plan.ExpectedCost, bound)
+	}
+}
+
+func TestBuildPlanCoveragePenalisesUnscreenedFormula(t *testing.T) {
+	cm := CostModel{VerifyProperty: 1, VerifyFull: 30, SuggestProperty: 5, SuggestFull: 60}
+	// nsc = 10, so the formula property WILL be selected when it has
+	// pruning power; make it single-option so it cannot be screened, and
+	// vary its confidence: lower confidence must raise expected cost.
+	mk := func(p float64) float64 {
+		cs := NewCandidateSpace([]Property{
+			{Name: "key", Required: true, Options: []Option{{"k1", 0.9}, {"k2", 0.1}}},
+			{Name: "formula", Options: []Option{{"f1", p}}},
+		})
+		plan, err := BuildPlan(cs, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.ExpectedCost
+	}
+	confident := mk(0.95)
+	uncertain := mk(0.20)
+	if confident >= uncertain {
+		t.Errorf("confident formula plan %g should beat uncertain %g", confident, uncertain)
+	}
+}
+
+func TestShownMass(t *testing.T) {
+	opts := []Option{{"a", 0.5}, {"b", 0.3}, {"c", 0.4}}
+	if got := shownMass(opts, 2); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("shownMass top2 = %g, want 0.9 (0.5+0.4)", got)
+	}
+	if got := shownMass(opts, 10); got != 1 {
+		t.Errorf("shownMass clamps at 1, got %g", got)
+	}
+	if got := shownMass(nil, 3); got != 0 {
+		t.Errorf("empty shownMass = %g", got)
+	}
+}
+
+func TestNormalisedHandlesZeroMass(t *testing.T) {
+	probs := normalised([]Option{{"a", 0}, {"b", 0}})
+	if math.Abs(probs[0]-0.5) > 1e-9 || math.Abs(probs[1]-0.5) > 1e-9 {
+		t.Errorf("zero-mass fallback = %v", probs)
+	}
+}

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/expr"
+)
+
+// DisjunctiveQuery is the full Definition 3 form: each alias may be
+// constrained by a disjunction of key-equality predicates,
+//
+//	WHERE a.key = 'v1' AND (b.key = 'v2' OR b.key = 'v3')
+//
+// Execution semantics follow the query generator's use of the fragment: the
+// disjunction denotes a set of alternative bindings, and the check succeeds
+// through whichever alternative the checker (or the tentative-execution
+// filter) settles on. Expand enumerates the concrete conjunctive queries.
+type DisjunctiveQuery struct {
+	// Select is the shared SELECT expression.
+	Select expr.Node
+	// Alternatives lists, per alias in order, the relation and the
+	// admissible key values.
+	Alternatives []AliasAlternatives
+	// AttrBindings resolves attribute variables, as in Query.
+	AttrBindings map[string]string
+}
+
+// AliasAlternatives is one alias's FROM/WHERE contribution.
+type AliasAlternatives struct {
+	Alias    string
+	Relation string
+	Keys     []string
+}
+
+// Validate checks structural consistency.
+func (d *DisjunctiveQuery) Validate() error {
+	if d.Select == nil {
+		return fmt.Errorf("query: nil SELECT expression")
+	}
+	seen := map[string]bool{}
+	for _, a := range d.Alternatives {
+		if a.Alias == "" || a.Relation == "" || len(a.Keys) == 0 {
+			return fmt.Errorf("query: incomplete alternatives %+v", a)
+		}
+		if seen[a.Alias] {
+			return fmt.Errorf("query: alias %q bound twice", a.Alias)
+		}
+		seen[a.Alias] = true
+		keySeen := map[string]bool{}
+		for _, k := range a.Keys {
+			if k == "" {
+				return fmt.Errorf("query: empty key for alias %q", a.Alias)
+			}
+			if keySeen[k] {
+				return fmt.Errorf("query: duplicate key %q for alias %q", k, a.Alias)
+			}
+			keySeen[k] = true
+		}
+	}
+	for _, alias := range expr.Aliases(d.Select) {
+		if !seen[alias] {
+			return fmt.Errorf("query: alias %q used in SELECT but not bound", alias)
+		}
+	}
+	return nil
+}
+
+// SQL renders the disjunctive form of Definition 3.
+func (d *DisjunctiveQuery) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if d.Select != nil {
+		q := Query{Select: d.Select, AttrBindings: d.AttrBindings}
+		sb.WriteString(q.concreteSelect().String())
+	}
+	if len(d.Alternatives) > 0 {
+		sb.WriteString(" FROM ")
+		for i, a := range d.Alternatives {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(a.Relation))
+			sb.WriteByte(' ')
+			sb.WriteString(a.Alias)
+		}
+		sb.WriteString(" WHERE ")
+		for i, a := range d.Alternatives {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			if len(a.Keys) == 1 {
+				fmt.Fprintf(&sb, "%s.Index = '%s'", a.Alias, escapeSQLString(a.Keys[0]))
+				continue
+			}
+			sb.WriteByte('(')
+			for j, k := range a.Keys {
+				if j > 0 {
+					sb.WriteString(" OR ")
+				}
+				fmt.Fprintf(&sb, "%s.Index = '%s'", a.Alias, escapeSQLString(k))
+			}
+			sb.WriteByte(')')
+		}
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (d *DisjunctiveQuery) String() string { return d.SQL() }
+
+// NumExpansions returns the number of conjunctive queries Expand yields.
+func (d *DisjunctiveQuery) NumExpansions() int {
+	n := 1
+	for _, a := range d.Alternatives {
+		n *= len(a.Keys)
+	}
+	return n
+}
+
+// Expand enumerates the concrete conjunctive queries, in odometer order
+// over the alternatives. The shared Select node and AttrBindings map are
+// referenced, not copied (both are treated as immutable).
+func (d *DisjunctiveQuery) Expand() ([]*Query, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(d.Alternatives))
+	var out []*Query
+	for {
+		q := &Query{Select: d.Select, AttrBindings: d.AttrBindings}
+		for ai, a := range d.Alternatives {
+			q.Bindings = append(q.Bindings, Binding{
+				Alias:    a.Alias,
+				Relation: a.Relation,
+				Key:      a.Keys[idx[ai]],
+			})
+		}
+		out = append(out, q)
+		carry := len(idx) - 1
+		for carry >= 0 {
+			idx[carry]++
+			if idx[carry] < len(d.Alternatives[carry].Keys) {
+				break
+			}
+			idx[carry] = 0
+			carry--
+		}
+		if carry < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ParseDisjunctive parses the Definition 3 fragment including OR groups,
+// e.g.
+//
+//	SELECT a.2017 + b.2017 FROM GED a, GED b
+//	WHERE a.Index = 'x' AND (b.Index = 'y' OR b.Index = 'z')
+func ParseDisjunctive(sql string) (*DisjunctiveQuery, error) {
+	selIdx, fromIdx, whereIdx, err := clauseOffsets(sql)
+	if err != nil {
+		return nil, err
+	}
+	selectPart := strings.TrimSpace(sql[selIdx+len("select") : fromIdx])
+	fromEnd := len(sql)
+	if whereIdx >= 0 {
+		fromEnd = whereIdx
+	}
+	fromPart := strings.TrimSpace(sql[fromIdx+len("from") : fromEnd])
+	wherePart := ""
+	if whereIdx >= 0 {
+		wherePart = strings.TrimSuffix(strings.TrimSpace(sql[whereIdx+len("where"):]), ";")
+	}
+	if selectPart == "" {
+		return nil, fmt.Errorf("query: empty SELECT clause in %q", sql)
+	}
+	if fromPart == "" {
+		return nil, fmt.Errorf("query: empty FROM clause in %q", sql)
+	}
+	sel, err := expr.Parse(selectPart)
+	if err != nil {
+		return nil, fmt.Errorf("query: SELECT clause: %w", err)
+	}
+	d := &DisjunctiveQuery{Select: sel}
+
+	aliasIdx := map[string]int{}
+	for _, item := range splitTopLevel(fromPart, ',') {
+		fields := strings.Fields(strings.TrimSpace(item))
+		var rel, alias string
+		switch len(fields) {
+		case 2:
+			rel, alias = fields[0], fields[1]
+		case 3:
+			if !strings.EqualFold(fields[1], "as") {
+				return nil, fmt.Errorf("query: bad FROM item %q", item)
+			}
+			rel, alias = fields[0], fields[2]
+		default:
+			return nil, fmt.Errorf("query: bad FROM item %q", item)
+		}
+		if _, dup := aliasIdx[alias]; dup {
+			return nil, fmt.Errorf("query: duplicate alias %q", alias)
+		}
+		aliasIdx[alias] = len(d.Alternatives)
+		d.Alternatives = append(d.Alternatives, AliasAlternatives{
+			Alias:    alias,
+			Relation: strings.Trim(rel, `"`),
+		})
+	}
+
+	if wherePart != "" {
+		for _, group := range splitInsensitive(wherePart, " and ") {
+			group = strings.TrimSpace(group)
+			// Strip one optional level of parentheses around OR groups.
+			if strings.HasPrefix(group, "(") && strings.HasSuffix(group, ")") {
+				group = strings.TrimSpace(group[1 : len(group)-1])
+			}
+			var groupAlias string
+			for _, pred := range splitInsensitive(group, " or ") {
+				alias, key, err := parseKeyPredicate(strings.TrimSpace(pred))
+				if err != nil {
+					return nil, err
+				}
+				if groupAlias == "" {
+					groupAlias = alias
+				} else if alias != groupAlias {
+					return nil, fmt.Errorf("query: OR group mixes aliases %q and %q", groupAlias, alias)
+				}
+				i, ok := aliasIdx[alias]
+				if !ok {
+					return nil, fmt.Errorf("query: predicate references unknown alias %q", alias)
+				}
+				d.Alternatives[i].Keys = append(d.Alternatives[i].Keys, key)
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

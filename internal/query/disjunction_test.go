@@ -1,0 +1,187 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/expr"
+)
+
+func sampleDisjunctive() *DisjunctiveQuery {
+	return &DisjunctiveQuery{
+		Select: expr.MustParse("a.2017 + b.2017"),
+		Alternatives: []AliasAlternatives{
+			{Alias: "a", Relation: "GED", Keys: []string{"PGElecDemand"}},
+			{Alias: "b", Relation: "GED", Keys: []string{"PGINCoal", "CapAddTotal_Wind"}},
+		},
+	}
+}
+
+func TestDisjunctiveSQLRendering(t *testing.T) {
+	sql := sampleDisjunctive().SQL()
+	for _, want := range []string{
+		"SELECT (a.2017 + b.2017)",
+		"FROM GED a, GED b",
+		"a.Index = 'PGElecDemand'",
+		"(b.Index = 'PGINCoal' OR b.Index = 'CapAddTotal_Wind')",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL %q missing %q", sql, want)
+		}
+	}
+	// Single-key aliases render without parentheses.
+	if strings.Contains(sql, "(a.Index") {
+		t.Errorf("single predicate should not be parenthesised: %q", sql)
+	}
+	d := sampleDisjunctive()
+	if d.String() != d.SQL() {
+		t.Error("String != SQL")
+	}
+}
+
+func TestDisjunctiveValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		d    DisjunctiveQuery
+	}{
+		{"nil select", DisjunctiveQuery{}},
+		{"incomplete alternatives", DisjunctiveQuery{
+			Select:       expr.MustParse("a.2017"),
+			Alternatives: []AliasAlternatives{{Alias: "a"}},
+		}},
+		{"duplicate alias", DisjunctiveQuery{
+			Select: expr.MustParse("a.2017"),
+			Alternatives: []AliasAlternatives{
+				{Alias: "a", Relation: "R", Keys: []string{"k"}},
+				{Alias: "a", Relation: "R", Keys: []string{"k"}},
+			},
+		}},
+		{"duplicate key", DisjunctiveQuery{
+			Select: expr.MustParse("a.2017"),
+			Alternatives: []AliasAlternatives{
+				{Alias: "a", Relation: "R", Keys: []string{"k", "k"}},
+			},
+		}},
+		{"empty key", DisjunctiveQuery{
+			Select: expr.MustParse("a.2017"),
+			Alternatives: []AliasAlternatives{
+				{Alias: "a", Relation: "R", Keys: []string{""}},
+			},
+		}},
+		{"unbound alias", DisjunctiveQuery{
+			Select: expr.MustParse("a.2017 + b.2017"),
+			Alternatives: []AliasAlternatives{
+				{Alias: "a", Relation: "R", Keys: []string{"k"}},
+			},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if err := sampleDisjunctive().Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestDisjunctiveExpand(t *testing.T) {
+	d := sampleDisjunctive()
+	if d.NumExpansions() != 2 {
+		t.Errorf("NumExpansions = %d", d.NumExpansions())
+	}
+	qs, err := d.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("expanded %d queries", len(qs))
+	}
+	if qs[0].Bindings[1].Key != "PGINCoal" || qs[1].Bindings[1].Key != "CapAddTotal_Wind" {
+		t.Errorf("expansion order: %v / %v", qs[0].Bindings, qs[1].Bindings)
+	}
+	// Each expansion validates and executes.
+	c := corpusWithGED(t)
+	for _, q := range qs {
+		if q.Bindings[1].Key == "PGINCoal" {
+			continue // corpus fixture lacks that row; skip execution
+		}
+		if _, err := q.Execute(c); err != nil {
+			t.Errorf("expansion failed to execute: %v", err)
+		}
+	}
+	// Invalid query does not expand.
+	bad := &DisjunctiveQuery{}
+	if _, err := bad.Expand(); err == nil {
+		t.Error("invalid query expanded")
+	}
+}
+
+func TestParseDisjunctive(t *testing.T) {
+	sql := `SELECT a.2017 + b.2017 FROM GED a, GED b
+	        WHERE a.Index = 'PGElecDemand' AND (b.Index = 'x' OR b.Index = 'y')`
+	d, err := ParseDisjunctive(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Alternatives) != 2 {
+		t.Fatalf("alternatives = %+v", d.Alternatives)
+	}
+	if len(d.Alternatives[1].Keys) != 2 || d.Alternatives[1].Keys[0] != "x" {
+		t.Errorf("OR keys = %v", d.Alternatives[1].Keys)
+	}
+	// Round trip through SQL.
+	d2, err := ParseDisjunctive(d.SQL())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if d2.SQL() != d.SQL() {
+		t.Errorf("round trip changed SQL:\n%s\n%s", d.SQL(), d2.SQL())
+	}
+}
+
+func TestParseDisjunctiveErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a.1 FROM R a WHERE (a.Index = 'x' OR b.Index = 'y')", // mixed aliases
+		"SELECT a.1 FROM R a WHERE (c.Index = 'x' OR c.Index = 'y')", // unknown alias
+		"SELECT a.1 FROM R a", // no WHERE at all
+		"UPDATE x",
+	}
+	for _, sql := range bad {
+		if _, err := ParseDisjunctive(sql); err == nil {
+			t.Errorf("ParseDisjunctive(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestDisjunctiveExpansionValuesCoverAllKeys(t *testing.T) {
+	c := corpusWithGED(t)
+	d := &DisjunctiveQuery{
+		Select: expr.MustParse("a.2017"),
+		Alternatives: []AliasAlternatives{
+			{Alias: "a", Relation: "GED", Keys: []string{"PGElecDemand", "CapAddTotal_Wind"}},
+		},
+	}
+	qs, err := d.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[float64]bool{22209: false, 540: false}
+	for _, q := range qs {
+		v, err := q.Execute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range want {
+			if math.Abs(v-w) < 1e-9 {
+				want[w] = true
+			}
+		}
+	}
+	for w, seen := range want {
+		if !seen {
+			t.Errorf("value %g not produced by any expansion", w)
+		}
+	}
+}

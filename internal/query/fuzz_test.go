@@ -1,0 +1,60 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the statistical-check SQL parser never panics and
+// that successfully parsed queries re-render to SQL that parses again.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a.2017 FROM GED a WHERE a.Index = 'PGElecDemand'",
+		"SELECT POWER(a.2017/b.2016,1/(2017-2016)) - 1 FROM GED a, GED b WHERE a.Index = 'x' AND b.Index = 'x'",
+		"select (a.2017 / b.2000) from GED a, GED as b where a.Index = 'w' and b.Index = 'w';",
+		`SELECT a."2024Q4" FROM "My Table" a WHERE a.Index = 'it''s'`,
+		"SELECT a.2017 > 100 FROM R a WHERE a.Index = 'k'",
+		"", "SELECT", "SELECT FROM", "WHERE", "SELECT 1 FROM",
+		"SELECT a.1 FROM R a WHERE a.Index = 'select from where'",
+		"SELECT a.1 FROM R a WHERE a.Index = ''",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.SQL())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", q.SQL(), sql, err)
+		}
+		if q2.SQL() != q.SQL() {
+			t.Fatalf("SQL rendering not a fixed point: %q vs %q", q.SQL(), q2.SQL())
+		}
+	})
+}
+
+// FuzzParseDisjunctive does the same for the OR-group parser.
+func FuzzParseDisjunctive(f *testing.F) {
+	seeds := []string{
+		"SELECT a.2017 + b.2017 FROM GED a, GED b WHERE a.Index = 'x' AND (b.Index = 'y' OR b.Index = 'z')",
+		"SELECT a.1 FROM R a WHERE (a.Index = 'x' OR a.Index = 'y' OR a.Index = 'z')",
+		"SELECT a.1 FROM R a WHERE a.Index = 'only'",
+		"", "(", "OR", "SELECT a.1 FROM R a WHERE (a.Index = 'x' OR b.Index = 'y')",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		d, err := ParseDisjunctive(sql)
+		if err != nil {
+			return
+		}
+		d2, err := ParseDisjunctive(d.SQL())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", d.SQL(), sql, err)
+		}
+		if d2.SQL() != d.SQL() {
+			t.Fatalf("SQL rendering not a fixed point: %q vs %q", d.SQL(), d2.SQL())
+		}
+	})
+}

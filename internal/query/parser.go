@@ -1,0 +1,263 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/expr"
+)
+
+// Parse parses a statistical-check SQL string of the Definition 3 fragment
+// back into a Query. It accepts the output of Query.SQL as well as
+// hand-written variants such as the paper's examples:
+//
+//	SELECT POWER(a.2017/b.2016, 1/(2017-2016)) - 1
+//	FROM GED a, GED b
+//	WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'
+//
+// Parsing is case-insensitive for keywords. Each alias must have exactly one
+// key predicate (disjunctive WHERE clauses are expanded into separate
+// queries by the generator before they ever reach SQL form).
+//
+// Note one asymmetry with Query.SQL: in hand-written SQL, numeric terms in
+// value position (e.g. the 2017 in 1/(2017-2016)) are plain numbers; SQL()
+// renders resolved attribute variables the same way, so round trips are
+// stable.
+func Parse(sql string) (*Query, error) {
+	selIdx, fromIdx, whereIdx, err := clauseOffsets(sql)
+	if err != nil {
+		return nil, err
+	}
+
+	selectPart := strings.TrimSpace(sql[selIdx+len("select") : fromIdx])
+	fromEnd := len(sql)
+	if whereIdx >= 0 {
+		fromEnd = whereIdx
+	}
+	fromPart := strings.TrimSpace(sql[fromIdx+len("from") : fromEnd])
+	wherePart := ""
+	if whereIdx >= 0 {
+		wherePart = strings.TrimSpace(sql[whereIdx+len("where"):])
+	}
+	wherePart = strings.TrimSuffix(wherePart, ";")
+
+	if selectPart == "" {
+		return nil, fmt.Errorf("query: empty SELECT clause in %q", sql)
+	}
+	if fromPart == "" {
+		return nil, fmt.Errorf("query: empty FROM clause in %q", sql)
+	}
+	sel, err := expr.Parse(selectPart)
+	if err != nil {
+		return nil, fmt.Errorf("query: SELECT clause: %w", err)
+	}
+
+	q := &Query{Select: sel}
+
+	aliasRel := make(map[string]string)
+	if fromPart != "" {
+		for _, item := range splitTopLevel(fromPart, ',') {
+			fields := strings.Fields(strings.TrimSpace(item))
+			var rel, alias string
+			switch len(fields) {
+			case 2:
+				rel, alias = fields[0], fields[1]
+			case 3:
+				if !strings.EqualFold(fields[1], "as") {
+					return nil, fmt.Errorf("query: bad FROM item %q", item)
+				}
+				rel, alias = fields[0], fields[2]
+			default:
+				return nil, fmt.Errorf("query: bad FROM item %q", item)
+			}
+			rel = strings.Trim(rel, `"`)
+			if _, dup := aliasRel[alias]; dup {
+				return nil, fmt.Errorf("query: duplicate alias %q", alias)
+			}
+			aliasRel[alias] = rel
+			q.Bindings = append(q.Bindings, Binding{Alias: alias, Relation: rel})
+		}
+	}
+
+	if wherePart != "" {
+		preds := splitInsensitive(wherePart, " and ")
+		for _, p := range preds {
+			alias, key, err := parseKeyPredicate(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			found := false
+			for i := range q.Bindings {
+				if q.Bindings[i].Alias == alias {
+					if q.Bindings[i].Key != "" {
+						return nil, fmt.Errorf("query: alias %q has two key predicates", alias)
+					}
+					q.Bindings[i].Key = key
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("query: predicate references unknown alias %q", alias)
+			}
+		}
+	}
+
+	for _, b := range q.Bindings {
+		if b.Key == "" {
+			return nil, fmt.Errorf("query: alias %q has no key predicate", b.Alias)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// clauseOffsets finds SELECT ... FROM ... [WHERE ...] keyword offsets,
+// case-insensitively, at word boundaries outside quotes.
+func clauseOffsets(sql string) (selIdx, fromIdx, whereIdx int, err error) {
+	lower := strings.ToLower(sql)
+	selIdx = indexWordOutsideQuotes(lower, "select")
+	if selIdx != strings.IndexFunc(lower, func(r rune) bool { return r != ' ' && r != '\t' && r != '\n' && r != '\r' }) {
+		return 0, 0, 0, fmt.Errorf("query: statement must start with SELECT: %q", sql)
+	}
+	fromIdx = indexWordOutsideQuotes(lower, "from")
+	if fromIdx < 0 {
+		return 0, 0, 0, fmt.Errorf("query: missing FROM clause in %q", sql)
+	}
+	whereIdx = indexWordOutsideQuotes(lower, "where")
+	if whereIdx >= 0 && whereIdx < fromIdx {
+		return 0, 0, 0, fmt.Errorf("query: WHERE before FROM in %q", sql)
+	}
+	return selIdx, fromIdx, whereIdx, nil
+}
+
+// indexWordOutsideQuotes returns the byte offset of the first occurrence of
+// word in s that is delimited by non-identifier characters and not inside a
+// single- or double-quoted string. Returns -1 if absent.
+func indexWordOutsideQuotes(s, word string) int {
+	inSingle, inDouble := false, false
+	for i := 0; i+len(word) <= len(s); i++ {
+		c := s[i]
+		if c == '\'' && !inDouble {
+			inSingle = !inSingle
+			continue
+		}
+		if c == '"' && !inSingle {
+			inDouble = !inDouble
+			continue
+		}
+		if inSingle || inDouble {
+			continue
+		}
+		if s[i:i+len(word)] != word {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(s[i-1])
+		afterOK := i+len(word) == len(s) || !isWordByte(s[i+len(word)])
+		if beforeOK && afterOK {
+			return i
+		}
+	}
+	return -1
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// splitTopLevel splits s on sep occurrences that are outside parentheses and
+// quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case inSingle || inDouble:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == sep && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// splitInsensitive splits s on case-insensitive occurrences of sep outside
+// quotes and parentheses.
+func splitInsensitive(s, sep string) []string {
+	var parts []string
+	lower := strings.ToLower(s)
+	lsep := strings.ToLower(sep)
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i+len(lsep) <= len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+			continue
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+			continue
+		}
+		if inSingle || inDouble {
+			continue
+		}
+		switch c {
+		case '(':
+			depth++
+			continue
+		case ')':
+			depth--
+			continue
+		}
+		if depth == 0 && lower[i:i+len(lsep)] == lsep {
+			parts = append(parts, s[start:i])
+			start = i + len(lsep)
+			i += len(lsep) - 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// parseKeyPredicate parses "alias.Index = 'value'" (the key attribute name
+// is accepted but ignored; the store knows its own key attribute).
+func parseKeyPredicate(p string) (alias, key string, err error) {
+	eq := strings.IndexByte(p, '=')
+	if eq < 0 {
+		return "", "", fmt.Errorf("query: predicate %q is not an equality", p)
+	}
+	lhs := strings.TrimSpace(p[:eq])
+	rhs := strings.TrimSpace(p[eq+1:])
+	dot := strings.IndexByte(lhs, '.')
+	if dot < 0 {
+		return "", "", fmt.Errorf("query: predicate lhs %q is not alias.key", lhs)
+	}
+	alias = strings.TrimSpace(lhs[:dot])
+	if alias == "" {
+		return "", "", fmt.Errorf("query: empty alias in predicate %q", p)
+	}
+	if len(rhs) < 2 || rhs[0] != '\'' || rhs[len(rhs)-1] != '\'' {
+		return "", "", fmt.Errorf("query: predicate rhs %q must be a quoted string", rhs)
+	}
+	key = strings.ReplaceAll(rhs[1:len(rhs)-1], "''", "'")
+	if key == "" {
+		return "", "", fmt.Errorf("query: empty key in predicate %q", p)
+	}
+	return alias, key, nil
+}

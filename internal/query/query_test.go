@@ -1,0 +1,282 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/table"
+)
+
+func corpusWithGED(t *testing.T) *table.Corpus {
+	t.Helper()
+	c := table.NewCorpus()
+	r := table.MustNewRelation("GED", "Index", []string{"2000", "2016", "2017"})
+	rows := map[string][]float64{
+		"PGElecDemand":     {13000, 21546, 22209},
+		"CapAddTotal_Wind": {60, 480, 540},
+	}
+	for k, v := range rows {
+		if err := r.AddRow(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExecuteExample1CAGR(t *testing.T) {
+	c := corpusWithGED(t)
+	q := &Query{
+		Select: expr.MustParse("POWER(a.A1/b.A2, 1/(A1-A2)) - 1"),
+		Bindings: []Binding{
+			{Alias: "a", Relation: "GED", Key: "PGElecDemand"},
+			{Alias: "b", Relation: "GED", Key: "PGElecDemand"},
+		},
+		AttrBindings: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	v, err := q.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 22209.0/21546.0 - 1 // ~3.08% growth
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("Execute = %g, want %g", v, want)
+	}
+	if math.Abs(v-0.03) > 0.005 {
+		t.Errorf("growth should be about 3%%, got %g", v)
+	}
+}
+
+func TestExecuteExample3Ratio(t *testing.T) {
+	c := corpusWithGED(t)
+	q := &Query{
+		Select: expr.MustParse("a.2017 / b.2000"),
+		Bindings: []Binding{
+			{Alias: "a", Relation: "GED", Key: "CapAddTotal_Wind"},
+			{Alias: "b", Relation: "GED", Key: "CapAddTotal_Wind"},
+		},
+	}
+	v, err := q.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-9) > 1e-9 {
+		t.Errorf("wind nine-fold check = %g, want 9", v)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"nil select", Query{}},
+		{"unbound alias", Query{Select: expr.MustParse("a.2017")}},
+		{"incomplete binding", Query{
+			Select:   expr.MustParse("a.2017"),
+			Bindings: []Binding{{Alias: "a"}},
+		}},
+		{"duplicate alias", Query{
+			Select: expr.MustParse("a.2017"),
+			Bindings: []Binding{
+				{Alias: "a", Relation: "R", Key: "k"},
+				{Alias: "a", Relation: "S", Key: "k"},
+			},
+		}},
+		{"unbound attr var", Query{
+			Select:   expr.MustParse("a.A1"),
+			Bindings: []Binding{{Alias: "a", Relation: "R", Key: "k"}},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	c := corpusWithGED(t)
+	q := &Query{
+		Select:   expr.MustParse("a.2017"),
+		Bindings: []Binding{{Alias: "a", Relation: "NoSuchRel", Key: "k"}},
+	}
+	if _, err := q.Execute(c); err == nil {
+		t.Error("missing relation should fail")
+	}
+	q = &Query{
+		Select:   expr.MustParse("a.2017"),
+		Bindings: []Binding{{Alias: "a", Relation: "GED", Key: "NoSuchKey"}},
+	}
+	if _, err := q.Execute(c); err == nil {
+		t.Error("missing key should fail")
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	q := &Query{
+		Select: expr.MustParse("POWER(a.A1/b.A2, 1/(A1-A2)) - 1"),
+		Bindings: []Binding{
+			{Alias: "a", Relation: "GED", Key: "PGElecDemand"},
+			{Alias: "b", Relation: "GED", Key: "PGElecDemand"},
+		},
+		AttrBindings: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	sql := q.SQL()
+	for _, want := range []string{
+		"SELECT", "FROM GED a, GED b", "WHERE",
+		"a.Index = 'PGElecDemand'", "AND b.Index = 'PGElecDemand'",
+		"a.2017", "b.2016",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL %q missing %q", sql, want)
+		}
+	}
+	// Attribute variables in numeric positions become concrete numbers.
+	if strings.Contains(sql, "A1") || strings.Contains(sql, "A2") {
+		t.Errorf("SQL %q still contains attribute variables", sql)
+	}
+	if q.String() != sql {
+		t.Error("String should equal SQL")
+	}
+}
+
+func TestSQLQuotesFunnyIdentifiers(t *testing.T) {
+	q := &Query{
+		Select:   expr.MustParse("a.2017"),
+		Bindings: []Binding{{Alias: "a", Relation: "World Balance", Key: "it's"}},
+	}
+	sql := q.SQL()
+	if !strings.Contains(sql, `"World Balance" a`) {
+		t.Errorf("relation not quoted: %q", sql)
+	}
+	if !strings.Contains(sql, "'it''s'") {
+		t.Errorf("key not escaped: %q", sql)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	c := corpusWithGED(t)
+	orig := &Query{
+		Select: expr.MustParse("POWER(a.A1/b.A2, 1/(A1-A2)) - 1"),
+		Bindings: []Binding{
+			{Alias: "a", Relation: "GED", Key: "PGElecDemand"},
+			{Alias: "b", Relation: "GED", Key: "PGElecDemand"},
+		},
+		AttrBindings: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	parsed, err := Parse(orig.SQL())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", orig.SQL(), err)
+	}
+	v1, err := orig.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := parsed.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Errorf("round trip changed value: %g vs %g", v1, v2)
+	}
+}
+
+func TestParseHandWrittenSQL(t *testing.T) {
+	c := corpusWithGED(t)
+	sql := `select (a.2017 / b.2000)
+	        from GED a, GED as b
+	        where a.Index = 'CapAddTotal_Wind' and b.Index = 'CapAddTotal_Wind';`
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-9) > 1e-9 {
+		t.Errorf("parsed query = %g, want 9", v)
+	}
+	if len(q.Bindings) != 2 || q.Bindings[1].Relation != "GED" {
+		t.Errorf("bindings = %+v", q.Bindings)
+	}
+}
+
+func TestParseKeywordInsideStringLiteral(t *testing.T) {
+	c := table.NewCorpus()
+	r := table.MustNewRelation("R", "Index", []string{"2017"})
+	if err := r.AddRow("select from where", []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(`SELECT a.2017 FROM R a WHERE a.Index = 'select from where'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Execute(c)
+	if err != nil || v != 42 {
+		t.Errorf("Execute = %g, %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE x SET y = 1",
+		"SELECT 1",                              // no FROM
+		"SELECT FROM GED a WHERE a.Index = 'x'", // empty select
+		"SELECT a.2017 FROM GED a",              // no WHERE
+		"SELECT a.2017 FROM GED a WHERE a.Index = 'x' AND a.Index = 'y'", // two predicates
+		"SELECT a.2017 FROM GED a WHERE b.Index = 'x'",                   // unknown alias
+		"SELECT a.2017 FROM GED a WHERE a.Index = x",                     // unquoted
+		"SELECT a.2017 FROM GED a WHERE a.Index = ''",                    // empty key
+		"SELECT a.2017 FROM GED a WHERE a.Index > 'x'",                   // non-equality... (= missing)
+		"SELECT a.2017 FROM GED a, GED a WHERE a.Index = 'x'",            // dup alias
+		"SELECT a.2017 FROM GED x y z WHERE x.Index = 'k'",               // bad from item
+		"SELECT a.++ FROM GED a WHERE a.Index = 'x'",                     // bad expr
+		"SELECT a.2017 WHERE a.Index = 'x' FROM GED a",                   // where before from
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	q := &Query{
+		Select: expr.MustParse("a.A1 / b.A2"),
+		Bindings: []Binding{
+			{Alias: "a", Relation: "GED", Key: "x"},
+			{Alias: "b", Relation: "GED", Key: "y"},
+		},
+		AttrBindings: map[string]string{"A1": "2017", "A2": "2016"},
+	}
+	// expr complexity 3 + 2 bindings = 5
+	if got := q.Complexity(); got != 5 {
+		t.Errorf("Complexity = %d, want 5", got)
+	}
+}
+
+func TestBooleanCheckQuery(t *testing.T) {
+	// Example 9 style Boolean query: SELECT a.2017 > 100.
+	c := corpusWithGED(t)
+	q, err := Parse("SELECT a.2017 > 100 FROM GED a WHERE a.Index = 'CapAddTotal_Wind'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("Boolean check = %g, want 1", v)
+	}
+}

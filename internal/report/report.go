@@ -1,0 +1,198 @@
+// Package report renders verification results into the human-readable
+// verification report of the problem statement (Definition 4): each claim
+// mapped to its verifying query, mistakes pointed out with suggested
+// corrections (Example 4), and summary statistics. It also renders the
+// qualitative system-comparison table of the paper (Table 3).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/core"
+)
+
+// Report couples a document with its verification outcomes.
+type Report struct {
+	Document *claims.Document
+	Outcomes []*core.Outcome
+	// Seconds is the total crowd time spent.
+	Seconds float64
+}
+
+// Summary aggregates headline numbers.
+type Summary struct {
+	Total      int
+	Correct    int
+	Incorrect  int
+	Skipped    int
+	Seconds    float64
+	PerClaim   float64 // seconds per processed claim
+	Accuracy   float64 // against the generator's Correct flags
+	Suggestion int     // incorrect claims with a proposed correction
+}
+
+// Summarise computes the Summary.
+func (r *Report) Summarise() Summary {
+	s := Summary{Total: len(r.Outcomes), Seconds: r.Seconds}
+	for _, o := range r.Outcomes {
+		switch o.Verdict {
+		case core.VerdictCorrect:
+			s.Correct++
+		case core.VerdictIncorrect:
+			s.Incorrect++
+			if o.HasSuggestion {
+				s.Suggestion++
+			}
+		default:
+			s.Skipped++
+		}
+	}
+	if processed := s.Correct + s.Incorrect; processed > 0 {
+		s.PerClaim = s.Seconds / float64(processed)
+	}
+	s.Accuracy = core.Accuracy(r.Document, r.Outcomes)
+	return s
+}
+
+// Write renders the full report as text.
+func (r *Report) Write(w io.Writer) error {
+	s := r.Summarise()
+	byID := make(map[int]*claims.Claim, len(r.Document.Claims))
+	for _, c := range r.Document.Claims {
+		byID[c.ID] = c
+	}
+	if _, err := fmt.Fprintf(w, "Verification report: %s\n", r.Document.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "claims=%d correct=%d incorrect=%d skipped=%d\n",
+		s.Total, s.Correct, s.Incorrect, s.Skipped)
+	fmt.Fprintf(w, "crowd time: %.0f person-seconds (%.1f s/claim), accuracy %.1f%%\n\n",
+		s.Seconds, s.PerClaim, s.Accuracy*100)
+
+	ordered := append([]*core.Outcome(nil), r.Outcomes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ClaimID < ordered[j].ClaimID })
+	for _, o := range ordered {
+		c := byID[o.ClaimID]
+		if c == nil {
+			continue
+		}
+		fmt.Fprintf(w, "[%d] %s\n", o.ClaimID, c.Text)
+		fmt.Fprintf(w, "    verdict: %s", o.Verdict)
+		if o.Query != nil {
+			fmt.Fprintf(w, "  value: %.6g\n    query: %s\n", o.Value, o.Query.SQL())
+		} else {
+			fmt.Fprintln(w)
+		}
+		if o.HasSuggestion {
+			fmt.Fprintf(w, "    suggested correction: %.6g\n", o.Suggestion)
+		}
+	}
+	return nil
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var sb strings.Builder
+	_ = r.Write(&sb)
+	return sb.String()
+}
+
+// jsonOutcome is the machine-readable form of one claim's result.
+type jsonOutcome struct {
+	ClaimID    int      `json:"claim_id"`
+	Text       string   `json:"text"`
+	Verdict    string   `json:"verdict"`
+	Query      string   `json:"query,omitempty"`
+	Value      *float64 `json:"value,omitempty"`
+	Suggestion *float64 `json:"suggestion,omitempty"`
+	Seconds    float64  `json:"crowd_seconds"`
+}
+
+// jsonReport is the machine-readable report envelope.
+type jsonReport struct {
+	Title    string        `json:"title"`
+	Claims   int           `json:"claims"`
+	Correct  int           `json:"correct"`
+	Wrong    int           `json:"incorrect"`
+	Skipped  int           `json:"skipped"`
+	Seconds  float64       `json:"crowd_seconds"`
+	Accuracy float64       `json:"accuracy"`
+	Outcomes []jsonOutcome `json:"outcomes"`
+}
+
+// WriteJSON renders the report as indented JSON, stable-ordered by claim ID.
+func (r *Report) WriteJSON(w io.Writer) error {
+	s := r.Summarise()
+	byID := make(map[int]*claims.Claim, len(r.Document.Claims))
+	for _, c := range r.Document.Claims {
+		byID[c.ID] = c
+	}
+	out := jsonReport{
+		Title: r.Document.Title, Claims: s.Total,
+		Correct: s.Correct, Wrong: s.Incorrect, Skipped: s.Skipped,
+		Seconds: s.Seconds, Accuracy: s.Accuracy,
+	}
+	ordered := append([]*core.Outcome(nil), r.Outcomes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ClaimID < ordered[j].ClaimID })
+	for _, o := range ordered {
+		jo := jsonOutcome{ClaimID: o.ClaimID, Verdict: o.Verdict.String(), Seconds: o.Seconds}
+		if c := byID[o.ClaimID]; c != nil {
+			jo.Text = c.Text
+		}
+		if o.Query != nil {
+			jo.Query = o.Query.SQL()
+			v := o.Value
+			jo.Value = &v
+		}
+		if o.HasSuggestion {
+			sv := o.Suggestion
+			jo.Suggestion = &sv
+		}
+		out.Outcomes = append(out.Outcomes, jo)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SystemRow is one row of the Table 3 comparison.
+type SystemRow struct {
+	System  string
+	Task    string
+	Claims  string
+	Query   string
+	User    string
+	Dataset string
+}
+
+// Table3 reproduces the paper's qualitative comparison of data-driven fact
+// checking systems.
+func Table3() []SystemRow {
+	return []SystemRow{
+		{"Scrutinizer", "check", "general", "SPA + 100s ops", "crowd", "corpus"},
+		{"AggChecker", "check", "explicit", "SPA + 9 ops", "single", "single"},
+		{"BriQ", "check", "explicit", "SPA + 6 ops", "single", "single"},
+		{"StatSearch", "search", "explicit", "SP", "single", "corpus"},
+	}
+}
+
+// WriteTable3 renders Table 3 as aligned text.
+func WriteTable3(w io.Writer) error {
+	rows := Table3()
+	if _, err := fmt.Fprintf(w, "%-12s %-7s %-9s %-15s %-7s %s\n",
+		"System", "Task", "Claims", "Query", "User", "Dataset"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-12s %-7s %-9s %-15s %-7s %s\n",
+			r.System, r.Task, r.Claims, r.Query, r.User, r.Dataset); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/query"
+)
+
+func sampleReport() *Report {
+	doc := &claims.Document{
+		Title:    "Test Outlook",
+		Sections: 1,
+		Claims: []*claims.Claim{
+			{ID: 1, Text: "demand grew by 3%", Correct: true, Truth: &claims.GroundTruth{Value: 0.03}},
+			{ID: 2, Text: "coal fell by 9%", Correct: false, Truth: &claims.GroundTruth{Value: -0.02}},
+			{ID: 3, Text: "unparseable claim", Correct: true, Truth: &claims.GroundTruth{Value: 1}},
+		},
+	}
+	q := &query.Query{
+		Select:   expr.MustParse("a.2017"),
+		Bindings: []query.Binding{{Alias: "a", Relation: "GED", Key: "X"}},
+	}
+	return &Report{
+		Document: doc,
+		Seconds:  120,
+		Outcomes: []*core.Outcome{
+			{ClaimID: 1, Verdict: core.VerdictCorrect, Query: q, Value: 0.03},
+			{ClaimID: 2, Verdict: core.VerdictIncorrect, Query: q, Value: -0.02, Suggestion: -0.02, HasSuggestion: true},
+			{ClaimID: 3, Verdict: core.VerdictSkipped},
+		},
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := sampleReport().Summarise()
+	if s.Total != 3 || s.Correct != 1 || s.Incorrect != 1 || s.Skipped != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Suggestion != 1 {
+		t.Errorf("suggestions = %d", s.Suggestion)
+	}
+	if s.PerClaim != 60 {
+		t.Errorf("per-claim = %g", s.PerClaim)
+	}
+	// Both verdicts match the Correct flags -> accuracy 1.
+	if s.Accuracy != 1 {
+		t.Errorf("accuracy = %g", s.Accuracy)
+	}
+}
+
+func TestWriteRendersEverything(t *testing.T) {
+	out := sampleReport().String()
+	for _, want := range []string{
+		"Test Outlook",
+		"claims=3 correct=1 incorrect=1 skipped=1",
+		"demand grew by 3%",
+		"verdict: correct",
+		"verdict: incorrect",
+		"suggested correction",
+		"SELECT a.2017 FROM GED a",
+		"verdict: skipped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteOrdersByClaimID(t *testing.T) {
+	r := sampleReport()
+	r.Outcomes[0], r.Outcomes[2] = r.Outcomes[2], r.Outcomes[0]
+	out := r.String()
+	i1 := strings.Index(out, "[1]")
+	i2 := strings.Index(out, "[2]")
+	i3 := strings.Index(out, "[3]")
+	if !(i1 < i2 && i2 < i3) {
+		t.Errorf("outcomes not ordered: %d %d %d", i1, i2, i3)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].System != "Scrutinizer" || rows[0].Claims != "general" || rows[0].User != "crowd" {
+		t.Errorf("Scrutinizer row = %+v", rows[0])
+	}
+	var sb strings.Builder
+	if err := WriteTable3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scrutinizer", "AggChecker", "BriQ", "StatSearch", "corpus", "crowd"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleReport().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"title": "Test Outlook"`,
+		`"claims": 3`,
+		`"verdict": "correct"`,
+		`"verdict": "incorrect"`,
+		`"suggestion"`,
+		`"query": "SELECT a.2017 FROM GED a`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	// Skipped outcome carries no query/value fields.
+	if strings.Count(out, `"value"`) != 2 {
+		t.Errorf("value fields = %d, want 2", strings.Count(out, `"value"`))
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := &Report{Document: &claims.Document{Title: "empty"}}
+	s := r.Summarise()
+	if s.Total != 0 || s.PerClaim != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if !strings.Contains(r.String(), "empty") {
+		t.Error("empty report should still render title")
+	}
+}

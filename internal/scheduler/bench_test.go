@@ -1,0 +1,51 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ClaimID:    i + 1,
+			Section:    rng.Intn(n/10 + 1),
+			VerifyCost: 50 + rng.Float64()*400,
+			Utility:    rng.Float64() * 8,
+		}
+	}
+	return items
+}
+
+// BenchmarkSelectBatchPaperScale exercises the ILP encoding at the
+// simulation's working size: ~1500 claims, batch 100.
+func BenchmarkSelectBatchPaperScale(b *testing.B) {
+	items := benchItems(1500, 1)
+	cfg := Config{
+		MaxCost:         1e7,
+		MinSize:         100,
+		MaxSize:         100,
+		SectionReadCost: 120,
+		UtilityWeight:   5,
+		SolverOptions:   DefaultSolverOptions(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectBatch(items, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyBatch1500(b *testing.B) {
+	items := benchItems(1500, 2)
+	cfg := Config{MaxCost: 1e7, MaxSize: 100, SectionReadCost: 120}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyBatch(items, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

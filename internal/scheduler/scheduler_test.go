@@ -1,0 +1,341 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cfgBasic() Config {
+	return Config{
+		MaxCost:         100,
+		MinSize:         0,
+		MaxSize:         10,
+		SectionReadCost: 10,
+		SolverOptions:   DefaultSolverOptions(),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfgBasic().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MaxCost: 0, MaxSize: 1},
+		{MaxCost: 10, MinSize: 5, MaxSize: 2},
+		{MaxCost: 10, MinSize: -1, MaxSize: 2},
+		{MaxCost: 10, MaxSize: 2, SectionReadCost: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestBatchCost(t *testing.T) {
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 5},
+		{ClaimID: 2, Section: 0, VerifyCost: 7},
+		{ClaimID: 3, Section: 1, VerifyCost: 3},
+	}
+	// 5+7+3 + 2 sections * 10 = 35.
+	if got := BatchCost(items, 10); got != 35 {
+		t.Errorf("BatchCost = %g, want 35", got)
+	}
+	if got := BatchCost(nil, 10); got != 0 {
+		t.Errorf("empty BatchCost = %g", got)
+	}
+}
+
+func TestSelectBatchEmpty(t *testing.T) {
+	b, err := SelectBatch(nil, cfgBasic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 0 || !b.Optimal {
+		t.Errorf("empty select = %+v", b)
+	}
+}
+
+func TestSelectBatchRespectsBudget(t *testing.T) {
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 40, Utility: 10},
+		{ClaimID: 2, Section: 1, VerifyCost: 40, Utility: 9},
+		{ClaimID: 3, Section: 2, VerifyCost: 40, Utility: 8},
+	}
+	cfg := cfgBasic() // budget 100, section cost 10 -> each claim costs 50
+	b, err := SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 2 {
+		t.Fatalf("selected %v", b.ClaimIDs)
+	}
+	// Highest utilities 10 and 9 fit exactly (2*50 = 100).
+	if b.Utility != 19 {
+		t.Errorf("utility = %g, want 19", b.Utility)
+	}
+	if b.Cost > cfg.MaxCost {
+		t.Errorf("cost %g exceeds budget", b.Cost)
+	}
+}
+
+func TestSelectBatchPrefersSectionSharing(t *testing.T) {
+	// Two claims in one section are cheaper together than two spread
+	// out; with a tight budget the scheduler must exploit sharing.
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 20, Utility: 5},
+		{ClaimID: 2, Section: 0, VerifyCost: 20, Utility: 5},
+		{ClaimID: 3, Section: 1, VerifyCost: 20, Utility: 5.5},
+	}
+	cfg := cfgBasic()
+	cfg.MaxCost = 50 // fits {1,2} (20+20+10) but not {3,x} (20+20+20)
+	b, err := SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 2 || b.ClaimIDs[0] != 1 || b.ClaimIDs[1] != 2 {
+		t.Errorf("selected %v, want [1 2]", b.ClaimIDs)
+	}
+	if len(b.Sections) != 1 || b.Sections[0] != 0 {
+		t.Errorf("sections = %v", b.Sections)
+	}
+}
+
+func TestSelectBatchCardinality(t *testing.T) {
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 1, Utility: 10},
+		{ClaimID: 2, Section: 0, VerifyCost: 1, Utility: 9},
+		{ClaimID: 3, Section: 0, VerifyCost: 1, Utility: 8},
+	}
+	cfg := cfgBasic()
+	cfg.MaxSize = 2
+	b, err := SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 2 {
+		t.Errorf("MaxSize violated: %v", b.ClaimIDs)
+	}
+	cfg.MinSize = 3
+	cfg.MaxSize = 3
+	b, err = SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 3 {
+		t.Errorf("MinSize not honoured: %v", b.ClaimIDs)
+	}
+}
+
+func TestSelectBatchInfeasible(t *testing.T) {
+	items := []Item{{ClaimID: 1, Section: 0, VerifyCost: 500, Utility: 1}}
+	cfg := cfgBasic()
+	cfg.MinSize = 1
+	b, err := SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 0 {
+		t.Errorf("infeasible instance selected %v", b.ClaimIDs)
+	}
+}
+
+func TestSelectBatchUtilityWeightVariant(t *testing.T) {
+	// With UtilityWeight > 0 the objective trades cost against utility:
+	// an expensive high-utility claim can lose to a cheap lower-utility
+	// one.
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 90, Utility: 10},
+		{ClaimID: 2, Section: 1, VerifyCost: 5, Utility: 20},
+	}
+	cfg := cfgBasic()
+	// net(1) = 10 - 90 - 10(section) < 0; net(2) = 20 - 5 - 10 > 0.
+	cfg.UtilityWeight = 1
+	b, err := SelectBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 1 || b.ClaimIDs[0] != 2 {
+		t.Errorf("variant selected %v, want [2]", b.ClaimIDs)
+	}
+}
+
+func TestSelectVsBruteForceSmall(t *testing.T) {
+	// Cross-check ILP selection against exhaustive enumeration.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				ClaimID:    i + 1,
+				Section:    rng.Intn(3),
+				VerifyCost: 1 + float64(rng.Intn(30)),
+				Utility:    float64(rng.Intn(20)),
+			}
+		}
+		cfg := cfgBasic()
+		cfg.MaxCost = 40 + float64(rng.Intn(40))
+		cfg.MaxSize = n
+
+		best := -1.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var sub []Item
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, items[i])
+				}
+			}
+			if BatchCost(sub, cfg.SectionReadCost) > cfg.MaxCost {
+				continue
+			}
+			var u float64
+			for _, it := range sub {
+				u += it.Utility
+			}
+			if u > best {
+				best = u
+			}
+		}
+		b, err := SelectBatch(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.Utility-best) > 1e-6 {
+			t.Fatalf("trial %d: ILP utility %g, brute force %g", trial, b.Utility, best)
+		}
+	}
+}
+
+func TestGreedyBatch(t *testing.T) {
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 10, Utility: 1},
+		{ClaimID: 2, Section: 0, VerifyCost: 10, Utility: 5},
+		{ClaimID: 3, Section: 1, VerifyCost: 10, Utility: 3},
+	}
+	cfg := cfgBasic()
+	cfg.MaxCost = 40
+	b, err := GreedyBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) == 0 {
+		t.Fatal("greedy selected nothing")
+	}
+	// Highest utility-per-cost first: claim 2.
+	if b.ClaimIDs[0] != 2 {
+		t.Errorf("greedy order = %v", b.ClaimIDs)
+	}
+	if b.Cost > cfg.MaxCost {
+		t.Errorf("greedy cost %g over budget", b.Cost)
+	}
+	// Infeasible MinSize.
+	cfg.MinSize = 3
+	cfg.MaxCost = 15
+	b, err = GreedyBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 0 {
+		t.Errorf("greedy infeasible returned %v", b.ClaimIDs)
+	}
+	if _, err := GreedyBatch(items, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSequentialBatchDocumentOrder(t *testing.T) {
+	items := []Item{
+		{ClaimID: 3, Section: 1, VerifyCost: 10, Utility: 100},
+		{ClaimID: 1, Section: 0, VerifyCost: 10, Utility: 1},
+		{ClaimID: 2, Section: 0, VerifyCost: 10, Utility: 1},
+	}
+	cfg := cfgBasic()
+	cfg.MaxCost = 35
+	b, err := SequentialBatch(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document order ignores utility: claims 1, 2 fit (10+10+10 section),
+	// claim 3 would add 10+10=20 -> exceeds 35.
+	if len(b.ClaimIDs) != 2 || b.ClaimIDs[0] != 1 || b.ClaimIDs[1] != 2 {
+		t.Errorf("sequential = %v, want [1 2]", b.ClaimIDs)
+	}
+	if _, err := SequentialBatch(items, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRandomBatch(t *testing.T) {
+	items := []Item{
+		{ClaimID: 1, Section: 0, VerifyCost: 10, Utility: 1},
+		{ClaimID: 2, Section: 0, VerifyCost: 10, Utility: 5},
+		{ClaimID: 3, Section: 1, VerifyCost: 10, Utility: 3},
+	}
+	cfg := cfgBasic()
+	b, err := RandomBatch(items, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 3 {
+		t.Errorf("random batch = %v", b.ClaimIDs)
+	}
+	if b.Cost > cfg.MaxCost {
+		t.Errorf("cost %g over budget", b.Cost)
+	}
+	// Deterministic per seed.
+	b2, err := RandomBatch(items, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.ClaimIDs {
+		if b.ClaimIDs[i] != b2.ClaimIDs[i] {
+			t.Fatal("RandomBatch not deterministic for a fixed seed")
+		}
+	}
+	// MinSize infeasibility.
+	cfg.MinSize = 3
+	cfg.MaxCost = 15
+	b, err = RandomBatch(items, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ClaimIDs) != 0 {
+		t.Errorf("infeasible random batch = %v", b.ClaimIDs)
+	}
+	if _, err := RandomBatch(items, Config{}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestILPBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(8)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				ClaimID:    i + 1,
+				Section:    rng.Intn(4),
+				VerifyCost: 1 + float64(rng.Intn(25)),
+				Utility:    float64(rng.Intn(15)),
+			}
+		}
+		cfg := cfgBasic()
+		cfg.MaxCost = 60
+		cfg.MaxSize = n
+		ilpB, err := SelectBatch(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyB, err := GreedyBatch(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ilpB.Optimal && ilpB.Utility < greedyB.Utility-1e-9 {
+			t.Fatalf("trial %d: optimal ILP %g below greedy %g", trial, ilpB.Utility, greedyB.Utility)
+		}
+	}
+}

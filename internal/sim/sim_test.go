@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+func testStudyConfig() StudyConfig {
+	cfg := DefaultStudyConfig()
+	cfg.World.NumClaims = 150
+	cfg.World.NumFormulas = 16
+	cfg.NumClaims = 23 // 3 training + 20 study
+	return cfg
+}
+
+func testSimConfig() SimulationConfig {
+	w := worldgen.SmallScale()
+	w.NumClaims = 80
+	w.NumSections = 8
+	return SimulationConfig{
+		World:           w,
+		TeamSize:        3,
+		BatchSize:       20,
+		SectionReadCost: 60,
+		BaseRead:        10,
+		WorkerAccuracy:  1.0,
+		Seed:            5,
+		EvalSampleEvery: 4,
+	}
+}
+
+func TestCostModelsValid(t *testing.T) {
+	if err := StudyCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := SimCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	// Simulation shows ~10 options per property, as §6.2 states.
+	if n := SimCostModel().NumOptions(); n != 10 {
+		t.Errorf("sim nop = %d, want 10", n)
+	}
+	if n := SimCostModel().NumScreens(); n != 10 {
+		t.Errorf("sim nsc = %d, want 10", n)
+	}
+}
+
+func TestRunUserStudyShape(t *testing.T) {
+	res, err := RunUserStudy(testStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkers) != 7 {
+		t.Fatalf("checkers = %d, want 7 (3 manual + 4 system)", len(res.Checkers))
+	}
+	manual, system := 0, 0
+	for _, c := range res.Checkers {
+		if c.Manual {
+			manual++
+		} else {
+			system++
+		}
+		if c.Processed()+c.Skipped == 0 {
+			t.Errorf("checker %s did nothing", c.Name)
+		}
+	}
+	if manual != 3 || system != 4 {
+		t.Errorf("groups = %d manual, %d system", manual, system)
+	}
+}
+
+func TestUserStudySystemFasterThanManual(t *testing.T) {
+	res, err := RunUserStudy(testStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: system checkers verify 2-3x more claims in
+	// the same 20 minutes (7 vs 23 on average). Require at least 1.5x.
+	if res.SystemAvg < res.ManualAvg*1.5 {
+		t.Errorf("system avg %.1f should be >= 1.5x manual avg %.1f",
+			res.SystemAvg, res.ManualAvg)
+	}
+}
+
+func TestUserStudyMajorityAccuracy(t *testing.T) {
+	cfg := testStudyConfig()
+	cfg.WorkerAccuracy = 1.0
+	cfg.SkipProb = 0
+	res, err := RunUserStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With perfect workers, majority voting yields 100% accuracy as in
+	// the paper.
+	if res.MajorityAccuracy < 0.99 {
+		t.Errorf("majority accuracy = %g, want 1.0", res.MajorityAccuracy)
+	}
+}
+
+func TestUserStudyComplexityCurve(t *testing.T) {
+	res, err := RunUserStudy(testStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Complexity) == 0 {
+		t.Fatal("no complexity buckets")
+	}
+	// System should be faster than manual at comparable complexity for
+	// the majority of buckets where both have data.
+	faster, both := 0, 0
+	for _, p := range res.Complexity {
+		if p.ManualCount > 0 && p.SystemCount > 0 {
+			both++
+			if p.SystemMean < p.ManualMean {
+				faster++
+			}
+		}
+	}
+	if both > 0 && faster*2 < both {
+		t.Errorf("system faster in only %d of %d buckets", faster, both)
+	}
+}
+
+func TestUserStudyValidation(t *testing.T) {
+	cfg := testStudyConfig()
+	cfg.NumClaims = 2
+	if _, err := RunUserStudy(cfg); err == nil {
+		t.Error("study with 2 claims accepted")
+	}
+	cfg = testStudyConfig()
+	cfg.NumClaims = 100000
+	if _, err := RunUserStudy(cfg); err == nil {
+		t.Error("study larger than the eligible claim pool accepted")
+	}
+}
+
+func TestRunSimulationComparesSystems(t *testing.T) {
+	res, err := RunSimulation(testSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 3 {
+		t.Fatalf("systems = %d", len(res.Systems))
+	}
+	byName := map[System]SystemResult{}
+	for _, s := range res.Systems {
+		byName[s.System] = s
+		if s.Weeks <= 0 {
+			t.Errorf("%s weeks = %g", s.System, s.Weeks)
+		}
+	}
+	man := byName[SystemManual]
+	seq := byName[SystemSequential]
+	scr := byName[SystemScrutinizer]
+	// Headline shape of Table 2: both assisted systems beat Manual.
+	if seq.Weeks >= man.Weeks {
+		t.Errorf("Sequential %.2f weeks should beat Manual %.2f", seq.Weeks, man.Weeks)
+	}
+	if scr.Weeks >= man.Weeks {
+		t.Errorf("Scrutinizer %.2f weeks should beat Manual %.2f", scr.Weeks, man.Weeks)
+	}
+	if scr.Savings <= 0 || seq.Savings <= 0 {
+		t.Error("savings should be positive for assisted systems")
+	}
+	// Result accuracy with perfect workers.
+	if scr.ResultAccuracy < 0.95 {
+		t.Errorf("Scrutinizer result accuracy = %g", scr.ResultAccuracy)
+	}
+	// Series are monotone in verified claims and weeks.
+	for _, s := range res.Systems {
+		for i := 1; i < len(s.Series); i++ {
+			if s.Series[i].VerifiedClaims < s.Series[i-1].VerifiedClaims {
+				t.Errorf("%s series not monotone in claims", s.System)
+			}
+			if s.Series[i].Weeks < s.Series[i-1].Weeks {
+				t.Errorf("%s series not monotone in weeks", s.System)
+			}
+		}
+	}
+	// Figure 10 curve present and non-decreasing in k.
+	if len(res.TopK) == 0 {
+		t.Fatal("no top-k curve")
+	}
+	for i := 1; i < len(res.TopK); i++ {
+		if res.TopK[i].Average < res.TopK[i-1].Average-1e-9 {
+			t.Errorf("top-k curve decreasing at k=%d", res.TopK[i].K)
+		}
+	}
+}
+
+func TestSimulationSubsetOfSystems(t *testing.T) {
+	cfg := testSimConfig()
+	cfg.Systems = []System{SystemManual}
+	res, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 1 || res.Systems[0].System != SystemManual {
+		t.Errorf("systems = %+v", res.Systems)
+	}
+	if res.Systems[0].ResultAccuracy != 1 {
+		t.Error("manual baseline accuracy should be 1")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if SystemManual.String() != "Manual" || SystemSequential.String() != "Sequential" ||
+		SystemScrutinizer.String() != "Scrutinizer" {
+		t.Error("system names wrong")
+	}
+	if System(9).String() == "" {
+		t.Error("unknown system should print")
+	}
+}
+
+func TestSecondsPerWeek(t *testing.T) {
+	if got := SecondsPerWeek(3); got != 3*8*3600*5 {
+		t.Errorf("SecondsPerWeek(3) = %g", got)
+	}
+}
+
+func TestClassifierAccuracyImprovesOverRun(t *testing.T) {
+	cfg := testSimConfig()
+	cfg.Systems = []System{SystemScrutinizer}
+	res, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Systems[0].Series
+	if len(series) < 2 {
+		t.Fatalf("series too short: %d", len(series))
+	}
+	first, last := series[0].AvgAccuracy, series[len(series)-2].AvgAccuracy
+	if last <= first {
+		t.Errorf("accuracy should improve over the run: first=%g later=%g", first, last)
+	}
+}

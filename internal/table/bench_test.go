@@ -1,0 +1,74 @@
+package table
+
+import (
+	"strconv"
+	"testing"
+)
+
+func benchRelation(b *testing.B, rows, attrs int) *Relation {
+	b.Helper()
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = strconv.Itoa(1971 + i)
+	}
+	r := MustNewRelation("Bench", "Index", names)
+	vals := make([]float64, attrs)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	for i := 0; i < rows; i++ {
+		if err := r.AddRow("key"+strconv.Itoa(i), vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkGet(b *testing.B) {
+	r := benchRelation(b, 24, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Get("key7", "2017"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddRow(b *testing.B) {
+	names := []string{"2016", "2017", "2018"}
+	vals := []float64{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := MustNewRelation("Bench", "Index", names)
+		for j := 0; j < 100; j++ {
+			if err := r.AddRow("key"+strconv.Itoa(j), vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRelationsWithKey(b *testing.B) {
+	c := NewCorpus()
+	for i := 0; i < 100; i++ {
+		r := benchRelation(b, 10, 5)
+		// MustNewRelation name collision: rebuild with unique names.
+		r2 := MustNewRelation("R"+strconv.Itoa(i), "Index", r.Attrs())
+		for _, k := range r.Keys() {
+			row, _, err := r.Row(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r2.AddRow(k, row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Add(r2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RelationsWithKey("key3")
+	}
+}

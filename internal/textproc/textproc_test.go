@@ -1,0 +1,221 @@
+package textproc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"In 2017, global electricity demand grew by 3%",
+			[]string{"in", "2017", "global", "electricity", "demand", "grew", "by", "3", "%"}},
+		{"nine-fold increase", []string{"nine-fold", "increase"}},
+		{"it's fine", []string{"it's", "fine"}},
+		{"trailing- hyphen", []string{"trailing", "hyphen"}},
+		{"", nil},
+		{"  ,,  ", nil},
+		{"22 200 TWh", []string{"22", "200", "twh"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"a", "b", "c"}
+	if got := NGrams(toks, 2); !reflect.DeepEqual(got, []string{"a_b", "b_c"}) {
+		t.Errorf("bigrams = %v", got)
+	}
+	if got := NGrams(toks, 3); !reflect.DeepEqual(got, []string{"a_b_c"}) {
+		t.Errorf("trigrams = %v", got)
+	}
+	if NGrams(toks, 4) != nil || NGrams(toks, 0) != nil {
+		t.Error("out-of-range n should yield nil")
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("ab  cd", 3)
+	want := []string{"ab ", "b c", " cd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CharNGrams = %v, want %v", got, want)
+	}
+	if CharNGrams("ab", 3) != nil {
+		t.Error("short input should yield nil")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{0: 1, 1: 2}
+	b := Vector{1: 3, 2: 4}
+	if got := a.Dot(b); got != 6 {
+		t.Errorf("Dot = %g, want 6", got)
+	}
+	if got := b.Dot(a); got != 6 {
+		t.Errorf("Dot not symmetric: %g", got)
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("Norm = %g", got)
+	}
+	a.Scale(2)
+	if a[0] != 2 || a[1] != 4 {
+		t.Errorf("Scale = %v", a)
+	}
+	v := Vector{}
+	v.AddInto(Vector{0: 1}, 10)
+	if v[10] != 1 {
+		t.Errorf("AddInto = %v", v)
+	}
+	idx := Vector{5: 1, 1: 1, 3: 1}.Indices()
+	if !reflect.DeepEqual(idx, []int{1, 3, 5}) {
+		t.Errorf("Indices = %v", idx)
+	}
+}
+
+func TestVectorizerFitTransform(t *testing.T) {
+	docs := [][]string{
+		{"electricity", "demand", "grew"},
+		{"coal", "demand", "fell"},
+		{"solar", "capacity", "grew"},
+	}
+	vz := NewVectorizer(1)
+	vecs := vz.FitTransform(docs)
+	if vz.Dim() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// "demand" appears in 2 docs, "coal" in 1: idf(coal) > idf(demand).
+	iCoal, iDemand := vz.VocabIndex("coal"), vz.VocabIndex("demand")
+	if iCoal < 0 || iDemand < 0 {
+		t.Fatal("terms missing from vocabulary")
+	}
+	if vz.idf[iCoal] <= vz.idf[iDemand] {
+		t.Errorf("idf(coal)=%g should exceed idf(demand)=%g", vz.idf[iCoal], vz.idf[iDemand])
+	}
+	// Vectors are L2-normalised.
+	for i, v := range vecs {
+		if math.Abs(v.Norm()-1) > 1e-9 {
+			t.Errorf("doc %d norm = %g, want 1", i, v.Norm())
+		}
+	}
+	// Unknown tokens ignored at transform time.
+	v := vz.Transform([]string{"unseen", "tokens"})
+	if len(v) != 0 {
+		t.Errorf("unknown-only doc should be empty, got %v", v)
+	}
+	if vz.VocabIndex("unseen") != -1 {
+		t.Error("VocabIndex of unknown should be -1")
+	}
+}
+
+func TestVectorizerMinDF(t *testing.T) {
+	docs := [][]string{
+		{"common", "rare1"},
+		{"common", "rare2"},
+	}
+	vz := NewVectorizer(2)
+	vz.Fit(docs)
+	if vz.VocabIndex("common") < 0 {
+		t.Error("common term should survive minDF")
+	}
+	if vz.VocabIndex("rare1") >= 0 || vz.VocabIndex("rare2") >= 0 {
+		t.Error("rare terms should be dropped by minDF=2")
+	}
+	// minDF < 1 is clamped.
+	vz2 := NewVectorizer(0)
+	vz2.Fit(docs)
+	if vz2.VocabIndex("rare1") < 0 {
+		t.Error("minDF=0 should behave like 1")
+	}
+}
+
+func TestVectorizerDeterministicVocab(t *testing.T) {
+	docs := [][]string{{"b", "a", "c"}, {"c", "a"}}
+	v1 := NewVectorizer(1)
+	v1.Fit(docs)
+	v2 := NewVectorizer(1)
+	v2.Fit(docs)
+	for _, term := range []string{"a", "b", "c"} {
+		if v1.VocabIndex(term) != v2.VocabIndex(term) {
+			t.Errorf("vocab not deterministic for %q", term)
+		}
+	}
+	// Sorted order.
+	if !(v1.VocabIndex("a") < v1.VocabIndex("b") && v1.VocabIndex("b") < v1.VocabIndex("c")) {
+		t.Error("vocabulary should be sorted")
+	}
+}
+
+func TestClaimTokensNamespacing(t *testing.T) {
+	toks := ClaimTokens("demand grew")
+	var hasWord, hasBigram, hasChar bool
+	for _, tok := range toks {
+		switch tok[:2] {
+		case "w:":
+			hasWord = true
+		case "b:":
+			hasBigram = true
+		case "c:":
+			hasChar = true
+		}
+	}
+	if !hasWord || !hasBigram || !hasChar {
+		t.Errorf("ClaimTokens missing a family: %v", toks)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := Vector{0: 1}
+	b := Vector{0: 2}
+	c := Vector{1: 1}
+	if got := CosineSimilarity(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel = %g", got)
+	}
+	if got := CosineSimilarity(a, c); got != 0 {
+		t.Errorf("orthogonal = %g", got)
+	}
+	if got := CosineSimilarity(a, Vector{}); got != 0 {
+		t.Errorf("zero vector = %g", got)
+	}
+}
+
+// Property: Dot is bilinear under scaling.
+func TestDotScaleProperty(t *testing.T) {
+	f := func(x, y int8, k int8) bool {
+		a := Vector{0: float64(x), 1: 1}
+		b := Vector{0: float64(y), 1: 2}
+		lhs := a.Dot(b) * float64(k)
+		ac := Vector{0: float64(x), 1: 1}.Scale(float64(k))
+		rhs := ac.Dot(b)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transform norm is 0 or 1.
+func TestTransformNormProperty(t *testing.T) {
+	vz := NewVectorizer(1)
+	vz.Fit([][]string{{"a", "b"}, {"b", "c"}})
+	f := func(pick []bool) bool {
+		words := []string{"a", "b", "c", "zzz"}
+		var doc []string
+		for i, p := range pick {
+			if p {
+				doc = append(doc, words[i%len(words)])
+			}
+		}
+		n := vz.Transform(doc).Norm()
+		return n == 0 || math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package worldgen
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := SmallScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZipfPick(b *testing.B) {
+	w, err := Generate(SmallScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = w
+	b.ResetTimer()
+	// zipfPick is internal; exercise it through claim regeneration of a
+	// tiny world, which is dominated by the sampling loops.
+	cfg := SmallScale()
+	cfg.NumClaims = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package worldgen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/formula"
+	"github.com/repro/scrutinizer/internal/query"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := Generate(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := SmallScale()
+	w := smallWorld(t)
+	if len(w.Document.Claims) != cfg.NumClaims {
+		t.Errorf("claims = %d, want %d", len(w.Document.Claims), cfg.NumClaims)
+	}
+	if w.Corpus.Len() != cfg.Families*cfg.Regions*cfg.Scenarios {
+		t.Errorf("relations = %d, want %d", w.Corpus.Len(), cfg.Families*cfg.Regions*cfg.Scenarios)
+	}
+	if err := w.Document.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.FormulaVocab) != cfg.NumFormulas {
+		t.Errorf("formula vocab = %d, want %d", len(w.FormulaVocab), cfg.NumFormulas)
+	}
+	// Vocabulary is distinct.
+	seen := map[string]bool{}
+	for _, f := range w.FormulaVocab {
+		if seen[f] {
+			t.Errorf("duplicate formula %q", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestEveryClaimHasConsistentAnnotation(t *testing.T) {
+	w := smallWorld(t)
+	for _, c := range w.Document.Claims {
+		if c.Truth == nil {
+			t.Fatalf("claim %d lacks annotation", c.ID)
+		}
+		if c.Text == "" || c.Sentence == "" {
+			t.Fatalf("claim %d lacks text", c.ID)
+		}
+		// The canonical truth query must execute and reproduce
+		// Truth.Value.
+		f, err := formula.ParseFormula(c.Truth.Formula)
+		if err != nil {
+			t.Fatalf("claim %d formula: %v", c.ID, err)
+		}
+		q := &query.Query{Select: f.Expr, AttrBindings: map[string]string{}}
+		for i, v := range f.AttrVars {
+			q.AttrBindings[v] = c.Truth.Attrs[i]
+		}
+		for i, alias := range expr.Aliases(f.Expr) {
+			q.Bindings = append(q.Bindings, query.Binding{
+				Alias:    alias,
+				Relation: c.Truth.Relations[i%len(c.Truth.Relations)],
+				Key:      c.Truth.Keys[i%len(c.Truth.Keys)],
+			})
+		}
+		v, err := q.Execute(w.Corpus)
+		if err != nil {
+			t.Fatalf("claim %d truth query: %v", c.ID, err)
+		}
+		if math.Abs(v-c.Truth.Value) > 1e-9*math.Max(1, math.Abs(v)) {
+			t.Fatalf("claim %d: truth value %g, query gives %g", c.ID, c.Truth.Value, v)
+		}
+	}
+}
+
+func TestCorrectClaimsMatchParameter(t *testing.T) {
+	w := smallWorld(t)
+	tol := 0.05
+	for _, c := range w.Document.Claims {
+		if !c.HasParam {
+			continue
+		}
+		holds := c.Cmp.Compare(c.Truth.Value, c.Param, tol)
+		if c.Correct && !holds {
+			t.Errorf("claim %d marked correct but %g %s %g fails (text %q)",
+				c.ID, c.Truth.Value, c.Cmp, c.Param, c.Text)
+		}
+		if !c.Correct && holds && c.Kind == claims.Explicit {
+			t.Errorf("claim %d marked incorrect but parameter matches (text %q)", c.ID, c.Text)
+		}
+	}
+}
+
+func TestErrorRateApproximate(t *testing.T) {
+	w := smallWorld(t)
+	wrong := 0
+	for _, c := range w.Document.Claims {
+		if !c.Correct {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(len(w.Document.Claims))
+	if rate < 0.10 || rate > 0.45 {
+		t.Errorf("injected error rate = %.2f, want around %g", rate, w.Config.ErrorRate)
+	}
+}
+
+func TestSectionsAssigned(t *testing.T) {
+	w := smallWorld(t)
+	seen := map[int]bool{}
+	for _, c := range w.Document.Claims {
+		if c.Section < 0 || c.Section >= w.Document.Sections {
+			t.Fatalf("claim %d section %d out of range", c.ID, c.Section)
+		}
+		seen[c.Section] = true
+	}
+	if len(seen) < w.Document.Sections/2 {
+		t.Errorf("only %d of %d sections used", len(seen), w.Document.Sections)
+	}
+}
+
+func TestCandidateListsIncludeTruth(t *testing.T) {
+	w := smallWorld(t)
+	for _, c := range w.Document.Claims {
+		cand, ok := w.Candidates[c.ID]
+		if !ok {
+			t.Fatalf("claim %d lacks candidates", c.ID)
+		}
+		if !containsAll(cand.Relations, c.Truth.Relations) {
+			t.Errorf("claim %d candidates missing truth relations", c.ID)
+		}
+		if !containsAll(cand.Keys, c.Truth.Keys) {
+			t.Errorf("claim %d candidates missing truth keys", c.ID)
+		}
+		if !containsAll(cand.Formulas, []string{c.Truth.Formula}) {
+			t.Errorf("claim %d candidates missing truth formula", c.ID)
+		}
+	}
+}
+
+func containsAll(haystack, needles []string) bool {
+	set := map[string]bool{}
+	for _, h := range haystack {
+		set[h] = true
+	}
+	for _, n := range needles {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeterministic(t *testing.T) {
+	w1 := smallWorld(t)
+	w2 := smallWorld(t)
+	for i, c1 := range w1.Document.Claims {
+		c2 := w2.Document.Claims[i]
+		if c1.Text != c2.Text || c1.Param != c2.Param || c1.Correct != c2.Correct {
+			t.Fatalf("generation not deterministic at claim %d", c1.ID)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := SmallScale()
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 12345
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range w1.Document.Claims {
+		if w1.Document.Claims[i].Text == w2.Document.Claims[i].Text {
+			same++
+		}
+	}
+	if same == len(w1.Document.Claims) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestFormatQty(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{22209, "22 209"},
+		{1234567, "1 234 567"},
+		{450, "450"},
+		{-1234, "-1 234"},
+		{3.25, "3.25"},
+	}
+	for _, c := range cases {
+		if got := formatQty(c.v); got != c.want {
+			t.Errorf("formatQty(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRound3(t *testing.T) {
+	if got := round3(22209.4); got != 22200 {
+		t.Errorf("round3(22209.4) = %g", got)
+	}
+	if got := round3(0); got != 0 {
+		t.Errorf("round3(0) = %g", got)
+	}
+	v := round3(3.14159)
+	if math.Abs(v-3.14) > 1e-9 {
+		t.Errorf("round3(pi) = %g", v)
+	}
+}
+
+func TestZipfPickSkew(t *testing.T) {
+	w := smallWorld(t)
+	// The top formula should cover far more claims than the median one.
+	counts := map[string]int{}
+	for _, c := range w.Document.Claims {
+		counts[c.Truth.Formula]++
+	}
+	top := 0
+	for _, n := range counts {
+		if n > top {
+			top = n
+		}
+	}
+	if top < len(w.Document.Claims)/10 {
+		t.Errorf("top formula covers %d of %d claims; expected heavy skew", top, len(w.Document.Claims))
+	}
+}
+
+func TestConfigDefaultsFill(t *testing.T) {
+	w, err := Generate(Config{Seed: 3, NumClaims: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Document.Claims) != 10 {
+		t.Errorf("claims = %d", len(w.Document.Claims))
+	}
+	if w.Corpus.Len() == 0 {
+		t.Error("defaults produced empty corpus")
+	}
+}

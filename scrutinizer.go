@@ -1,0 +1,248 @@
+// Package scrutinizer is the public facade of the Scrutinizer
+// reproduction: a mixed-initiative system for verifying statistical claims
+// in text documents against a corpus of relational tables (Karagiannis,
+// Saeed, Papotti, Trummer — VLDB 2020).
+//
+// The facade wires the internal subsystems — feature pipeline, property
+// classifiers, question planner, claim-ordering scheduler, query generator
+// and simulated crowd — into a small API:
+//
+//	world, _ := scrutinizer.GenerateWorld(scrutinizer.SmallWorld())
+//	sys, _ := scrutinizer.New(world.Corpus, world.Document, scrutinizer.Options{})
+//	team, _ := sys.NewTeam(3)
+//	result, _ := sys.VerifyDocument(team, scrutinizer.VerifyOptions{})
+//	fmt.Println(result.Report())
+//
+// See the examples directory for runnable end-to-end programs and DESIGN.md
+// for the architecture and the paper-to-package map.
+package scrutinizer
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/crowd"
+	"github.com/repro/scrutinizer/internal/embed"
+	"github.com/repro/scrutinizer/internal/feature"
+	"github.com/repro/scrutinizer/internal/planner"
+	"github.com/repro/scrutinizer/internal/report"
+	"github.com/repro/scrutinizer/internal/table"
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+// Re-exported core types so callers do not need the internal packages.
+type (
+	// Corpus is the set of relational tables D.
+	Corpus = table.Corpus
+	// Relation is one statistical table.
+	Relation = table.Relation
+	// Document is the text T with its claims C.
+	Document = claims.Document
+	// Claim is one verifiable statement.
+	Claim = claims.Claim
+	// GroundTruth is a claim's check annotation.
+	GroundTruth = claims.GroundTruth
+	// Team is a crowd of simulated domain experts.
+	Team = crowd.Team
+	// Outcome is the verification result for one claim.
+	Outcome = core.Outcome
+	// CostModel carries the §5.1 crowd-time constants.
+	CostModel = planner.CostModel
+	// World bundles a generated corpus + document.
+	World = worldgen.World
+	// WorldConfig parameterises synthetic world generation.
+	WorldConfig = worldgen.Config
+)
+
+// Verdict values.
+const (
+	VerdictCorrect   = core.VerdictCorrect
+	VerdictIncorrect = core.VerdictIncorrect
+	VerdictSkipped   = core.VerdictSkipped
+)
+
+// Claim kinds (paper Definitions 1 and 2).
+const (
+	KindExplicit = claims.Explicit
+	KindGeneral  = claims.General
+)
+
+// Ordering strategies for claim scheduling.
+const (
+	OrderILP        = core.OrderILP
+	OrderSequential = core.OrderSequential
+	OrderGreedy     = core.OrderGreedy
+)
+
+// NewCorpus creates an empty relational corpus.
+func NewCorpus() *Corpus { return table.NewCorpus() }
+
+// ReadDocumentJSON parses a document (with annotations) previously written
+// by Document.WriteJSON; archived past checks can bootstrap a new System
+// through Train.
+func ReadDocumentJSON(r io.Reader) (*Document, error) { return claims.ReadJSON(r) }
+
+// ReadRelationCSV parses one relation from CSV (first column is the key
+// attribute).
+func ReadRelationCSV(name string, r io.Reader) (*Relation, error) {
+	return table.ReadCSV(name, r)
+}
+
+// NewRelation creates a relation with a key attribute and value attributes.
+func NewRelation(name, keyAttr string, attrs []string) (*Relation, error) {
+	return table.NewRelation(name, keyAttr, attrs)
+}
+
+// GenerateWorld builds a synthetic IEA-like corpus and annotated document.
+func GenerateWorld(cfg WorldConfig) (*World, error) { return worldgen.Generate(cfg) }
+
+// SmallWorld returns a fast world configuration for demos and tests.
+func SmallWorld() WorldConfig { return worldgen.SmallScale() }
+
+// PaperWorld returns the paper-scale world configuration (1539 claims).
+func PaperWorld() WorldConfig { return worldgen.PaperScale() }
+
+// DefaultCostModel returns the reference §5.1 cost constants.
+func DefaultCostModel() CostModel { return planner.DefaultCostModel() }
+
+// Options configures a System.
+type Options struct {
+	// Cost overrides the crowd cost model (zero value = default).
+	Cost CostModel
+	// Tolerance is the admissible error rate e (default 0.05).
+	Tolerance float64
+	// TopK is the per-property candidate count (default 10).
+	TopK int
+	// EmbeddingDim sizes the word embeddings (default 32).
+	EmbeddingDim int
+	// Seed drives all randomised components.
+	Seed int64
+}
+
+// System is a ready-to-run Scrutinizer instance bound to one corpus and
+// document.
+type System struct {
+	engine *core.Engine
+	doc    *claims.Document
+	seed   int64
+}
+
+// New builds a System: it fits the feature pipeline (embeddings + TF-IDF)
+// on the document text and wires the engine. Claims with annotations can be
+// used for training via Train; otherwise the system cold-starts.
+func New(corpus *Corpus, doc *Document, opts Options) (*System, error) {
+	if corpus == nil || doc == nil {
+		return nil, fmt.Errorf("scrutinizer: corpus and document are required")
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(doc.Claims) == 0 {
+		return nil, fmt.Errorf("scrutinizer: document has no claims")
+	}
+	dim := opts.EmbeddingDim
+	if dim <= 0 {
+		dim = 32
+	}
+	var sentences, texts []string
+	for _, c := range doc.Claims {
+		sentences = append(sentences, c.Sentence)
+		texts = append(texts, c.Text)
+	}
+	pipe, err := feature.Fit(sentences, texts, feature.Config{
+		Embedding: embed.Config{Dim: dim, Seed: opts.Seed},
+		MinDF:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if opts.Cost != (CostModel{}) {
+		cfg.Cost = opts.Cost
+	}
+	if opts.Tolerance > 0 {
+		cfg.Tolerance = opts.Tolerance
+	}
+	if opts.TopK > 0 {
+		cfg.TopK = opts.TopK
+	}
+	cfg.Classifier.Seed = opts.Seed
+	engine, err := core.NewEngine(corpus, pipe, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: engine, doc: doc, seed: opts.Seed}, nil
+}
+
+// Engine exposes the underlying engine for advanced use (examples, benches).
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// Train bootstraps the classifiers from previously checked claims (those
+// with Truth annotations), as when "a database of previously checked claims
+// is available".
+func (s *System) Train(annotated []*Claim) error { return s.engine.Train(annotated) }
+
+// NewTeam creates n simulated domain experts with near-perfect judgement.
+func (s *System) NewTeam(n int) (*Team, error) {
+	return crowd.NewTeam("W", n, 0.97, s.seed+1)
+}
+
+// VerifyOptions configures document verification.
+type VerifyOptions struct {
+	// BatchSize is the retraining batch (default 100).
+	BatchSize int
+	// SectionReadCost is the per-section skim cost in seconds.
+	SectionReadCost float64
+	// Ordering picks the claim-ordering strategy (default OrderILP).
+	Ordering core.Ordering
+}
+
+// Result bundles outcomes with reporting helpers.
+type Result struct {
+	doc      *claims.Document
+	Outcomes []*Outcome
+	Seconds  float64
+	Batches  int
+}
+
+// VerifyDocument runs the full Algorithm 1 loop over the system's document.
+func (s *System) VerifyDocument(team *Team, opts VerifyOptions) (*Result, error) {
+	res, err := s.engine.Verify(s.doc, team, core.VerifyConfig{
+		BatchSize:       opts.BatchSize,
+		SectionReadCost: opts.SectionReadCost,
+		Ordering:        opts.Ordering,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{doc: s.doc, Outcomes: res.Outcomes, Seconds: res.Seconds, Batches: res.Batches}, nil
+}
+
+// VerifyClaim verifies a single claim (it must carry a Truth annotation for
+// the simulated crowd to answer from).
+func (s *System) VerifyClaim(c *Claim, team *Team) (*Outcome, error) {
+	return s.engine.VerifyClaim(c, team)
+}
+
+// Oracle is the mixed-initiative answer source: implement it to plug real
+// fact checkers (terminal, web UI, ...) into the verification flow. See
+// core.Oracle for the contract and core.ScriptedOracle for a fixture
+// implementation.
+type Oracle = core.Oracle
+
+// VerifyClaimWith verifies a single claim through a custom Oracle; no
+// ground-truth annotation is needed when the oracle answers from a human.
+func (s *System) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
+	return s.engine.VerifyClaimWith(c, oracle)
+}
+
+// Report renders the verification report (Definition 4 output).
+func (r *Result) Report() string {
+	rep := &report.Report{Document: r.doc, Outcomes: r.Outcomes, Seconds: r.Seconds}
+	return rep.String()
+}
+
+// Accuracy scores the verdicts against the document's injected errors.
+func (r *Result) Accuracy() float64 { return core.Accuracy(r.doc, r.Outcomes) }

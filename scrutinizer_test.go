@@ -1,0 +1,164 @@
+package scrutinizer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := SmallWorld()
+	cfg.NumClaims = 50
+	cfg.NumSections = 5
+	w, err := GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	w := testWorld(t)
+	if _, err := New(nil, w.Document, Options{}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := New(w.Corpus, nil, Options{}); err == nil {
+		t.Error("nil document accepted")
+	}
+	if _, err := New(w.Corpus, &Document{Title: "empty"}, Options{}); err == nil {
+		t.Error("empty document accepted")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	w := testWorld(t)
+	sys, err := New(w.Corpus, w.Document, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := sys.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 15, SectionReadCost: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(w.Document.Claims) {
+		t.Fatalf("verified %d of %d", len(res.Outcomes), len(w.Document.Claims))
+	}
+	if res.Accuracy() < 0.9 {
+		t.Errorf("accuracy = %g", res.Accuracy())
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "Verification report") || !strings.Contains(rep, "verdict:") {
+		t.Errorf("report malformed:\n%s", rep[:min(400, len(rep))])
+	}
+}
+
+func TestSingleClaimFacade(t *testing.T) {
+	w := testWorld(t)
+	sys, err := New(w.Corpus, w.Document, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	team, err := sys.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.VerifyClaim(w.Document.Claims[0], team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == VerdictSkipped {
+		t.Error("trained facade skipped a claim")
+	}
+	if sys.Engine() == nil {
+		t.Error("Engine accessor nil")
+	}
+}
+
+func TestBuildCorpusManually(t *testing.T) {
+	c := NewCorpus()
+	r, err := NewRelation("GED", "Index", []string{"2016", "2017"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddRow("PGElecDemand", []float64{21546, 22209}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Get("GED", "PGElecDemand", "2017"); err != nil || v != 22209 {
+		t.Errorf("corpus get = %g, %v", v, err)
+	}
+	if DefaultCostModel().Validate() != nil {
+		t.Error("default cost model invalid")
+	}
+	if PaperWorld().NumClaims != 1539 {
+		t.Error("paper world should have 1539 claims")
+	}
+}
+
+func TestDocumentJSONAndCSVFacade(t *testing.T) {
+	w := testWorld(t)
+	var buf bytes.Buffer
+	if err := w.Document.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadDocumentJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Claims) != len(w.Document.Claims) {
+		t.Fatalf("claims = %d, want %d", len(doc.Claims), len(w.Document.Claims))
+	}
+	// A system built from the re-read document trains and verifies.
+	sys, err := New(w.Corpus, doc, Options{Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(doc.Claims); err != nil {
+		t.Fatal(err)
+	}
+	team, err := sys.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.VerifyClaim(doc.Claims[0], team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == VerdictSkipped {
+		t.Error("re-read document claim skipped")
+	}
+
+	// CSV relation round trip through the facade.
+	rel, err := w.Corpus.Relation(w.Corpus.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := rel.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ReadRelationCSV(rel.Name(), &csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.NumRows() != rel.NumRows() {
+		t.Errorf("CSV round trip rows = %d, want %d", rel2.NumRows(), rel.NumRows())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
