@@ -6,6 +6,7 @@
 package scrutinizer
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/aggcheck"
@@ -230,6 +231,68 @@ func BenchmarkTable3BaselineCoverage(b *testing.B) {
 		b.ReportMetric(float64(cov.Unsupported)/float64(cov.Total)*100, "unsupported-%")
 		b.ReportMetric(cov.Accuracy()*100, "attempted-acc-%")
 	}
+}
+
+// --- Parallel verification pipeline ---------------------------------------
+
+// benchVerify runs one full assisted document verification through the
+// facade at the given fan-out, timing only the Verify loop (world
+// generation and feature fitting are untimed setup). The reported
+// claims/s metric is the serving-throughput headline; verdicts are
+// identical at every parallelism, so sequential vs parallel is a pure
+// wall-clock comparison.
+func benchVerify(b *testing.B, cfg worldgen.Config, parallelism int) {
+	w, err := worldgen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := New(w.Corpus, w.Document, Options{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		team, err := sys.NewTeam(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := sys.VerifyDocument(team, VerifyOptions{
+			BatchSize:   100,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) != len(w.Document.Claims) {
+			b.Fatalf("verified %d of %d claims", len(res.Outcomes), len(w.Document.Claims))
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(w.Document.Claims))/b.Elapsed().Seconds(), "claims/s")
+}
+
+func paperBenchCfg() worldgen.Config {
+	// PaperScale claim count (1539) over the small corpus: the benchmark
+	// measures the verification loop, not corpus generation.
+	cfg := worldgen.SmallScale()
+	cfg.NumClaims = worldgen.PaperScale().NumClaims
+	cfg.NumSections = 40
+	return cfg
+}
+
+// BenchmarkVerifySequential is the baseline: one claim at a time, exactly
+// the paper's Algorithm 1.
+func BenchmarkVerifySequential(b *testing.B) {
+	b.Run("SmallWorld", func(b *testing.B) { benchVerify(b, benchWorldCfg(), 1) })
+	b.Run("PaperWorld", func(b *testing.B) { benchVerify(b, paperBenchCfg(), 1) })
+}
+
+// BenchmarkVerifyParallel fans each batch out across all CPUs; the
+// acceptance bar is ≥2x over BenchmarkVerifySequential on a 4-core runner
+// at PaperWorld scale.
+func BenchmarkVerifyParallel(b *testing.B) {
+	b.Run("SmallWorld", func(b *testing.B) { benchVerify(b, benchWorldCfg(), runtime.NumCPU()) })
+	b.Run("PaperWorld", func(b *testing.B) { benchVerify(b, paperBenchCfg(), runtime.NumCPU()) })
 }
 
 // --- Ablations (DESIGN.md §4) ---------------------------------------------

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/repro/scrutinizer/internal/aggcheck"
@@ -32,7 +33,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig5-fig10, ablations")
 	scale := flag.String("scale", "small", "world scale: small or paper")
 	seed := flag.Int64("seed", 2018, "world seed")
+	parallel := flag.Int("parallel", 0, "claims verified concurrently per batch (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
 
 	worldCfg := worldgen.SmallScale()
 	if *scale == "paper" {
@@ -40,7 +45,7 @@ func main() {
 	}
 	worldCfg.Seed = *seed
 
-	runner := &runner{worldCfg: worldCfg, scale: *scale}
+	runner := &runner{worldCfg: worldCfg, scale: *scale, parallel: *parallel}
 	experiments := map[string]func() error{
 		"table1":    runner.table1,
 		"table2":    runner.table2,
@@ -80,6 +85,7 @@ func main() {
 type runner struct {
 	worldCfg worldgen.Config
 	scale    string
+	parallel int
 
 	simResult *sim.SimulationResult // cached across fig7/8/9/table2
 }
@@ -145,6 +151,7 @@ func (r *runner) simulation() (*sim.SimulationResult, error) {
 	}
 	cfg := sim.DefaultSimulationConfig()
 	cfg.World = r.worldCfg
+	cfg.Parallelism = r.parallel
 	if r.scale == "small" {
 		cfg.BatchSize = 20
 	}
@@ -353,6 +360,7 @@ func (r *runner) ablations() error {
 			SectionReadCost: 60,
 			Ordering:        ord,
 			Seed:            3,
+			Parallelism:     r.parallel,
 		}
 		if ord == core.OrderILP {
 			vc.UtilityWeight = 60

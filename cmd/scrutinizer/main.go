@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scrutinizer [-claims n] [-team n] [-batch n] [-ordering ilp|sequential|greedy] [-seed n]
+//	scrutinizer [-claims n] [-team n] [-batch n] [-ordering ilp|sequential|greedy] [-parallel n] [-seed n]
 //	scrutinizer -corpus dir        # load relations from CSV files in dir
 //
 // With -corpus, every *.csv file in the directory becomes a relation (file
@@ -22,8 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
 	"github.com/repro/scrutinizer"
 	"github.com/repro/scrutinizer/internal/core"
@@ -35,6 +33,7 @@ func main() {
 	teamSize := flag.Int("team", 3, "number of crowd checkers")
 	batch := flag.Int("batch", 25, "claims per batch between retrainings")
 	orderingFlag := flag.String("ordering", "ilp", "claim ordering: ilp, sequential or greedy")
+	parallel := flag.Int("parallel", 0, "claims verified concurrently per batch (0 = all CPUs, 1 = sequential)")
 	seed := flag.Int64("seed", 7, "world seed")
 	corpusDir := flag.String("corpus", "", "directory of CSV relations to inspect instead of the synthetic corpus")
 	interactive := flag.Bool("interactive", false, "answer the question screens yourself at the terminal (mixed-initiative mode)")
@@ -86,6 +85,7 @@ func main() {
 		BatchSize:       *batch,
 		SectionReadCost: 60,
 		Ordering:        ordering,
+		Parallelism:     *parallel,
 	})
 	if err != nil {
 		fatal(err)
@@ -95,27 +95,9 @@ func main() {
 }
 
 func inspectCorpus(dir string) error {
-	entries, err := os.ReadDir(dir)
+	corpus, err := table.ReadCSVDir(dir)
 	if err != nil {
 		return err
-	}
-	corpus := table.NewCorpus()
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return err
-		}
-		rel, err := table.ReadCSV(strings.TrimSuffix(e.Name(), ".csv"), f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		if err := corpus.Add(rel); err != nil {
-			return err
-		}
 	}
 	s := corpus.Stats()
 	fmt.Printf("corpus: %d relations, %d rows, %d cells\n", s.Relations, s.Rows, s.Cells)

@@ -1,0 +1,319 @@
+// Command scrutinizerd serves Scrutinizer as a long-running HTTP service:
+// documents of annotated claims are POSTed in, verification reports come
+// back as JSON. The corpus is loaded once at startup and shared by all
+// requests; each request gets its own System (feature pipeline +
+// classifiers) fitted to the posted document, and its batches are verified
+// across -parallel goroutines.
+//
+// Usage:
+//
+//	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n]
+//
+// Without -corpus the daemon generates a synthetic world corpus (the
+// quickest way to try the API: generate a matching document with
+// cmd/datagen or the snippet in the README).
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness + corpus statistics
+//	POST /verify    document JSON in, verification report JSON out
+//
+// A /verify body is either a bare document (the claims.WriteJSON format) or
+// an envelope:
+//
+//	{
+//	  "document":    {...},       // required: the document to verify
+//	  "team":        3,           // simulated checkers (default 3)
+//	  "batch":       100,         // retraining batch size (default 100)
+//	  "parallelism": 0,           // 0 = server default
+//	  "ordering":    "ilp",       // ilp | sequential | greedy | random
+//	  "seed":        7,           // system + crowd seed
+//	  "section_read_cost": 0      // seconds per section skim
+//	}
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/repro/scrutinizer"
+	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/table"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	corpusDir := flag.String("corpus", "", "directory of CSV relations (default: synthetic world corpus)")
+	numClaims := flag.Int("claims", 200, "synthetic world size when -corpus is not given")
+	seed := flag.Int64("seed", 7, "synthetic world seed")
+	parallel := flag.Int("parallel", 0, "default per-batch verification fan-out (0 = all CPUs)")
+	flag.Parse()
+
+	corpus, err := loadCorpus(*corpusDir, *numClaims, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := newServer(corpus, *parallel)
+	stats := corpus.Stats()
+	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), listening on %s",
+		stats.Relations, stats.Rows, stats.Cells, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// No write timeout: paper-scale verifications legitimately run for
+		// minutes.
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("scrutinizerd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("scrutinizerd: shutdown: %v", err)
+		}
+	}
+}
+
+// loadCorpus reads every *.csv in dir as one relation, or generates the
+// synthetic world corpus when dir is empty.
+func loadCorpus(dir string, numClaims int, seed int64) (*scrutinizer.Corpus, error) {
+	if dir == "" {
+		cfg := scrutinizer.SmallWorld()
+		cfg.NumClaims = numClaims
+		cfg.Seed = seed
+		w, err := scrutinizer.GenerateWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return w.Corpus, nil
+	}
+	return table.ReadCSVDir(dir)
+}
+
+// server holds the shared, read-only state of the daemon.
+type server struct {
+	corpus   *scrutinizer.Corpus
+	parallel int
+	started  time.Time
+}
+
+func newServer(corpus *scrutinizer.Corpus, parallel int) *server {
+	if parallel <= 0 {
+		parallel = core.DefaultParallelism()
+	}
+	return &server{corpus: corpus, parallel: parallel, started: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/verify", s.handleVerify)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	stats := s.corpus.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"corpus": map[string]int{
+			"relations": stats.Relations,
+			"rows":      stats.Rows,
+			"cells":     stats.Cells,
+		},
+		"parallelism": s.parallel,
+		"uptime_s":    int(time.Since(s.started).Seconds()),
+	})
+}
+
+// verifyRequest is the /verify envelope. Document is raw so a bare document
+// body can be detected and accepted too.
+type verifyRequest struct {
+	Document        json.RawMessage `json:"document"`
+	Team            int             `json:"team"`
+	Batch           int             `json:"batch"`
+	Parallelism     int             `json:"parallelism"`
+	Ordering        string          `json:"ordering"`
+	Seed            int64           `json:"seed"`
+	SectionReadCost float64         `json:"section_read_cost"`
+}
+
+// verifyResponse is the /verify report.
+type verifyResponse struct {
+	Title       string          `json:"title"`
+	Claims      int             `json:"claims"`
+	Correct     int             `json:"correct"`
+	Incorrect   int             `json:"incorrect"`
+	Skipped     int             `json:"skipped"`
+	Accuracy    float64         `json:"accuracy"`
+	CrowdSecs   float64         `json:"crowd_seconds"`
+	Batches     int             `json:"batches"`
+	Parallelism int             `json:"parallelism"`
+	WallMillis  int64           `json:"wall_ms"`
+	Outcomes    []verifyOutcome `json:"outcomes"`
+}
+
+type verifyOutcome struct {
+	ClaimID int     `json:"claim_id"`
+	Verdict string  `json:"verdict"`
+	Seconds float64 `json:"seconds"`
+	SQL     string  `json:"sql,omitempty"`
+	Value   float64 `json:"value"`
+	// Suggestion is a pointer so a legitimate zero-valued correction
+	// survives serialisation: nil = no correction proposed.
+	Suggestion *float64 `json:"suggestion,omitempty"`
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return
+	}
+
+	var req verifyRequest
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	docBytes := []byte(req.Document)
+	if len(docBytes) == 0 {
+		// Bare document body.
+		docBytes = buf.Bytes()
+	}
+	doc, err := scrutinizer.ReadDocumentJSON(bytes.NewReader(docBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	for _, c := range doc.Claims {
+		if c.Truth == nil {
+			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf(
+				"claim %d has no ground-truth annotation; the HTTP service runs the simulated-crowd flow, which answers from annotations (plug a custom Oracle in programmatically for human answers)", c.ID))
+			return
+		}
+	}
+
+	ordering := core.OrderILP
+	switch req.Ordering {
+	case "", "ilp":
+	case "sequential":
+		ordering = core.OrderSequential
+	case "greedy":
+		ordering = core.OrderGreedy
+	case "random":
+		ordering = core.OrderRandom
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown ordering %q", req.Ordering))
+		return
+	}
+	team := req.Team
+	if team <= 0 {
+		team = 3
+	}
+	parallelism := req.Parallelism
+	if parallelism <= 0 {
+		parallelism = s.parallel
+	}
+
+	start := time.Now()
+	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	crowd, err := sys.NewTeam(team)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := sys.VerifyDocument(crowd, scrutinizer.VerifyOptions{
+		BatchSize:       req.Batch,
+		SectionReadCost: req.SectionReadCost,
+		Ordering:        ordering,
+		Parallelism:     parallelism,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := verifyResponse{
+		Title:       doc.Title,
+		Claims:      len(doc.Claims),
+		Accuracy:    res.Accuracy(),
+		CrowdSecs:   res.Seconds,
+		Batches:     res.Batches,
+		Parallelism: parallelism,
+		WallMillis:  time.Since(start).Milliseconds(),
+	}
+	for _, o := range res.Outcomes {
+		vo := verifyOutcome{
+			ClaimID: o.ClaimID,
+			Verdict: o.Verdict.String(),
+			Seconds: o.Seconds,
+			Value:   o.Value,
+		}
+		if o.Query != nil {
+			vo.SQL = o.Query.SQL()
+		}
+		if o.HasSuggestion {
+			s := o.Suggestion
+			vo.Suggestion = &s
+		}
+		switch o.Verdict {
+		case scrutinizer.VerdictCorrect:
+			resp.Correct++
+		case scrutinizer.VerdictIncorrect:
+			resp.Incorrect++
+		default:
+			resp.Skipped++
+		}
+		resp.Outcomes = append(resp.Outcomes, vo)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		log.Printf("scrutinizerd: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

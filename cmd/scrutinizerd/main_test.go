@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer"
+)
+
+func testServer(t *testing.T) (*server, *scrutinizer.World) {
+	t.Helper()
+	cfg := scrutinizer.SmallWorld()
+	cfg.NumClaims = 30
+	cfg.NumSections = 3
+	w, err := scrutinizer.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(w.Corpus, 4), w
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string         `json:"status"`
+		Corpus map[string]int `json:"corpus"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Corpus["relations"] == 0 {
+		t.Errorf("healthz body = %+v", body)
+	}
+}
+
+func postVerify(t *testing.T, ts *httptest.Server, payload []byte) (*http.Response, verifyResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/verify", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out verifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestVerifyEnvelope(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var doc bytes.Buffer
+	if err := w.Document.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]any{
+		"document":    json.RawMessage(doc.Bytes()),
+		"team":        3,
+		"batch":       10,
+		"parallelism": 4,
+		"seed":        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postVerify(t, ts, payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Claims != len(w.Document.Claims) || len(out.Outcomes) != out.Claims {
+		t.Fatalf("claims = %d, outcomes = %d, want %d", out.Claims, len(out.Outcomes), len(w.Document.Claims))
+	}
+	if out.Correct+out.Incorrect+out.Skipped != out.Claims {
+		t.Errorf("verdict counts %d+%d+%d != %d", out.Correct, out.Incorrect, out.Skipped, out.Claims)
+	}
+	if out.Accuracy < 0.9 {
+		t.Errorf("accuracy = %g", out.Accuracy)
+	}
+	if out.CrowdSecs <= 0 || out.Batches == 0 || out.Parallelism != 4 {
+		t.Errorf("report fields: %+v", out)
+	}
+}
+
+func TestVerifyBareDocumentAndDeterminism(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var doc bytes.Buffer
+	if err := w.Document.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp1, out1 := postVerify(t, ts, doc.Bytes())
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("bare document rejected: %d", resp1.StatusCode)
+	}
+	// Same request twice: identical crowd time and verdicts (the service
+	// inherits the engine's determinism, whatever the fan-out).
+	resp2, out2 := postVerify(t, ts, doc.Bytes())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d", resp2.StatusCode)
+	}
+	if out1.CrowdSecs != out2.CrowdSecs || out1.Correct != out2.Correct || out1.Incorrect != out2.Incorrect {
+		t.Errorf("non-deterministic service: %+v vs %+v", out1, out2)
+	}
+}
+
+func TestVerifyRejectsBadInput(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name    string
+		payload string
+		want    int
+	}{
+		{"malformed", "{not json", http.StatusBadRequest},
+		// {} parses as an empty document, which fails at System
+		// construction: no claims to verify.
+		{"empty object", "{}", http.StatusUnprocessableEntity},
+		{"bad ordering", `{"document": {"title": "t", "sections": 1, "claims": []}, "ordering": "alphabetical"}`, http.StatusBadRequest},
+	} {
+		resp, _ := postVerify(t, ts, []byte(tc.payload))
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Unannotated claims are a 422: the simulated crowd has nothing to
+	// answer from.
+	stripped := *w.Document
+	stripped.Claims = nil
+	for _, c := range w.Document.Claims {
+		cc := *c
+		cc.Truth = nil
+		stripped.Claims = append(stripped.Claims, &cc)
+	}
+	var doc bytes.Buffer
+	if err := stripped.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postVerify(t, ts, doc.Bytes())
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unannotated document: status = %d, want 422", resp.StatusCode)
+	}
+
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /verify: status = %d", getResp.StatusCode)
+	}
+}
+
+func TestLoadCorpusSynthetic(t *testing.T) {
+	corpus, err := loadCorpus("", 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Names()) == 0 {
+		t.Fatal("synthetic corpus is empty")
+	}
+	if _, err := loadCorpus(t.TempDir(), 0, 0); err == nil || !strings.Contains(err.Error(), "no *.csv") {
+		t.Errorf("empty corpus dir: err = %v", err)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	simulate [-scale small|paper] [-batch n] [-team n] [-seed n] [-systems manual,sequential,scrutinizer]
+//	simulate [-scale small|paper] [-batch n] [-team n] [-seed n] [-parallel n] [-systems manual,sequential,scrutinizer]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	batch := flag.Int("batch", 0, "batch size (0 = scale default)")
 	team := flag.Int("team", 3, "team size")
 	seed := flag.Int64("seed", 2018, "world seed")
+	parallel := flag.Int("parallel", 0, "claims verified concurrently per batch (0 = all CPUs, 1 = sequential)")
 	systemsFlag := flag.String("systems", "", "comma-separated subset of manual,sequential,scrutinizer")
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 	}
 	cfg.World.Seed = *seed
 	cfg.TeamSize = *team
+	cfg.Parallelism = *parallel
 	if *batch > 0 {
 		cfg.BatchSize = *batch
 	}

@@ -1,0 +1,3 @@
+module github.com/repro/scrutinizer
+
+go 1.22

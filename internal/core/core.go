@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/classifier"
@@ -160,6 +161,12 @@ type Engine struct {
 	models map[PropertyKind]*classifier.Classifier
 	lib    *formula.Library
 
+	// featMu guards the two caches below: claim verification fans out
+	// across goroutines (Verify with Parallelism > 1) and Featurize is on
+	// that shared path. Everything else the workers touch — classifier
+	// scoring, the formula library, the corpus — is read-only between
+	// training rounds.
+	featMu    sync.RWMutex
 	featCache map[int]textproc.Vector // claim ID -> features
 	idxCache  map[int][]int           // claim ID -> sorted feature indices
 }
@@ -203,30 +210,57 @@ func (e *Engine) Library() *formula.Library { return e.lib }
 // Model returns the classifier for a property kind.
 func (e *Engine) Model(kind PropertyKind) *classifier.Classifier { return e.models[kind] }
 
-// Featurize returns (and caches) the feature vector of a claim.
+// Featurize returns (and caches) the feature vector of a claim. It is safe
+// for concurrent use.
 func (e *Engine) Featurize(c *claims.Claim) textproc.Vector {
-	if v, ok := e.featCache[c.ID]; ok {
+	e.featMu.RLock()
+	v, ok := e.featCache[c.ID]
+	e.featMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := e.pipe.Vector(c.Sentence, c.Text)
+	// Compute outside the lock: Vector is pure and featurization is
+	// idempotent, so a racing duplicate computation is harmless.
+	v = e.pipe.Vector(c.Sentence, c.Text)
+	idx := v.Indices()
+	e.featMu.Lock()
 	e.featCache[c.ID] = v
-	e.idxCache[c.ID] = v.Indices()
+	e.idxCache[c.ID] = idx
+	e.featMu.Unlock()
 	return v
 }
 
 // featIdx returns the cached sorted index list of a claim's features.
 func (e *Engine) featIdx(c *claims.Claim) []int {
-	if idx, ok := e.idxCache[c.ID]; ok {
+	e.featMu.RLock()
+	idx, ok := e.idxCache[c.ID]
+	e.featMu.RUnlock()
+	if ok {
 		return idx
 	}
 	e.Featurize(c)
+	e.featMu.RLock()
+	defer e.featMu.RUnlock()
 	return e.idxCache[c.ID]
 }
 
 // Train retrains all four classifiers from the annotated claims (those with
 // Truth set). Claims without annotations are skipped. It also refreshes the
 // formula library. Algorithm 1 calls this after every verified batch.
+// The four models train concurrently; see train.
 func (e *Engine) Train(annotated []*claims.Claim) error {
+	return e.train(annotated, DefaultParallelism())
+}
+
+// train is Train with an explicit fan-out: the four models are independent
+// (own weights, own deterministic shuffle seed), so with parallelism > 1
+// they train concurrently — on a multi-core machine this takes the
+// per-batch retraining of Algorithm 1 from the sum of the four training
+// times down to the slowest single model, which is the serial bottleneck
+// of document verification at paper scale. Verify threads its
+// VerifyConfig.Parallelism through here so a Parallelism=1 run is a truly
+// sequential baseline.
+func (e *Engine) train(annotated []*claims.Claim, parallelism int) error {
 	sets := make(map[PropertyKind][]classifier.Example, 4)
 	e.lib = formula.NewLibrary()
 	for _, c := range annotated {
@@ -247,12 +281,20 @@ func (e *Engine) Train(annotated []*claims.Claim) error {
 			}
 		}
 	}
-	for _, k := range PropertyKinds() {
+	kinds := PropertyKinds()
+	errs := make([]error, len(kinds))
+	runPool(len(kinds), parallelism, func(i int) {
+		k := kinds[i]
 		if len(sets[k]) == 0 {
-			continue // stay untrained for this property (cold start)
+			return // stay untrained for this property (cold start)
 		}
 		if err := e.models[k].Train(sets[k]); err != nil {
-			return fmt.Errorf("core: training %s classifier: %w", k, err)
+			errs[i] = fmt.Errorf("core: training %s classifier: %w", k, err)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

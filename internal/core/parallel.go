@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/crowd"
+)
+
+// DefaultParallelism is the fan-out Verify uses when callers ask for
+// "as parallel as the hardware allows".
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// runPool invokes fn(0..n-1) across at most parallelism goroutines and
+// waits for completion. With parallelism <= 1 it degenerates to a plain
+// loop on the caller's goroutine. fn must write results into its own index
+// of a pre-sized slice, which keeps output ordering independent of
+// goroutine interleaving.
+func runPool(n, parallelism int, fn func(i int)) {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// assessAll scores cost and utility for every claim (the scheduler inputs),
+// fanning the per-claim scoring passes out across goroutines. Assess only
+// reads model state, so the fan-out is ordering-free; results come back
+// indexed like ids.
+func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism int) ([]float64, []float64) {
+	costs := make([]float64, len(ids))
+	utilities := make([]float64, len(ids))
+	runPool(len(ids), parallelism, func(i int) {
+		costs[i], utilities[i] = e.Assess(pool[ids[i]])
+	})
+	return costs, utilities
+}
+
+// verifyBatch verifies the claims of one batch and returns their outcomes
+// in batch order. With parallelism > 1 the claims are distributed over a
+// pool of goroutines; each claim gets its own crowd view (team.ForClaim),
+// whose random streams depend only on the claim ID, so the outcomes — and
+// therefore the labels fed back into retraining — are identical to a
+// sequential pass over the same batch.
+//
+// Between batches the engine's classifiers and formula library are mutated
+// by Train; during a batch they are only read, which is what makes the
+// fan-out safe (Featurize, the one mutating read path, is lock-protected).
+func (e *Engine) verifyBatch(ids []int, pool map[int]*claims.Claim, team *crowd.Team, parallelism int) ([]*Outcome, error) {
+	outs := make([]*Outcome, len(ids))
+	errs := make([]error, len(ids))
+	runPool(len(ids), parallelism, func(i int) {
+		id := ids[i]
+		outs[i], errs[i] = e.VerifyClaim(pool[id], team.ForClaim(id))
+	})
+	// Report the first error in batch order so failures are deterministic
+	// too.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: verifying claim %d: %w", ids[i], err)
+		}
+	}
+	return outs, nil
+}

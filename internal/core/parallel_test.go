@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/crowd"
+	"github.com/repro/scrutinizer/internal/embed"
+	"github.com/repro/scrutinizer/internal/feature"
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+// buildParallelFixture assembles a world, engine and team the way the
+// facade does, small enough for -race runs.
+func buildParallelFixture(t *testing.T) (*worldgen.World, func() *Engine, *crowd.Team) {
+	t.Helper()
+	cfg := worldgen.SmallScale()
+	cfg.NumClaims = 60
+	cfg.NumSections = 6
+	w, err := worldgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEngine := func() *Engine {
+		var sentences, texts []string
+		for _, c := range w.Document.Claims {
+			sentences = append(sentences, c.Sentence)
+			texts = append(texts, c.Text)
+		}
+		pipe, err := feature.Fit(sentences, texts, feature.Config{
+			Embedding: embed.Config{Dim: 32, Seed: 9},
+			MinDF:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(w.Corpus, pipe, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	team, err := crowd.NewTeam("P", 3, 0.97, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, newEngine, team
+}
+
+// TestVerifyParallelMatchesSequential is the determinism contract: a
+// parallel run must produce outcome-for-outcome the same result as a
+// sequential run, in the same order. Run under -race it also exercises the
+// engine's shared-state safety.
+func TestVerifyParallelMatchesSequential(t *testing.T) {
+	w, newEngine, team := buildParallelFixture(t)
+	vc := VerifyConfig{BatchSize: 15, SectionReadCost: 30}
+
+	run := func(parallelism int) *Result {
+		vc := vc
+		vc.Parallelism = parallelism
+		res, err := newEngine().Verify(w.Document, team, vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+
+	if len(seq.Outcomes) != len(par.Outcomes) {
+		t.Fatalf("outcome counts differ: sequential %d, parallel %d", len(seq.Outcomes), len(par.Outcomes))
+	}
+	if seq.Batches != par.Batches {
+		t.Errorf("batch counts differ: sequential %d, parallel %d", seq.Batches, par.Batches)
+	}
+	if seq.Seconds != par.Seconds {
+		t.Errorf("crowd seconds differ: sequential %g, parallel %g", seq.Seconds, par.Seconds)
+	}
+	for i := range seq.Outcomes {
+		s, p := seq.Outcomes[i], par.Outcomes[i]
+		if s.ClaimID != p.ClaimID {
+			t.Fatalf("outcome %d: claim order differs (sequential %d, parallel %d)", i, s.ClaimID, p.ClaimID)
+		}
+		if s.Verdict != p.Verdict {
+			t.Errorf("claim %d: verdict differs (sequential %v, parallel %v)", s.ClaimID, s.Verdict, p.Verdict)
+		}
+		if s.Seconds != p.Seconds {
+			t.Errorf("claim %d: seconds differ (sequential %g, parallel %g)", s.ClaimID, s.Seconds, p.Seconds)
+		}
+		if s.Screens != p.Screens {
+			t.Errorf("claim %d: screens differ (sequential %d, parallel %d)", s.ClaimID, s.Screens, p.Screens)
+		}
+	}
+}
+
+// TestVerifyParallelRepeatable: two parallel runs at different fan-out
+// agree with each other (scheduling must never leak into results).
+func TestVerifyParallelRepeatable(t *testing.T) {
+	w, newEngine, team := buildParallelFixture(t)
+	var last *Result
+	for _, parallelism := range []int{2, 3, 16} {
+		res, err := newEngine().Verify(w.Document, team, VerifyConfig{
+			BatchSize:   20,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != nil {
+			if res.Seconds != last.Seconds {
+				t.Errorf("parallelism %d: seconds %g != %g", parallelism, res.Seconds, last.Seconds)
+			}
+			for i := range res.Outcomes {
+				if res.Outcomes[i].ClaimID != last.Outcomes[i].ClaimID ||
+					res.Outcomes[i].Verdict != last.Outcomes[i].Verdict {
+					t.Fatalf("parallelism %d: outcome %d diverged", parallelism, i)
+				}
+			}
+		}
+		last = res
+	}
+}
+
+// TestTeamForClaimIsStateless: the per-claim team view answers identically
+// however often and in whatever order it is derived.
+func TestTeamForClaimIsStateless(t *testing.T) {
+	team, err := crowd.NewTeam("Q", 3, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := team.ForClaim(7)
+	// Consume unrelated randomness from another claim's view in between.
+	team.ForClaim(8).Workers[0].ManualVerify("x", DefaultConfig().Cost)
+	b := team.ForClaim(7)
+	for i := range a.Workers {
+		ansA := a.Workers[i].ManualVerify("truth", DefaultConfig().Cost)
+		ansB := b.Workers[i].ManualVerify("truth", DefaultConfig().Cost)
+		if ansA.Value != ansB.Value || ansA.Seconds != ansB.Seconds {
+			t.Fatalf("worker %d: per-claim stream is stateful: %+v vs %+v", i, ansA, ansB)
+		}
+	}
+}

@@ -291,6 +291,13 @@ type VerifyConfig struct {
 	// BatchSize is bu (and bl, capped by remaining claims); the paper
 	// uses 100.
 	BatchSize int
+	// Parallelism is the number of goroutines that verify the claims of
+	// one batch concurrently (claim translation, query generation and the
+	// simulated question screens are all per-claim work). Batch selection
+	// and classifier retraining remain the single synchronization point
+	// between rounds, and per-claim crowd random streams make the results
+	// bit-identical to a sequential run. <= 1 means sequential.
+	Parallelism int
 	// SectionReadCost is r(s) in seconds.
 	SectionReadCost float64
 	// BatchBudget is tm in seconds; 0 derives it from the batch size and
@@ -353,14 +360,13 @@ func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig)
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
-		for _, id := range ids {
-			c := remaining[id]
-			cost, utility := e.Assess(c)
+		costs, utilities := e.assessAll(ids, remaining, vc.Parallelism)
+		for i, id := range ids {
 			items = append(items, scheduler.Item{
-				ClaimID:    c.ID,
-				Section:    c.Section,
-				VerifyCost: cost,
-				Utility:    utility,
+				ClaimID:    id,
+				Section:    remaining[id].Section,
+				VerifyCost: costs[i],
+				Utility:    utilities[i],
 			})
 		}
 		batchSize := vc.BatchSize
@@ -418,25 +424,22 @@ func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig)
 		// batch by each worker.
 		res.Seconds += float64(len(batch.Sections)) * vc.SectionReadCost * float64(team.Size())
 
-		// Verify the batch.
-		var outcomes []*Outcome
-		for _, id := range batch.ClaimIDs {
+		// Verify the batch, fanning claims out across vc.Parallelism
+		// goroutines. Outcomes come back in batch order whatever the
+		// goroutine interleaving, so everything below is deterministic.
+		outcomes, err := e.verifyBatch(batch.ClaimIDs, remaining, team, vc.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range batch.ClaimIDs {
 			c := remaining[id]
-			out, err := e.VerifyClaim(c, team)
-			if err != nil {
-				return nil, fmt.Errorf("core: verifying claim %d: %w", id, err)
-			}
+			out := outcomes[i]
 			res.Seconds += out.Seconds
-			outcomes = append(outcomes, out)
 			res.Outcomes = append(res.Outcomes, out)
-			// Unanimous removal (Algorithm 1 line 18): skipped claims
-			// stay in the pool once; to guarantee termination they are
-			// removed after one retry.
-			if out.Verdict != VerdictSkipped || c.Truth == nil {
-				delete(remaining, id)
-			} else {
-				delete(remaining, id) // annotated ground truth always resolves
-			}
+			// Unanimous removal (Algorithm 1 line 18): annotated ground
+			// truth always resolves, so even skipped claims leave the
+			// pool, guaranteeing termination.
+			delete(remaining, id)
 			if out.Label != nil {
 				labelled = append(labelled, &claims.Claim{
 					ID: c.ID, Text: c.Text, Sentence: c.Sentence,
@@ -447,9 +450,10 @@ func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig)
 			}
 		}
 
-		// Retrain (Algorithm 1 line 20).
+		// Retrain (Algorithm 1 line 20), fanning the four independent
+		// models out under the same parallelism knob as the batch.
 		if len(labelled) > 0 {
-			if err := e.Train(labelled); err != nil {
+			if err := e.train(labelled, vc.Parallelism); err != nil {
 				return nil, err
 			}
 		}

@@ -41,7 +41,8 @@ type Worker struct {
 	// (both recognising the true answer and rejecting wrong ones).
 	Accuracy float64
 
-	rng *rand.Rand
+	seed int64
+	rng  *rand.Rand
 }
 
 // NewWorker creates a worker with its own deterministic random stream.
@@ -56,8 +57,35 @@ func NewWorker(name string, speed, accuracy float64, seed int64) (*Worker, error
 		Name:     name,
 		Speed:    speed,
 		Accuracy: accuracy,
+		seed:     seed,
 		rng:      rand.New(rand.NewSource(seed)),
 	}, nil
+}
+
+// mixSeed folds a claim ID into a worker seed with a splitmix64-style
+// finaliser, so per-claim streams are decorrelated from each other and from
+// the worker's base stream.
+func mixSeed(seed int64, claimID int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(claimID+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ForClaim returns a copy of the worker whose random stream depends only on
+// the worker's base seed and the claim ID — not on how many questions the
+// worker answered before. Per-claim streams make a worker's answers for one
+// claim independent of claim ordering, which is what lets the engine verify
+// the claims of a batch concurrently and still produce results identical to
+// a sequential pass.
+func (w *Worker) ForClaim(claimID int) *Worker {
+	return &Worker{
+		Name:     w.Name,
+		Speed:    w.Speed,
+		Accuracy: w.Accuracy,
+		seed:     w.seed,
+		rng:      rand.New(rand.NewSource(mixSeed(w.seed, claimID))),
+	}
 }
 
 // AnswerScreen simulates the worker reading a property screen top-to-bottom
@@ -175,6 +203,20 @@ func NewTeam(prefix string, n int, baseAccuracy float64, seed int64) (*Team, err
 
 // Size returns the number of workers.
 func (t *Team) Size() int { return len(t.Workers) }
+
+// ForClaim derives the team view for one claim: the same workers (names,
+// speeds, accuracies), each with a fresh random stream seeded from the
+// worker's base seed and the claim ID. Two calls with the same claim ID
+// return teams that answer identically, regardless of what either team was
+// asked in between — the determinism contract behind parallel batch
+// verification.
+func (t *Team) ForClaim(claimID int) *Team {
+	out := &Team{Workers: make([]*Worker, len(t.Workers))}
+	for i, w := range t.Workers {
+		out.Workers[i] = w.ForClaim(claimID)
+	}
+	return out
+}
 
 // Vote aggregates worker answers by majority (ties broken by the earliest
 // worker's answer, mirroring "any subset of three checkers"). It returns the

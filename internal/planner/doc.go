@@ -1,0 +1,27 @@
+// Package planner implements single-claim question planning (paper §5.1):
+// given classifier predictions for a claim, it decides what to ask the
+// crowd and in what form, so that expected human time is minimised.
+//
+// For one claim, the classifiers provide, per query property (relation, row
+// key, attribute, formula), a probability distribution over answer options.
+// The planner decides:
+//
+//   - how many screens to show and how many options per screen, using the
+//     worst-case bound of Theorem 1 and the factor-three setting of
+//     Corollary 1 (nop = sf/vf, nsc = sf/(vp+sp));
+//   - which properties get screens, greedily maximising expected pruning
+//     power over the query-candidate set (Theorem 3), which is submodular
+//     (Theorem 4) so the greedy pick is within 1-1/e of optimal (Theorem 5);
+//   - the order of answer options on a screen, by decreasing probability
+//     (Theorem 2 / Corollary 2).
+//
+// The entry points are NewCandidateSpace (wraps per-property option lists),
+// BuildPlan (produces a Plan of Screens plus its ExpectedCost), and
+// CostModel (the vp/vf/sp/sf crowd-time constants of §5.1, validated by
+// CostModel.Validate). A Plan's ExpectedCost is the per-claim v(c) input to
+// the claim-ordering scheduler (package scheduler, §5.2), and its Screens
+// drive the Oracle question flow in package core.
+//
+// Everything in this package is pure computation over its inputs: planners
+// are safe to call from concurrent verification workers.
+package planner

@@ -1,20 +1,3 @@
-// Package planner implements single-claim question planning (paper §5.1).
-//
-// For one claim, the classifiers provide, per query property (relation, row
-// key, attribute, formula), a probability distribution over answer options.
-// The planner decides:
-//
-//   - how many screens to show and how many options per screen, using the
-//     worst-case bound of Theorem 1 and the factor-three setting of
-//     Corollary 1 (nop = sf/vf, nsc = sf/(vp+sp));
-//   - which properties get screens, greedily maximising expected pruning
-//     power over the query-candidate set (Theorem 3), which is submodular
-//     (Theorem 4) so the greedy pick is within 1-1/e of optimal (Theorem 5);
-//   - the order of answer options on a screen, by decreasing probability
-//     (Theorem 2 / Corollary 2).
-//
-// It also exposes the expected verification cost of a plan, which is the
-// per-claim input to the claim-ordering scheduler (§5.2).
 package planner
 
 import (

@@ -1,0 +1,24 @@
+// Package query implements the statistical-check SQL fragment of the
+// paper's Definition 3:
+//
+//	SELECT f(a.A1, b.A2, ...)
+//	FROM T1 a, T2 b, ...
+//	WHERE a.key = 'v1' AND (b.key = 'v2' OR b.key = 'v3') AND ...
+//
+// A Query couples an expression over binding aliases (package expr) with a
+// FROM/WHERE skeleton that binds each alias to a relation and a key value.
+// Because every alias is constrained to exactly one key value per execution
+// (disjunctions are expanded before execution by the query generator), the
+// fragment executes by direct cell look-ups — no general join machinery is
+// required, matching how the system uses the database.
+//
+// The round trip is Parse ⇄ Query.SQL: queries written by fact checkers on
+// the final screen are parsed back into executable form, and generated
+// queries are rendered for display. Query.Execute evaluates against a
+// table.Corpus and is read-only, so one corpus serves any number of
+// concurrent verification workers.
+//
+// Disjunctive WHERE clauses (the "v2 OR v3" form produced when a claim
+// aggregates several key values) are handled by disjunction.go, which
+// expands them into the per-execution single-value form.
+package query

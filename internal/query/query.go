@@ -1,16 +1,3 @@
-// Package query implements the statistical-check SQL fragment of the paper's
-// Definition 3:
-//
-//	SELECT f(a.A1, b.A2, ...)
-//	FROM T1 a, T2 b, ...
-//	WHERE a.key = 'v1' AND (b.key = 'v2' OR b.key = 'v3') AND ...
-//
-// A Query couples an expression over binding aliases (package expr) with a
-// FROM/WHERE skeleton that binds each alias to a relation and a key value.
-// Because every alias is constrained to exactly one key value per execution
-// (disjunctions are expanded before execution by the query generator), the
-// fragment executes by direct cell look-ups — no general join machinery is
-// required, matching how the system uses the database.
 package query
 
 import (

@@ -1,0 +1,27 @@
+// Package scheduler implements claim ordering (paper §5.2): repeatedly
+// selecting the next batch of claims to verify so that total crowd cost
+// stays bounded while training utility — the active-learning value of the
+// selected claims as labelled examples — is maximised.
+//
+// Definitions implemented here:
+//
+//   - Definition 7: training utility u(c) = sum over models of the entropy
+//     of the model's predictive distribution for the claim.
+//   - Definition 8: batch cost t(C) = sum of per-claim verification costs
+//     plus the reading costs of the distinct sections touched.
+//   - Definition 9: select B ⊆ C with t(B) <= tm, bl <= |B| <= bu,
+//     maximising sum u(c) — NP-hard (Theorem 7), reduced to a 0/1 ILP
+//     (package ilp) with claim variables cs_i, section variables sr_j and
+//     linking rows sr_j >= cs_i (Theorem 8 analyses the encoding size).
+//
+// SelectBatch is the full ILP selection; GreedyBatch, SequentialBatch and
+// RandomBatch are the ablation baselines compared in §6.2. All four take
+// the same (Items, Config) inputs and return a Batch of claim IDs plus the
+// sections the batch touches.
+//
+// In the engine's Algorithm 1 loop (core.Engine.Verify), batch selection is
+// the single synchronization point between rounds: claims inside a batch
+// are verified concurrently, but the next batch is always selected from the
+// retrained model state, sequentially — which is why verification results
+// are deterministic at any parallelism.
+package scheduler

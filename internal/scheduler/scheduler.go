@@ -1,18 +1,3 @@
-// Package scheduler implements claim ordering (paper §5.2): repeatedly
-// selecting the next batch of claims to verify so that total cost stays
-// bounded while training utility — the active-learning value of the
-// selected claims as labelled examples — is maximised.
-//
-// Definitions implemented here:
-//
-//   - Definition 7: training utility u(c) = sum over models of the entropy
-//     of the model's predictive distribution for the claim.
-//   - Definition 8: batch cost t(C) = sum of per-claim verification costs
-//   - sum of reading costs of the distinct sections touched.
-//   - Definition 9: select B ⊆ C with t(B) <= tm, bl <= |B| <= bu,
-//     maximising sum u(c) — NP-hard (Theorem 7), reduced to a 0/1 ILP
-//     (package ilp) with claim variables cs_i, section variables sr_j and
-//     linking rows sr_j >= cs_i (Theorem 8 analyses the encoding size).
 package scheduler
 
 import (

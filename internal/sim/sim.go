@@ -1,8 +1,3 @@
-// Package sim drives the two evaluations of the paper's §6 on the
-// synthetic world: the user study replica (Figures 5 and 6) and the
-// report-scale simulation (Table 2, Figures 7, 8, 9 and 10). The crowd is
-// simulated with the §5.1 cost model; see DESIGN.md for the substitution
-// rationale.
 package sim
 
 import (

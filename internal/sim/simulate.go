@@ -54,6 +54,11 @@ type SimulationConfig struct {
 	EvalSampleEvery int
 	// Systems restricts which systems run (empty = all three).
 	Systems []System
+	// Parallelism fans batch verification out across goroutines (see
+	// core.VerifyConfig.Parallelism); simulated results are identical at
+	// any setting, only wall-clock changes. <= 0 uses all CPUs, 1 forces
+	// a sequential pass, matching the facade's VerifyOptions semantics.
+	Parallelism int
 }
 
 // DefaultSimulationConfig mirrors §6.2 at paper scale. Tests use smaller
@@ -90,6 +95,9 @@ func (c SimulationConfig) withDefaults() SimulationConfig {
 	}
 	if c.EvalSampleEvery <= 0 {
 		c.EvalSampleEvery = d.EvalSampleEvery
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = core.DefaultParallelism()
 	}
 	return c
 }
@@ -265,6 +273,7 @@ func runAssisted(w *worldgen.World, cfg SimulationConfig, sys System) (SystemRes
 		SectionReadCost: cfg.SectionReadCost,
 		Ordering:        ordering,
 		UtilityWeight:   utilityWeight,
+		Parallelism:     cfg.Parallelism,
 		AfterBatch: func(batch, verified int, outs []*core.Outcome) {
 			var batchSecs float64
 			for _, o := range outs {

@@ -1,0 +1,41 @@
+package table
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSVDir loads every *.csv file in dir as one relation (file name minus
+// extension = relation name, first column = key attribute) and returns the
+// assembled corpus. An error is returned when the directory holds no CSV
+// files — an empty corpus is never what a caller wants to serve from.
+func ReadCSVDir(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	corpus := NewCorpus()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := ReadCSV(strings.TrimSuffix(e.Name(), ".csv"), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := corpus.Add(rel); err != nil {
+			return nil, err
+		}
+	}
+	if len(corpus.Names()) == 0 {
+		return nil, fmt.Errorf("table: no *.csv relations in %s", dir)
+	}
+	return corpus, nil
+}

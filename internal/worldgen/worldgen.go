@@ -1,19 +1,3 @@
-// Package worldgen generates the synthetic energy-statistics world that
-// substitutes for the proprietary IEA data of the paper's evaluation (see
-// DESIGN.md). It produces:
-//
-//   - a corpus of relations shaped like the paper's Figure 1 (row keys are
-//     indicator codes, columns are years, values follow smooth trends),
-//   - a document of textual claims with ground-truth annotations (relation,
-//     keys, attributes, formula, correct value), rendered through
-//     paraphrased templates so text classification is learnable but not
-//     trivial,
-//   - per-claim candidate lists mimicking the three checkers' annotation
-//     breadth, from which the Table 1 frequency percentiles are computed,
-//   - controlled error injection (the stated parameter of a fraction of
-//     claims contradicts the data).
-//
-// Everything is deterministic given Config.Seed.
 package worldgen
 
 import (

@@ -197,6 +197,12 @@ type VerifyOptions struct {
 	SectionReadCost float64
 	// Ordering picks the claim-ordering strategy (default OrderILP).
 	Ordering core.Ordering
+	// Parallelism is how many claims of a batch are verified concurrently.
+	// The default (0) uses runtime.NumCPU(); 1 forces a sequential pass.
+	// Results are identical at any setting: per-claim crowd random
+	// streams keep verdicts independent of execution order, and batch
+	// selection / retraining stay sequential between rounds.
+	Parallelism int
 }
 
 // Result bundles outcomes with reporting helpers.
@@ -207,12 +213,18 @@ type Result struct {
 	Batches  int
 }
 
-// VerifyDocument runs the full Algorithm 1 loop over the system's document.
+// VerifyDocument runs the full Algorithm 1 loop over the system's document,
+// verifying each batch's claims across Parallelism goroutines.
 func (s *System) VerifyDocument(team *Team, opts VerifyOptions) (*Result, error) {
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = core.DefaultParallelism()
+	}
 	res, err := s.engine.Verify(s.doc, team, core.VerifyConfig{
 		BatchSize:       opts.BatchSize,
 		SectionReadCost: opts.SectionReadCost,
 		Ordering:        opts.Ordering,
+		Parallelism:     parallelism,
 	})
 	if err != nil {
 		return nil, err
