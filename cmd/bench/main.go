@@ -1,0 +1,201 @@
+// Command bench runs the tracked benchmark suite with -benchmem and writes
+// the results to BENCH_<date>.json, so the repository accumulates a
+// machine-readable performance trajectory alongside the paper-figure
+// numbers. Run it from the repository root after perf-relevant changes:
+//
+//	go run ./cmd/bench                    # default tracked set, 1s per bench
+//	go run ./cmd/bench -benchtime 2s      # steadier numbers
+//	go run ./cmd/bench -bench 'Train' -pkg ./internal/classifier
+//	go run ./cmd/bench -out /tmp -date 2026-01-31
+//
+// The default tracked set covers the numeric hot path (classifier training
+// and scoring, sparse-vector ops, TF-IDF transform) and the end-to-end
+// document verification loop. Each record carries ns/op, B/op, allocs/op
+// and any custom b.ReportMetric metrics, plus enough environment metadata
+// (go version, CPU, GOMAXPROCS) to make cross-machine comparisons honest.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// trackedBench names one benchmark selection: a package and a -bench regex.
+type trackedBench struct {
+	Pkg   string
+	Bench string
+}
+
+// defaultTracked is the curated paper-figure + hot-path set. The classifier
+// three are the acceptance benchmarks of the sparse-engine rewrite; the
+// root Verify pair is the serving-throughput headline.
+var defaultTracked = []trackedBench{
+	{Pkg: "./internal/classifier", Bench: "BenchmarkTrain500x200|BenchmarkWarmRetrain500x200|BenchmarkPredictTopK|BenchmarkEntropy"},
+	{Pkg: "./internal/textproc", Bench: "BenchmarkSparseDot|BenchmarkTransform"},
+	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld"},
+}
+
+// result is one benchmark line, parsed.
+type result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the BENCH_<date>.json document.
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"benchtime"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8  123  456 ns/op  <metrics...>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	benchRe := flag.String("bench", "", "benchmark regex (overrides the tracked set)")
+	pkg := flag.String("pkg", "", "package pattern to bench (with -bench; default tracked set)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 2s, 10x)")
+	out := flag.String("out", ".", "directory for BENCH_<date>.json")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
+	flag.Parse()
+
+	tracked := defaultTracked
+	if *benchRe != "" {
+		p := *pkg
+		if p == "" {
+			p = "./..."
+		}
+		tracked = []trackedBench{{Pkg: p, Bench: *benchRe}}
+	}
+
+	rep := report{
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+	}
+	for _, t := range tracked {
+		results, cpu, err := runBench(t, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", t.Pkg, err)
+			os.Exit(1)
+		}
+		if cpu != "" {
+			rep.CPU = cpu
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmarks matched")
+		os.Exit(1)
+	}
+
+	path := filepath.Join(*out, "BENCH_"+*date+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: closing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("  %-45s %14.0f ns/op %12.0f B/op %8.0f allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+}
+
+// runBench executes one `go test -bench` invocation and parses its output.
+func runBench(t trackedBench, benchtime string) ([]result, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", t.Bench, "-benchmem", "-benchtime", benchtime, t.Pkg)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	var results []result
+	var cpu string
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := result{Name: m[1], Package: t.Pkg, Iterations: iters}
+		parseMeasurements(m[3], &r)
+		results = append(results, r)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, "", fmt.Errorf("go test -bench %q: %w", t.Bench, err)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return results, cpu, nil
+}
+
+// parseMeasurements splits the "<value> <unit> <value> <unit> ..." tail of a
+// benchmark line into the well-known fields plus custom metrics.
+func parseMeasurements(tail string, r *result) {
+	fields := strings.Fields(tail)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+}

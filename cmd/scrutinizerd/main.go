@@ -7,11 +7,26 @@
 //
 // Usage:
 //
-//	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n]
+//	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n] [-pprof addr]
 //
 // Without -corpus the daemon generates a synthetic world corpus (the
 // quickest way to try the API: generate a matching document with
 // cmd/datagen or the snippet in the README).
+//
+// # Profiling
+//
+// -pprof (off by default) serves net/http/pprof on its own listener,
+// separate from the API address so profiling is never exposed on the
+// serving port. To profile a live verification service:
+//
+//	scrutinizerd -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30   # CPU
+//	go tool pprof http://localhost:6060/debug/pprof/heap                 # allocations
+//	curl -s http://localhost:6060/debug/pprof/goroutine?debug=2          # stuck workers
+//
+// Fire /verify requests while the CPU profile records; the hot paths to
+// look for are classifier scoring (scoreInto), query generation and the
+// scheduler ILP.
 //
 // Endpoints:
 //
@@ -41,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only when -pprof is set)
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,7 +73,20 @@ func main() {
 	numClaims := flag.Int("claims", 200, "synthetic world size when -corpus is not given")
 	seed := flag.Int64("seed", 7, "synthetic world seed")
 	parallel := flag.Int("parallel", 0, "default per-batch verification fan-out (0 = all CPUs)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers self-register on http.DefaultServeMux; serve
+		// that mux on a dedicated listener so profiling endpoints never
+		// share the API port.
+		go func() {
+			log.Printf("scrutinizerd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("scrutinizerd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	corpus, err := loadCorpus(*corpusDir, *numClaims, *seed)
 	if err != nil {

@@ -19,7 +19,7 @@ func benchSet(nExamples, nLabels, nnz int, seed int64) []Example {
 		for j := 0; j < nnz; j++ {
 			f[nLabels+rng.Intn(2000)] = rng.Float64()
 		}
-		out[i] = Example{Features: f, Label: fmt.Sprintf("label-%d", label)}
+		out[i] = Example{Features: f.Sparse(), Label: fmt.Sprintf("label-%d", label)}
 	}
 	return out
 }
@@ -32,6 +32,27 @@ func BenchmarkTrain500x200(b *testing.B) {
 		if err := c.Train(set); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWarmRetrain500x200 measures the per-batch retrain cost when the
+// label vocabulary is stable and Train takes the warm-start path — the
+// steady-state cost of Algorithm 1 line 20.
+func BenchmarkWarmRetrain500x200(b *testing.B) {
+	set := benchSet(500, 200, 40, 1)
+	c := New(Config{Epochs: 5, Seed: 1})
+	if err := c.Train(set); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Train(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !c.WarmStarted() {
+		b.Fatal("expected warm-start retrains")
 	}
 }
 

@@ -9,6 +9,30 @@
 //   - prediction entropy (training utility, Definition 7),
 //   - cheap retraining as crowd labels accumulate (Algorithm 1 line 20).
 //
+// # Representation
+//
+// Weights live in one dense flat matrix laid out feature-major:
+// w[fi*numLabels+class]. Feature vectors are textproc.Sparse (sorted
+// slice-backed pairs), so a scoring pass walks the vector's nonzeros and,
+// per feature, a contiguous run of per-class weights — no hashing, no
+// branches, vectorisable. The AdaGrad accumulators share the layout, and
+// L2 is applied lazily: only the features present in an example are
+// regularised on its update, exactly as the sparse-map implementation did.
+// Scoring scratch buffers come from a sync.Pool so concurrent inference
+// (the engine fans claim scoring across goroutines) allocates nothing in
+// steady state.
+//
+// # Warm-start retraining
+//
+// Algorithm 1 retrains after every crowd batch on the accumulated label
+// set. When a retrain's label vocabulary is exactly the vocabulary of the
+// previous fit, Train reuses the existing weights and AdaGrad state and
+// runs only Config.WarmStartEpochs passes (the dense matrix grows in place
+// if new feature indexes appeared). When the vocabulary changed — new
+// labels surfaced, old ones vanished — it falls back to a from-scratch fit,
+// so stale classes can never linger. Config.ColdStart disables the warm
+// path entirely for callers that need scratch-identical models.
+//
 // This substitutes the scikit-learn models of the authors' Python
 // implementation; see DESIGN.md.
 package classifier
@@ -16,9 +40,8 @@ package classifier
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
-	"github.com/repro/scrutinizer/internal/stats"
 	"github.com/repro/scrutinizer/internal/textproc"
 )
 
@@ -32,6 +55,13 @@ type Config struct {
 	L2 float64
 	// Seed drives the (deterministic) example shuffling.
 	Seed int64
+	// WarmStartEpochs is the number of passes a warm-start retrain runs
+	// when the label vocabulary is unchanged and the previous weights are
+	// reused (default max(2, Epochs/3)).
+	WarmStartEpochs int
+	// ColdStart forces every Train call to refit from scratch, disabling
+	// warm-start weight reuse.
+	ColdStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -46,12 +76,24 @@ func (c Config) withDefaults() Config {
 	} else if c.L2 == 0 {
 		c.L2 = 1e-4
 	}
+	if c.WarmStartEpochs <= 0 {
+		c.WarmStartEpochs = c.Epochs / 3
+		if c.WarmStartEpochs < 2 {
+			c.WarmStartEpochs = 2
+		}
+	}
+	if c.WarmStartEpochs > c.Epochs {
+		// A warm retrain must never cost more passes than the
+		// from-scratch fit it undercuts, whether the value was derived
+		// (tiny Epochs settings) or set explicitly.
+		c.WarmStartEpochs = c.Epochs
+	}
 	return c
 }
 
 // Example is one training observation.
 type Example struct {
-	Features textproc.Vector
+	Features textproc.Sparse
 	Label    string
 }
 
@@ -62,64 +104,28 @@ type Prediction struct {
 }
 
 // Classifier is a softmax regression model over a growing label vocabulary.
-// The zero value is not usable; create with New.
+// The zero value is not usable; create with New. Training mutates the
+// model; all scoring methods are safe for concurrent use between Train
+// calls.
 type Classifier struct {
 	cfg      Config
 	labels   []string
 	labelIdx map[string]int
-	// weights[c] is the sparse weight vector of class c; bias[c] its bias.
-	weights []map[int]float64
-	bias    []float64
-	// adagrad accumulators, same shape.
-	gsq     []map[int]float64
-	gsqBias []float64
-	trained int // number of examples seen in the last Train call
+	// dim is the feature-space width: weights exist for indexes [0, dim).
+	dim int
+	// w is the dense feature-major weight matrix, w[fi*len(labels)+class];
+	// gsq is the AdaGrad accumulator with the same shape.
+	w    []float64
+	gsq  []float64
+	bias []float64
+	gsqB []float64
 
-	// inv is the inverted scoring index built after training: for each
-	// feature index, the (class, weight) pairs with nonzero weight. It
-	// turns per-class map lookups into cache-friendly slice scans, which
-	// dominates inference cost at paper scale (hundreds of labels ×
-	// ~10^2 features per claim).
-	inv     [][]classWeight
-	invBase int // inv[i] covers feature index invBase+i
-}
+	trained int  // examples seen by the last Train call
+	rounds  int  // Train invocations (drives the warm-start shuffle stream)
+	warm    bool // whether the last Train took the warm-start path
 
-type classWeight struct {
-	class  int
-	weight float64
-}
-
-// buildIndex constructs the inverted index from the per-class weight maps,
-// in deterministic (feature asc, class asc) order.
-func (c *Classifier) buildIndex() {
-	c.inv = nil
-	minF, maxF := int(^uint(0)>>1), -1
-	for _, w := range c.weights {
-		for fi := range w {
-			if fi < minF {
-				minF = fi
-			}
-			if fi > maxF {
-				maxF = fi
-			}
-		}
-	}
-	if maxF < 0 {
-		return
-	}
-	c.invBase = minF
-	c.inv = make([][]classWeight, maxF-minF+1)
-	for class := 0; class < len(c.weights); class++ {
-		for fi, wv := range c.weights[class] {
-			if wv != 0 {
-				c.inv[fi-c.invBase] = append(c.inv[fi-c.invBase], classWeight{class, wv})
-			}
-		}
-	}
-	for i := range c.inv {
-		row := c.inv[i]
-		sort.Slice(row, func(a, b int) bool { return row[a].class < row[b].class })
-	}
+	// scratch pools per-goroutine softmax buffers for the scoring paths.
+	scratch sync.Pool
 }
 
 // New creates an empty classifier.
@@ -140,58 +146,95 @@ func (c *Classifier) NumLabels() int { return len(c.labels) }
 // TrainedOn returns the size of the training set from the last Train call.
 func (c *Classifier) TrainedOn() int { return c.trained }
 
-func (c *Classifier) ensureLabel(l string) int {
-	if i, ok := c.labelIdx[l]; ok {
-		return i
-	}
-	i := len(c.labels)
-	c.labelIdx[l] = i
-	c.labels = append(c.labels, l)
-	c.weights = append(c.weights, make(map[int]float64))
-	c.bias = append(c.bias, 0)
-	c.gsq = append(c.gsq, make(map[int]float64))
-	c.gsqBias = append(c.gsqBias, 0)
-	return i
-}
+// WarmStarted reports whether the last Train call reused the previous
+// weights (warm start) rather than refitting from scratch.
+func (c *Classifier) WarmStarted() bool { return c.warm }
 
-// Train fits the model on examples from scratch (weights are reset, the
-// label vocabulary is rebuilt). Retraining from scratch matches Algorithm 1,
-// which retrains classifiers after each verified batch.
+// Train fits the model on examples. When the example set's label
+// vocabulary is identical to the current one (and ColdStart is off), the
+// existing weights and AdaGrad state are reused and only WarmStartEpochs
+// passes run — the cheap per-batch retrain of Algorithm 1. Otherwise the
+// vocabulary is rebuilt and the model refits from scratch over Epochs
+// passes.
 func (c *Classifier) Train(examples []Example) error {
 	if len(examples) == 0 {
 		return fmt.Errorf("classifier: no training examples")
 	}
-	// Reset.
-	c.labels = nil
-	c.labelIdx = make(map[string]int)
-	c.weights = nil
-	c.bias = nil
-	c.gsq = nil
-	c.gsqBias = nil
-	c.inv = nil // rebuilt after the epochs; sgdStep uses the map path
+	maxIdx := -1
+	fresh := make(map[string]bool, len(c.labels)+1)
 	for _, ex := range examples {
 		if ex.Label == "" {
 			return fmt.Errorf("classifier: empty label in training set")
 		}
-		c.ensureLabel(ex.Label)
+		fresh[ex.Label] = true
+		if m := ex.Features.MaxIndex(); m > maxIdx {
+			maxIdx = m
+		}
+	}
+	warm := !c.cfg.ColdStart && c.trained > 0 && len(fresh) == len(c.labels)
+	if warm {
+		for l := range fresh {
+			if _, ok := c.labelIdx[l]; !ok {
+				warm = false
+				break
+			}
+		}
+	}
+
+	epochs := c.cfg.Epochs
+	if warm {
+		epochs = c.cfg.WarmStartEpochs
+		if width := maxIdx + 1; width > c.dim {
+			// New feature indexes appeared: grow the matrices. The
+			// feature-major layout appends rows at the end, so this is a
+			// plain copy.
+			nL := len(c.labels)
+			grown := make([]float64, width*nL)
+			copy(grown, c.w)
+			c.w = grown
+			grown = make([]float64, width*nL)
+			copy(grown, c.gsq)
+			c.gsq = grown
+			c.dim = width
+		}
+	} else {
+		c.labels = nil
+		c.labelIdx = make(map[string]int, len(fresh))
+		for _, ex := range examples {
+			if _, ok := c.labelIdx[ex.Label]; !ok {
+				c.labelIdx[ex.Label] = len(c.labels)
+				c.labels = append(c.labels, ex.Label)
+			}
+		}
+		nL := len(c.labels)
+		c.dim = maxIdx + 1
+		c.w = make([]float64, c.dim*nL)
+		c.gsq = make([]float64, c.dim*nL)
+		c.bias = make([]float64, nL)
+		c.gsqB = make([]float64, nL)
+		// Pooled scratch buffers of the old width are filtered out by the
+		// length check in getScratch and fall to the collector.
 	}
 	c.trained = len(examples)
+	c.warm = warm
+	c.rounds++
 
-	// Pre-sort each example's feature indexes so gradient accumulation is
-	// deterministic (sparse vectors are maps with randomised iteration).
-	sortedIdx := make([][]int, len(examples))
-	for i, ex := range examples {
-		sortedIdx[i] = ex.Features.Indices()
-	}
+	nL := len(c.labels)
+	scores := make([]float64, nL)
+	grads := make([]float64, nL)
+	active := make([]int32, 0, nL)
 
-	// Deterministic shuffled order via an LCG permutation per epoch.
+	// Deterministic shuffled order via an LCG permutation per epoch; the
+	// stream advances with the round counter so warm-started retrains do
+	// not replay the previous call's order.
 	order := make([]int, len(examples))
 	for i := range order {
 		order[i] = i
 	}
-	state := uint64(c.cfg.Seed)*6364136223846793005 + 1442695040888963407
+	state := uint64(c.cfg.Seed)*6364136223846793005 + 1442695040888963407 +
+		uint64(c.rounds-1)*0x9E3779B97F4A7C15
 
-	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
+	for epoch := 0; epoch < epochs; epoch++ {
 		// Fisher-Yates with the LCG.
 		for i := len(order) - 1; i > 0; i-- {
 			state = state*6364136223846793005 + 1442695040888963407
@@ -199,152 +242,151 @@ func (c *Classifier) Train(examples []Example) error {
 			order[i], order[j] = order[j], order[i]
 		}
 		for _, idx := range order {
-			c.sgdStep(examples[idx], sortedIdx[idx])
+			active = c.sgdStep(examples[idx], scores, grads, active)
 		}
 	}
-	c.buildIndex()
 	return nil
 }
 
-// sgdStep applies one AdaGrad update for a single example; featIdx is the
-// example's sorted feature-index list.
-func (c *Classifier) sgdStep(ex Example, featIdx []int) {
-	probs := c.probsFor(ex.Features, featIdx)
+// sgdStep applies one AdaGrad update for a single example. scores, grads
+// and active are caller-owned scratch (len == numLabels); the possibly
+// regrown active slice is returned for reuse.
+func (c *Classifier) sgdStep(ex Example, scores, grads []float64, active []int32) []int32 {
+	c.scoreInto(ex.Features, scores)
+	softmaxInPlace(scores)
 	target := c.labelIdx[ex.Label]
 	lr := c.cfg.LearningRate
 	l2 := c.cfg.L2
-	for class := range c.labels {
-		g := probs[class]
+
+	// Collect the classes with non-negligible gradient: with hundreds of
+	// labels almost all softmax probabilities are ~0 and updating them is
+	// wasted work (keeps paper-scale retraining in seconds, like the
+	// sparse updates of mature learners). Bias updates happen here too.
+	active = active[:0]
+	for class, p := range scores {
+		g := p
 		if class == target {
-			g -= 1
+			g--
 		}
-		// Skip classes with negligible gradient: with hundreds of labels
-		// almost all softmax probabilities are ~0 and updating them is
-		// wasted work (keeps paper-scale retraining in seconds, like the
-		// sparse updates of mature learners).
 		if g > -1e-4 && g < 1e-4 {
 			continue
 		}
-		w := c.weights[class]
-		gs := c.gsq[class]
-		for _, fi := range featIdx {
-			x := ex.Features[fi]
-			grad := g*x + l2*w[fi]
-			gs[fi] += grad * grad
-			w[fi] -= lr * grad / (math.Sqrt(gs[fi]) + 1e-8)
-		}
+		active = append(active, int32(class))
+		grads[class] = g
 		gb := g + l2*c.bias[class]
-		c.gsqBias[class] += gb * gb
-		c.bias[class] -= lr * gb / (math.Sqrt(c.gsqBias[class]) + 1e-8)
+		c.gsqB[class] += gb * gb
+		c.bias[class] -= lr * gb / (math.Sqrt(c.gsqB[class]) + 1e-8)
+	}
+
+	nL := len(c.labels)
+	ix, vals := ex.Features.Raw()
+	for k, fi := range ix {
+		x := vals[k]
+		base := int(fi) * nL
+		wrow := c.w[base : base+nL]
+		grow := c.gsq[base : base+nL]
+		for _, cls := range active {
+			grad := grads[cls]*x + l2*wrow[cls]
+			grow[cls] += grad * grad
+			wrow[cls] -= lr * grad / (math.Sqrt(grow[cls]) + 1e-8)
+		}
+	}
+	return active
+}
+
+// scoreInto fills scores (len == numLabels) with the linear scores of f:
+// bias plus the feature-major weight columns of f's nonzeros. Feature
+// indexes at or above the trained width carry zero weight and are skipped.
+func (c *Classifier) scoreInto(f textproc.Sparse, scores []float64) {
+	copy(scores, c.bias)
+	nL := len(c.labels)
+	ix, vals := f.Raw()
+	for k, fi := range ix {
+		if int(fi) >= c.dim {
+			break // indexes are sorted: everything after is out of range too
+		}
+		x := vals[k]
+		row := c.w[int(fi)*nL : int(fi)*nL+nL]
+		for j, wv := range row {
+			scores[j] += wv * x
+		}
 	}
 }
 
-// probsFor computes softmax probabilities for the feature vector across the
-// current vocabulary. featIdx is the vector's sorted index list (computed on
-// demand if nil); fixed ordering keeps float accumulation deterministic.
-// After training, scoring runs over the inverted index (feature → class
-// weights); during training it falls back to the per-class weight maps.
-func (c *Classifier) probsFor(f textproc.Vector, featIdx []int) []float64 {
-	if featIdx == nil {
-		featIdx = f.Indices()
-	}
-	n := len(c.labels)
-	scores := make([]float64, n)
+// softmaxInPlace turns linear scores into probabilities and returns the
+// Shannon entropy (nats) of the resulting distribution. The entropy falls
+// out of the normalisation pass — H = ln z − (Σ eᵢ·sᵢ)/z with sᵢ the
+// max-shifted scores — so no per-element logarithm is needed, which is
+// what makes the scheduler's utility scan cheap.
+func softmaxInPlace(scores []float64) float64 {
 	maxScore := math.Inf(-1)
-	if c.inv != nil {
-		copy(scores, c.bias)
-		for _, fi := range featIdx {
-			ii := fi - c.invBase
-			if ii < 0 || ii >= len(c.inv) {
-				continue
-			}
-			x := f[fi]
-			for _, cw := range c.inv[ii] {
-				scores[cw.class] += cw.weight * x
-			}
-		}
-		for class := 0; class < n; class++ {
-			if scores[class] > maxScore {
-				maxScore = scores[class]
-			}
-		}
-	} else {
-		for class := 0; class < n; class++ {
-			s := c.bias[class]
-			w := c.weights[class]
-			for _, fi := range featIdx {
-				if wv, ok := w[fi]; ok {
-					s += wv * f[fi]
-				}
-			}
-			scores[class] = s
-			if s > maxScore {
-				maxScore = s
-			}
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
 		}
 	}
-	var z float64
-	for class := 0; class < n; class++ {
-		scores[class] = math.Exp(scores[class] - maxScore)
-		z += scores[class]
+	var z, dot float64
+	for i, s := range scores {
+		shifted := s - maxScore
+		e := math.Exp(shifted)
+		scores[i] = e
+		z += e
+		dot += e * shifted
 	}
-	for class := 0; class < n; class++ {
-		scores[class] /= z
+	inv := 1 / z
+	for i := range scores {
+		scores[i] *= inv
 	}
-	return scores
+	return math.Log(z) - dot*inv
+}
+
+// getScratch returns a pooled probability buffer of the current width.
+func (c *Classifier) getScratch() []float64 {
+	if buf, ok := c.scratch.Get().(*[]float64); ok && len(*buf) == len(c.labels) {
+		return *buf
+	}
+	return make([]float64, len(c.labels))
+}
+
+func (c *Classifier) putScratch(buf []float64) {
+	c.scratch.Put(&buf)
+}
+
+// probsInto computes softmax probabilities for f into the caller's buffer,
+// returning the distribution's entropy as a by-product of normalisation.
+func (c *Classifier) probsInto(f textproc.Sparse, probs []float64) float64 {
+	c.scoreInto(f, probs)
+	return softmaxInPlace(probs)
 }
 
 // Probs returns the probability distribution over labels for a feature
 // vector, aligned with Labels(). It returns nil when the model is untrained.
-func (c *Classifier) Probs(f textproc.Vector) []float64 {
+func (c *Classifier) Probs(f textproc.Sparse) []float64 {
 	if len(c.labels) == 0 {
 		return nil
 	}
-	return c.probsFor(f, nil)
-}
-
-// ProbsIdx is Probs with the vector's pre-sorted index list supplied by the
-// caller, avoiding the per-call sort on hot inference paths. idx must be
-// f.Indices() (or a prefix-equal copy).
-func (c *Classifier) ProbsIdx(f textproc.Vector, idx []int) []float64 {
-	if len(c.labels) == 0 {
-		return nil
-	}
-	return c.probsFor(f, idx)
-}
-
-// TopKIdx is TopK with a caller-supplied sorted index list.
-func (c *Classifier) TopKIdx(f textproc.Vector, idx []int, k int) []Prediction {
-	probs := c.ProbsIdx(f, idx)
-	if probs == nil || k <= 0 {
-		return nil
-	}
-	return c.rankTopK(probs, k)
-}
-
-// EntropyIdx is Entropy with a caller-supplied sorted index list.
-func (c *Classifier) EntropyIdx(f textproc.Vector, idx []int) float64 {
-	probs := c.ProbsIdx(f, idx)
-	if probs == nil {
-		return 1
-	}
-	return stats.Entropy(probs)
+	probs := make([]float64, len(c.labels))
+	c.probsInto(f, probs)
+	return probs
 }
 
 // Analyze returns the top-k predictions and the predictive entropy from a
 // single scoring pass — the engine needs both per claim per batch, and the
 // scoring pass dominates. Untrained models return (nil, 1).
-func (c *Classifier) Analyze(f textproc.Vector, idx []int, k int) ([]Prediction, float64) {
-	probs := c.ProbsIdx(f, idx)
-	if probs == nil {
+func (c *Classifier) Analyze(f textproc.Sparse, k int) ([]Prediction, float64) {
+	if len(c.labels) == 0 {
 		return nil, 1
 	}
-	return c.rankTopK(probs, k), stats.Entropy(probs)
+	probs := c.getScratch()
+	h := c.probsInto(f, probs)
+	preds := c.rankTopK(probs, k)
+	c.putScratch(probs)
+	return preds, h
 }
 
 // Predict returns the single most probable label (ties broken by label
 // string for determinism) and its probability. ok is false when untrained.
-func (c *Classifier) Predict(f textproc.Vector) (label string, prob float64, ok bool) {
+func (c *Classifier) Predict(f textproc.Sparse) (label string, prob float64, ok bool) {
 	top := c.TopK(f, 1)
 	if len(top) == 0 {
 		return "", 0, false
@@ -354,54 +396,80 @@ func (c *Classifier) Predict(f textproc.Vector) (label string, prob float64, ok 
 
 // TopK returns the k most probable labels in descending probability order,
 // ties broken lexicographically.
-func (c *Classifier) TopK(f textproc.Vector, k int) []Prediction {
-	probs := c.Probs(f)
-	if probs == nil || k <= 0 {
+func (c *Classifier) TopK(f textproc.Sparse, k int) []Prediction {
+	if len(c.labels) == 0 || k <= 0 {
 		return nil
 	}
-	return c.rankTopK(probs, k)
+	probs := c.getScratch()
+	c.probsInto(f, probs)
+	preds := c.rankTopK(probs, k)
+	c.putScratch(probs)
+	return preds
 }
 
+// rankTopK selects the k best labels by partial insertion — O(n·k) with a
+// cheap reject test instead of sorting all n labels, which dominated
+// inference at paper scale (hundreds of labels, k ≤ 10).
 func (c *Classifier) rankTopK(probs []float64, k int) []Prediction {
-	preds := make([]Prediction, len(probs))
-	for i, p := range probs {
-		preds[i] = Prediction{Label: c.labels[i], Prob: p}
+	n := len(probs)
+	if k > n {
+		k = n
 	}
-	sort.Slice(preds, func(i, j int) bool {
-		if preds[i].Prob != preds[j].Prob {
-			return preds[i].Prob > preds[j].Prob
+	if k <= 0 {
+		return nil
+	}
+	// worse(a, b): label a ranks strictly after label b.
+	worse := func(a, b int) bool {
+		if probs[a] != probs[b] {
+			return probs[a] < probs[b]
 		}
-		return preds[i].Label < preds[j].Label
-	})
-	if k > len(preds) {
-		k = len(preds)
+		return c.labels[a] > c.labels[b]
 	}
-	return preds[:k]
+	sel := make([]int, 0, k)
+	for i := 0; i < n; i++ {
+		if len(sel) < k {
+			sel = append(sel, i)
+		} else if worse(sel[k-1], i) {
+			sel[k-1] = i
+		} else {
+			continue
+		}
+		for p := len(sel) - 1; p > 0 && worse(sel[p-1], sel[p]); p-- {
+			sel[p-1], sel[p] = sel[p], sel[p-1]
+		}
+	}
+	preds := make([]Prediction, len(sel))
+	for i, li := range sel {
+		preds[i] = Prediction{Label: c.labels[li], Prob: probs[li]}
+	}
+	return preds
 }
 
 // Entropy returns the Shannon entropy (nats) of the predictive distribution
 // — the per-model term of the training-utility heuristic (Definition 7).
 // Untrained models report the maximum possible uncertainty proxy of 1.
-func (c *Classifier) Entropy(f textproc.Vector) float64 {
-	probs := c.Probs(f)
-	if probs == nil {
+func (c *Classifier) Entropy(f textproc.Sparse) float64 {
+	if len(c.labels) == 0 {
 		return 1
 	}
-	return stats.Entropy(probs)
+	probs := c.getScratch()
+	h := c.probsInto(f, probs)
+	c.putScratch(probs)
+	return h
 }
 
 // ProbOf returns the probability assigned to a specific label, or 0 for
 // unknown labels / untrained models.
-func (c *Classifier) ProbOf(f textproc.Vector, label string) float64 {
-	probs := c.Probs(f)
-	if probs == nil {
-		return 0
-	}
+func (c *Classifier) ProbOf(f textproc.Sparse, label string) float64 {
 	i, ok := c.labelIdx[label]
-	if !ok {
+	if !ok || len(c.labels) == 0 {
 		return 0
 	}
-	return probs[i]
+	probs := c.getScratch()
+	c.probsInto(f, probs)
+	p := probs[i]
+	c.putScratch(probs)
+	return p
 }
 
 // Accuracy computes top-1 accuracy over a labelled evaluation set; labels

@@ -5,8 +5,12 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/repro/scrutinizer/internal/stats"
 	"github.com/repro/scrutinizer/internal/textproc"
 )
+
+// vec builds a slice-backed feature vector from map-literal syntax.
+func vec(m textproc.Vector) textproc.Sparse { return m.Sparse() }
 
 // separableSet builds a linearly separable 3-class problem on sparse
 // features: class i fires feature i strongly plus noise features.
@@ -19,7 +23,7 @@ func separableSet(n int, seed int64) []Example {
 		f := textproc.Vector{class: 1.0}
 		// noise
 		f[3+rng.Intn(5)] = rng.Float64() * 0.3
-		out = append(out, Example{Features: f, Label: labels[class]})
+		out = append(out, Example{Features: f.Sparse(), Label: labels[class]})
 	}
 	return out
 }
@@ -44,14 +48,14 @@ func TestTrainErrors(t *testing.T) {
 	if err := c.Train(nil); err == nil {
 		t.Error("empty training set accepted")
 	}
-	if err := c.Train([]Example{{Features: textproc.Vector{0: 1}}}); err == nil {
+	if err := c.Train([]Example{{Features: vec(textproc.Vector{0: 1})}}); err == nil {
 		t.Error("empty label accepted")
 	}
 }
 
 func TestUntrainedBehaviour(t *testing.T) {
 	c := New(Config{})
-	f := textproc.Vector{0: 1}
+	f := vec(textproc.Vector{0: 1})
 	if c.Probs(f) != nil {
 		t.Error("untrained Probs should be nil")
 	}
@@ -67,6 +71,9 @@ func TestUntrainedBehaviour(t *testing.T) {
 	if c.TopK(f, 3) != nil {
 		t.Error("untrained TopK should be nil")
 	}
+	if preds, h := c.Analyze(f, 3); preds != nil || h != 1 {
+		t.Error("untrained Analyze should be (nil, 1)")
+	}
 	if got := c.Accuracy(nil); got != 0 {
 		t.Errorf("empty accuracy = %g", got)
 	}
@@ -78,7 +85,7 @@ func TestProbsSumToOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 20; trial++ {
-		f := textproc.Vector{trial % 8: 1}
+		f := vec(textproc.Vector{trial % 8: 1})
 		probs := c.Probs(f)
 		var s float64
 		for _, p := range probs {
@@ -98,7 +105,7 @@ func TestTopKOrderingAndBounds(t *testing.T) {
 	if err := c.Train(separableSet(60, 5)); err != nil {
 		t.Fatal(err)
 	}
-	f := textproc.Vector{0: 1}
+	f := vec(textproc.Vector{0: 1})
 	top := c.TopK(f, 2)
 	if len(top) != 2 {
 		t.Fatalf("TopK(2) = %v", top)
@@ -117,18 +124,74 @@ func TestTopKOrderingAndBounds(t *testing.T) {
 	}
 }
 
+// TestTopKMatchesFullSort cross-checks the partial-selection top-k against
+// a straightforward ranking of the full Probs output.
+func TestTopKMatchesFullSort(t *testing.T) {
+	c := New(Config{Seed: 13})
+	set := make([]Example, 0, 200)
+	labels := make([]string, 17)
+	for i := range labels {
+		labels[i] = string(rune('a' + i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		class := i % len(labels)
+		set = append(set, Example{
+			Features: vec(textproc.Vector{class: 1, 20 + rng.Intn(9): 0.4}),
+			Label:    labels[class],
+		})
+	}
+	if err := c.Train(set); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		f := vec(textproc.Vector{trial: 1, 21: 0.2})
+		probs := c.Probs(f)
+		for _, k := range []int{1, 3, 5, len(labels), len(labels) + 5} {
+			top := c.TopK(f, k)
+			want := k
+			if want > len(labels) {
+				want = len(labels)
+			}
+			if len(top) != want {
+				t.Fatalf("TopK(%d) returned %d entries", k, len(top))
+			}
+			for i, p := range top {
+				// Each entry's probability must match Probs for its label,
+				// and ordering must be non-increasing with lexicographic
+				// tie-break.
+				li := -1
+				for j, l := range c.Labels() {
+					if l == p.Label {
+						li = j
+					}
+				}
+				if li < 0 || probs[li] != p.Prob {
+					t.Fatalf("TopK entry %v disagrees with Probs", p)
+				}
+				if i > 0 {
+					prev := top[i-1]
+					if prev.Prob < p.Prob || (prev.Prob == p.Prob && prev.Label > p.Label) {
+						t.Fatalf("TopK out of order at %d: %v", i, top)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestTopKDeterministicTieBreak(t *testing.T) {
 	// Two identical classes -> equal probabilities; tie must break
 	// lexicographically.
 	c := New(Config{Seed: 6, Epochs: 1})
 	examples := []Example{
-		{Features: textproc.Vector{0: 1}, Label: "zeta"},
-		{Features: textproc.Vector{0: 1}, Label: "alpha"},
+		{Features: vec(textproc.Vector{0: 1}), Label: "zeta"},
+		{Features: vec(textproc.Vector{0: 1}), Label: "alpha"},
 	}
 	if err := c.Train(examples); err != nil {
 		t.Fatal(err)
 	}
-	top := c.TopK(textproc.Vector{1: 1}, 2) // feature unseen -> near-uniform
+	top := c.TopK(vec(textproc.Vector{1: 1}), 2) // feature unseen -> near-uniform
 	if math.Abs(top[0].Prob-top[1].Prob) < 1e-6 && top[0].Label != "alpha" {
 		t.Errorf("tie should break to alpha, got %v", top)
 	}
@@ -143,7 +206,7 @@ func TestEntropyDropsWithTraining(t *testing.T) {
 	if err := big.Train(separableSet(300, 1)); err != nil {
 		t.Fatal(err)
 	}
-	f := textproc.Vector{0: 1}
+	f := vec(textproc.Vector{0: 1})
 	if big.Entropy(f) >= small.Entropy(f) {
 		t.Errorf("entropy should drop with more training: small=%g big=%g",
 			small.Entropy(f), big.Entropy(f))
@@ -155,7 +218,7 @@ func TestProbOf(t *testing.T) {
 	if err := c.Train(separableSet(60, 2)); err != nil {
 		t.Fatal(err)
 	}
-	f := textproc.Vector{0: 1}
+	f := vec(textproc.Vector{0: 1})
 	if p := c.ProbOf(f, "relA"); p < 0.5 {
 		t.Errorf("ProbOf(relA) = %g, want > 0.5", p)
 	}
@@ -186,16 +249,19 @@ func TestTopKAccuracy(t *testing.T) {
 func TestRetrainRebuildsVocabulary(t *testing.T) {
 	c := New(Config{Seed: 1, Epochs: 3})
 	if err := c.Train([]Example{
-		{Features: textproc.Vector{0: 1}, Label: "old1"},
-		{Features: textproc.Vector{1: 1}, Label: "old2"},
+		{Features: vec(textproc.Vector{0: 1}), Label: "old1"},
+		{Features: vec(textproc.Vector{1: 1}), Label: "old2"},
 	}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Train([]Example{
-		{Features: textproc.Vector{0: 1}, Label: "new1"},
-		{Features: textproc.Vector{1: 1}, Label: "new2"},
+		{Features: vec(textproc.Vector{0: 1}), Label: "new1"},
+		{Features: vec(textproc.Vector{1: 1}), Label: "new2"},
 	}); err != nil {
 		t.Fatal(err)
+	}
+	if c.WarmStarted() {
+		t.Error("vocabulary change must force a cold retrain")
 	}
 	for _, l := range c.Labels() {
 		if l == "old1" || l == "old2" {
@@ -209,7 +275,7 @@ func TestRetrainRebuildsVocabulary(t *testing.T) {
 
 func TestTrainingDeterministic(t *testing.T) {
 	train := separableSet(60, 1)
-	f := textproc.Vector{0: 1, 4: 0.2}
+	f := vec(textproc.Vector{0: 1, 4: 0.2})
 	c1 := New(Config{Seed: 9})
 	c2 := New(Config{Seed: 9})
 	if err := c1.Train(train); err != nil {
@@ -224,6 +290,119 @@ func TestTrainingDeterministic(t *testing.T) {
 			t.Fatalf("training not deterministic: %v vs %v", p1, p2)
 		}
 	}
+	// The same holds across a warm-started retrain sequence.
+	if err := c1.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if !c1.WarmStarted() || !c2.WarmStarted() {
+		t.Fatal("identical vocabulary should warm start")
+	}
+	p1, p2 = c1.Probs(f), c2.Probs(f)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("warm retrain not deterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+// TestWarmStartMatchesScratch is the warm-start equivalence check: growing
+// the training set batch by batch with warm-started retrains must land on
+// the same top-k predictions (within a probability tolerance) as one
+// from-scratch fit of the final set, on a fixed seed.
+func TestWarmStartMatchesScratch(t *testing.T) {
+	full := separableSet(240, 17)
+
+	warm := New(Config{Seed: 3, Epochs: 6})
+	// Batch growth: 120, 180, then the full 240 — the label vocabulary is
+	// complete from the first batch, so the later rounds take the warm path.
+	if err := warm.Train(full[:120]); err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmStarted() {
+		t.Error("first fit cannot be warm")
+	}
+	for _, cut := range []int{180, 240} {
+		if err := warm.Train(full[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		if !warm.WarmStarted() {
+			t.Fatalf("retrain at %d examples should warm start", cut)
+		}
+	}
+
+	scratch := New(Config{Seed: 3, Epochs: 6, ColdStart: true})
+	if err := scratch.Train(full); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.WarmStarted() {
+		t.Error("ColdStart config must never warm start")
+	}
+
+	test := separableSet(60, 23)
+	for _, ex := range test {
+		tw := warm.TopK(ex.Features, 3)
+		ts := scratch.TopK(ex.Features, 3)
+		if len(tw) != len(ts) {
+			t.Fatalf("top-k lengths differ: %d vs %d", len(tw), len(ts))
+		}
+		// The confident prediction must be identical; the tail of the list
+		// may permute only among labels whose probabilities agree within
+		// the tolerance (near-ties deep in the softmax tail).
+		if tw[0].Label != ts[0].Label {
+			t.Fatalf("top-1 diverged: warm %v vs scratch %v", tw, ts)
+		}
+		byLabel := make(map[string]float64, len(ts))
+		for _, p := range ts {
+			byLabel[p.Label] = p.Prob
+		}
+		for i, p := range tw {
+			sp, ok := byLabel[p.Label]
+			if !ok {
+				t.Fatalf("label %q in warm top-k but not scratch: %v vs %v", p.Label, tw, ts)
+			}
+			if math.Abs(p.Prob-sp) > 0.15 {
+				t.Fatalf("prob of %q diverged beyond tolerance: warm %v vs scratch %v", p.Label, tw, ts)
+			}
+			if math.Abs(p.Prob-ts[i].Prob) > 0.15 {
+				t.Fatalf("rank-%d prob diverged beyond tolerance: warm %v vs scratch %v", i, tw, ts)
+			}
+		}
+	}
+	if acc := warm.Accuracy(test); acc < 0.95 {
+		t.Errorf("warm-started accuracy = %g, want >= 0.95", acc)
+	}
+}
+
+// TestWarmStartGrowsFeatureSpace checks that a warm retrain tolerates new
+// feature indexes (the dense matrices grow in place).
+func TestWarmStartGrowsFeatureSpace(t *testing.T) {
+	c := New(Config{Seed: 2, Epochs: 4})
+	if err := c.Train([]Example{
+		{Features: vec(textproc.Vector{0: 1}), Label: "a"},
+		{Features: vec(textproc.Vector{1: 1}), Label: "b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train([]Example{
+		{Features: vec(textproc.Vector{0: 1, 50: 0.5}), Label: "a"},
+		{Features: vec(textproc.Vector{1: 1, 51: 0.5}), Label: "b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WarmStarted() {
+		t.Error("same vocabulary with new features should still warm start")
+	}
+	if got, _, ok := c.Predict(vec(textproc.Vector{0: 1, 50: 0.5})); !ok || got != "a" {
+		t.Errorf("Predict after feature growth = %q, %v", got, ok)
+	}
+	// Scoring a vector with indexes beyond the trained width must not
+	// panic and must ignore the unknown features.
+	if got, _, ok := c.Predict(vec(textproc.Vector{0: 1, 9999: 3})); !ok || got != "a" {
+		t.Errorf("Predict with out-of-range feature = %q, %v", got, ok)
+	}
 }
 
 func TestAccuracyCountsUnknownLabelsAsMisses(t *testing.T) {
@@ -231,39 +410,44 @@ func TestAccuracyCountsUnknownLabelsAsMisses(t *testing.T) {
 	if err := c.Train(separableSet(30, 1)); err != nil {
 		t.Fatal(err)
 	}
-	test := []Example{{Features: textproc.Vector{0: 1}, Label: "never-seen-label"}}
+	test := []Example{{Features: vec(textproc.Vector{0: 1}), Label: "never-seen-label"}}
 	if got := c.Accuracy(test); got != 0 {
 		t.Errorf("unknown label accuracy = %g, want 0", got)
 	}
 }
 
-func TestIdxMethodsMatchPlainOnes(t *testing.T) {
+func TestAnalyzeMatchesTopKAndEntropy(t *testing.T) {
 	c := New(Config{Seed: 8})
 	if err := c.Train(separableSet(90, 21)); err != nil {
 		t.Fatal(err)
 	}
-	f := textproc.Vector{0: 1, 5: 0.3, 7: 0.1}
-	idx := f.Indices()
+	f := vec(textproc.Vector{0: 1, 5: 0.3, 7: 0.1})
+	preds, h := c.Analyze(f, 3)
+	top := c.TopK(f, 3)
+	for i := range top {
+		if top[i] != preds[i] {
+			t.Fatalf("Analyze top-k differs at %d: %+v vs %+v", i, preds[i], top[i])
+		}
+	}
+	if h != c.Entropy(f) {
+		t.Error("Analyze entropy differs from Entropy")
+	}
+}
 
-	p1, p2 := c.Probs(f), c.ProbsIdx(f, idx)
-	for i := range p1 {
-		if p1[i] != p2[i] {
-			t.Fatalf("ProbsIdx differs at %d: %g vs %g", i, p1[i], p2[i])
+// TestEntropyMatchesReference checks the fused softmax-entropy against the
+// direct -Σ p·ln p computation of package stats.
+func TestEntropyMatchesReference(t *testing.T) {
+	c := New(Config{Seed: 8})
+	if err := c.Train(separableSet(90, 21)); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		f := vec(textproc.Vector{trial % 8: 1, 3 + trial%5: 0.4})
+		got := c.Entropy(f)
+		want := stats.Entropy(c.Probs(f))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fused entropy %g != reference %g", got, want)
 		}
-	}
-	t1, t2 := c.TopK(f, 3), c.TopKIdx(f, idx, 3)
-	for i := range t1 {
-		if t1[i] != t2[i] {
-			t.Fatalf("TopKIdx differs at %d: %+v vs %+v", i, t1[i], t2[i])
-		}
-	}
-	if c.Entropy(f) != c.EntropyIdx(f, idx) {
-		t.Error("EntropyIdx differs")
-	}
-	// Untrained behaviour matches too.
-	u := New(Config{})
-	if u.ProbsIdx(f, idx) != nil || u.TopKIdx(f, idx, 2) != nil || u.EntropyIdx(f, idx) != 1 {
-		t.Error("untrained Idx methods inconsistent")
 	}
 }
 
@@ -272,8 +456,20 @@ func TestConfigDefaults(t *testing.T) {
 	if c.Epochs != 12 || c.LearningRate != 0.5 || c.L2 != 1e-4 {
 		t.Errorf("defaults = %+v", c)
 	}
+	if c.WarmStartEpochs != 4 {
+		t.Errorf("WarmStartEpochs default = %d, want Epochs/3 = 4", c.WarmStartEpochs)
+	}
 	c = Config{L2: -1}.withDefaults()
 	if c.L2 != 0 {
 		t.Errorf("negative L2 should clamp to 0, got %g", c.L2)
+	}
+	c = Config{Epochs: 3}.withDefaults()
+	if c.WarmStartEpochs != 2 {
+		t.Errorf("WarmStartEpochs floor = %d, want 2", c.WarmStartEpochs)
+	}
+	// A warm retrain must never default to more passes than a cold fit.
+	c = Config{Epochs: 1}.withDefaults()
+	if c.WarmStartEpochs != 1 {
+		t.Errorf("WarmStartEpochs for Epochs=1 = %d, want 1", c.WarmStartEpochs)
 	}
 }

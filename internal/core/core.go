@@ -161,14 +161,35 @@ type Engine struct {
 	models map[PropertyKind]*classifier.Classifier
 	lib    *formula.Library
 
-	// featMu guards the two caches below: claim verification fans out
-	// across goroutines (Verify with Parallelism > 1) and Featurize is on
-	// that shared path. Everything else the workers touch — classifier
-	// scoring, the formula library, the corpus — is read-only between
-	// training rounds.
+	// featMu guards the feature cache: claim verification fans out across
+	// goroutines (Verify with Parallelism > 1) and Featurize is on that
+	// shared path. Everything else the workers touch — classifier scoring,
+	// the formula library, the corpus — is read-only between training
+	// rounds.
 	featMu    sync.RWMutex
-	featCache map[int]textproc.Vector // claim ID -> features
-	idxCache  map[int][]int           // claim ID -> sorted feature indices
+	featCache map[int]textproc.Sparse // claim ID -> features
+
+	// assessMu guards the per-claim assessment cache and the model
+	// generation counter. Classifier outputs for a claim are pure in
+	// (claim, model state), so each claim's candidates / entropy / expected
+	// cost are computed once per generation and invalidated simply by
+	// bumping gen when train refits the models — the scheduler's utility
+	// scan and the per-claim planning inside a batch then share one scoring
+	// pass instead of re-running softmax over all claims each round.
+	assessMu sync.RWMutex
+	gen      uint64
+	assessed map[int]*assessment // claim ID -> cached assessment
+}
+
+// assessment is everything one scoring pass over the four models yields for
+// a claim, stamped with the model generation it was computed under.
+type assessment struct {
+	gen     uint64
+	utility float64            // u(c): summed predictive entropies (Definition 7)
+	cost    float64            // v(c): expected crowd seconds (Definition 8)
+	props   []planner.Property // per-property top-k candidates (planning input)
+	plan    *planner.Plan      // the §5.1 question plan; nil when planning failed
+	planErr error              // why plan is nil
 }
 
 // NewEngine wires an engine from a corpus and a fitted feature pipeline.
@@ -189,8 +210,8 @@ func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engin
 		cfg:       cfg,
 		models:    make(map[PropertyKind]*classifier.Classifier, 4),
 		lib:       formula.NewLibrary(),
-		featCache: make(map[int]textproc.Vector),
-		idxCache:  make(map[int][]int),
+		featCache: make(map[int]textproc.Sparse),
+		assessed:  make(map[int]*assessment),
 	}
 	for _, k := range PropertyKinds() {
 		e.models[k] = classifier.New(cfg.Classifier)
@@ -211,8 +232,9 @@ func (e *Engine) Library() *formula.Library { return e.lib }
 func (e *Engine) Model(kind PropertyKind) *classifier.Classifier { return e.models[kind] }
 
 // Featurize returns (and caches) the feature vector of a claim. It is safe
-// for concurrent use.
-func (e *Engine) Featurize(c *claims.Claim) textproc.Vector {
+// for concurrent use. The slice-backed Sparse vectors are already sorted,
+// so no separate index cache is needed.
+func (e *Engine) Featurize(c *claims.Claim) textproc.Sparse {
 	e.featMu.RLock()
 	v, ok := e.featCache[c.ID]
 	e.featMu.RUnlock()
@@ -222,32 +244,18 @@ func (e *Engine) Featurize(c *claims.Claim) textproc.Vector {
 	// Compute outside the lock: Vector is pure and featurization is
 	// idempotent, so a racing duplicate computation is harmless.
 	v = e.pipe.Vector(c.Sentence, c.Text)
-	idx := v.Indices()
 	e.featMu.Lock()
 	e.featCache[c.ID] = v
-	e.idxCache[c.ID] = idx
 	e.featMu.Unlock()
 	return v
 }
 
-// featIdx returns the cached sorted index list of a claim's features.
-func (e *Engine) featIdx(c *claims.Claim) []int {
-	e.featMu.RLock()
-	idx, ok := e.idxCache[c.ID]
-	e.featMu.RUnlock()
-	if ok {
-		return idx
-	}
-	e.Featurize(c)
-	e.featMu.RLock()
-	defer e.featMu.RUnlock()
-	return e.idxCache[c.ID]
-}
-
 // Train retrains all four classifiers from the annotated claims (those with
 // Truth set). Claims without annotations are skipped. It also refreshes the
-// formula library. Algorithm 1 calls this after every verified batch.
-// The four models train concurrently; see train.
+// formula library. Algorithm 1 calls this after every verified batch; once
+// a property's label vocabulary stops growing the underlying classifier
+// warm-starts from its previous weights instead of refitting from scratch
+// (see package classifier). The four models train concurrently; see train.
 func (e *Engine) Train(annotated []*claims.Claim) error {
 	return e.train(annotated, DefaultParallelism())
 }
@@ -283,6 +291,13 @@ func (e *Engine) train(annotated []*claims.Claim, parallelism int) error {
 	}
 	kinds := PropertyKinds()
 	errs := make([]error, len(kinds))
+	trainedAny := false
+	for _, k := range kinds {
+		if len(sets[k]) > 0 {
+			trainedAny = true
+			break
+		}
+	}
 	runPool(len(kinds), parallelism, func(i int) {
 		k := kinds[i]
 		if len(sets[k]) == 0 {
@@ -297,22 +312,40 @@ func (e *Engine) train(annotated []*claims.Claim, parallelism int) error {
 			return err
 		}
 	}
+	if trainedAny {
+		// Model state changed: stamp a new generation so cached per-claim
+		// assessments recompute lazily on next use.
+		e.assessMu.Lock()
+		e.gen++
+		e.assessMu.Unlock()
+	}
 	return nil
 }
 
-// Candidates returns, for each property, the classifier's top-k options with
-// probabilities — the raw material for question planning (§5.1) and query
-// generation (§4.3). Untrained properties yield empty option lists.
-func (e *Engine) Candidates(c *claims.Claim) []planner.Property {
+// assess returns the claim's cached assessment, computing it when the
+// cache misses or the model generation moved on. Classifier scoring is
+// pure between Train calls, so concurrent duplicate computation (two
+// workers racing the same cold claim) is deterministic and harmless — the
+// last writer wins with an identical value.
+func (e *Engine) assess(c *claims.Claim) *assessment {
+	e.assessMu.RLock()
+	a, ok := e.assessed[c.ID]
+	gen := e.gen
+	e.assessMu.RUnlock()
+	if ok && a.gen == gen {
+		return a
+	}
+
 	f := e.Featurize(c)
-	idx := e.featIdx(c)
-	out := make([]planner.Property, 0, 4)
+	a = &assessment{gen: gen, props: make([]planner.Property, 0, 4)}
 	for _, k := range PropertyKinds() {
+		top, entropy := e.models[k].Analyze(f, e.cfg.TopK)
+		a.utility += entropy
 		var opts []planner.Option
-		for _, p := range e.models[k].TopKIdx(f, idx, e.cfg.TopK) {
+		for _, p := range top {
 			opts = append(opts, planner.Option{Value: p.Label, Prob: p.Prob})
 		}
-		out = append(out, planner.Property{
+		a.props = append(a.props, planner.Property{
 			Name:    k.String(),
 			Options: opts,
 			// The query context (relations, keys, attributes) must be
@@ -323,63 +356,65 @@ func (e *Engine) Candidates(c *claims.Claim) []planner.Property {
 			Required: k != PropFormula,
 		})
 	}
+	a.plan, a.planErr = planner.BuildPlan(planner.NewCandidateSpace(a.props), e.cfg.Cost)
+	if a.planErr != nil {
+		a.plan = nil
+		a.cost = e.cfg.Cost.ManualCost()
+	} else {
+		a.cost = a.plan.ExpectedCost
+	}
+
+	e.assessMu.Lock()
+	e.assessed[c.ID] = a
+	e.assessMu.Unlock()
+	return a
+}
+
+// Candidates returns, for each property, the classifier's top-k options with
+// probabilities — the raw material for question planning (§5.1) and query
+// generation (§4.3). Untrained properties yield empty option lists. The
+// underlying scoring is cached per model generation; the returned slices
+// are fresh copies the caller owns.
+func (e *Engine) Candidates(c *claims.Claim) []planner.Property {
+	cached := e.assess(c).props
+	out := make([]planner.Property, len(cached))
+	for i, p := range cached {
+		p.Options = append([]planner.Option(nil), p.Options...)
+		out[i] = p
+	}
 	return out
 }
 
 // Utility is the training utility u(c) of Definition 7: the sum of the
 // predictive entropies of all four models on the claim.
 func (e *Engine) Utility(c *claims.Claim) float64 {
-	f := e.Featurize(c)
-	idx := e.featIdx(c)
-	var u float64
-	for _, k := range PropertyKinds() {
-		u += e.models[k].EntropyIdx(f, idx)
-	}
-	return u
+	return e.assess(c).utility
 }
 
-// PlanQuestions builds the §5.1 question plan for a claim from the current
-// classifier state.
+// PlanQuestions returns the §5.1 question plan for a claim under the
+// current classifier state. The plan comes from the cached assessment —
+// the same BuildPlan run that produced the scheduler's expected cost — and
+// is shared read-only with all callers of this generation.
 func (e *Engine) PlanQuestions(c *claims.Claim) (*planner.Plan, *planner.CandidateSpace, error) {
-	cs := planner.NewCandidateSpace(e.Candidates(c))
-	plan, err := planner.BuildPlan(cs, e.cfg.Cost)
-	if err != nil {
-		return nil, nil, err
+	a := e.assess(c)
+	if a.planErr != nil {
+		return nil, nil, a.planErr
 	}
-	return plan, cs, nil
+	return a.plan, planner.NewCandidateSpace(a.props), nil
 }
 
 // ExpectedCost estimates the crowd time (seconds) to verify the claim under
 // the current models — the v(c) input to the scheduler (Definition 8).
 func (e *Engine) ExpectedCost(c *claims.Claim) float64 {
-	cost, _ := e.Assess(c)
-	return cost
+	return e.assess(c).cost
 }
 
 // Assess returns the expected verification cost v(c) and training utility
-// u(c) of a claim from one scoring pass per model (Algorithm 1 needs both
-// for every remaining claim before every batch, so this is the scheduler's
-// hot path).
+// u(c) of a claim. Algorithm 1 needs both for every remaining claim before
+// every batch, so this is the scheduler's hot path: the underlying scoring
+// pass runs once per claim per model generation and is cached until the
+// next retrain invalidates it.
 func (e *Engine) Assess(c *claims.Claim) (cost, utility float64) {
-	f := e.Featurize(c)
-	idx := e.featIdx(c)
-	props := make([]planner.Property, 0, 4)
-	for _, k := range PropertyKinds() {
-		top, entropy := e.models[k].Analyze(f, idx, e.cfg.TopK)
-		utility += entropy
-		var opts []planner.Option
-		for _, p := range top {
-			opts = append(opts, planner.Option{Value: p.Label, Prob: p.Prob})
-		}
-		props = append(props, planner.Property{
-			Name:     k.String(),
-			Options:  opts,
-			Required: k != PropFormula,
-		})
-	}
-	plan, err := planner.BuildPlan(planner.NewCandidateSpace(props), e.cfg.Cost)
-	if err != nil {
-		return e.cfg.Cost.ManualCost(), utility
-	}
-	return plan.ExpectedCost, utility
+	a := e.assess(c)
+	return a.cost, a.utility
 }

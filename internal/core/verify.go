@@ -141,9 +141,17 @@ func (e *Engine) VerifyClaimWith(c *claims.Claim, oracle Oracle) (*Outcome, erro
 			formulas = append(formulas, f)
 		}
 	}
-	for _, p := range e.models[PropFormula].TopK(e.Featurize(c), e.cfg.TopK) {
-		if f, err := formula.ParseFormula(p.Label); err == nil {
-			formulas = append(formulas, f)
+	// Classifier formula predictions come from the cached assessment — the
+	// same scoring pass that already fed the scheduler and the planner this
+	// round, so no extra softmax here.
+	for _, prop := range e.assess(c).props {
+		if prop.Name != PropFormula.String() {
+			continue
+		}
+		for _, opt := range prop.Options {
+			if f, err := formula.ParseFormula(opt.Value); err == nil {
+				formulas = append(formulas, f)
+			}
 		}
 	}
 	if len(formulas) == 0 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/repro/scrutinizer/internal/textproc"
@@ -46,6 +47,37 @@ func (c Config) withDefaults() Config {
 		c.MinCount = 2
 	}
 	return c
+}
+
+// cooc is one co-occurrence event — or, after compaction, the accumulated
+// weight of one distinct (word, context) pair.
+type cooc struct {
+	w, c int32
+	wgt  float64
+}
+
+// compactCooc sorts triplets by (word, context) and merges duplicate pairs
+// in place, returning the shortened slice. Train calls it periodically so
+// the accumulation buffer stays proportional to distinct pairs, not total
+// co-occurrence events.
+func compactCooc(trips []cooc) []cooc {
+	slices.SortFunc(trips, func(a, b cooc) int {
+		if a.w != b.w {
+			return int(a.w) - int(b.w)
+		}
+		return int(a.c) - int(b.c)
+	})
+	out := trips[:0]
+	for k := 0; k < len(trips); {
+		cur := trips[k]
+		k++
+		for k < len(trips) && trips[k].w == cur.w && trips[k].c == cur.c {
+			cur.wgt += trips[k].wgt
+			k++
+		}
+		out = append(out, cur)
+	}
+	return out
 }
 
 // Model holds trained word vectors.
@@ -89,8 +121,17 @@ func Train(sentences []string, cfg Config) (*Model, error) {
 	}
 
 	// Pass 2: co-occurrence counts within the window, distance-weighted
-	// 1/d as in GloVe.
-	cooc := make(map[[2]int]float64)
+	// 1/d as in GloVe. Pairs are accumulated as flat (word, context,
+	// weight) triplets in one growing slice instead of a hash map — the
+	// hot loop is a pure append, and sorting both merges duplicates and
+	// fixes the deterministic iteration order the projection pass needs
+	// (the map version had to extract and sort its keys anyway). So that
+	// peak memory tracks the number of distinct pairs rather than total
+	// co-occurrence events (corpus-length-bound at FEVER scale), the
+	// slice is compacted in place — sort + merge — whenever it doubles
+	// past the last compacted size.
+	var trips []cooc
+	compactAt := 1 << 16
 	rowSum := make([]float64, len(words))
 	var total float64
 	for _, toks := range tokenised {
@@ -105,17 +146,25 @@ func Train(sentences []string, cfg Config) (*Model, error) {
 					continue
 				}
 				wgt := 1.0 / float64(j-i)
-				cooc[[2]int{wi, cj}] += wgt
-				cooc[[2]int{cj, wi}] += wgt
+				trips = append(trips,
+					cooc{int32(wi), int32(cj), wgt},
+					cooc{int32(cj), int32(wi), wgt})
 				rowSum[wi] += wgt
 				rowSum[cj] += wgt
 				total += 2 * wgt
+			}
+		}
+		if len(trips) >= compactAt {
+			trips = compactCooc(trips)
+			if next := 2 * len(trips); next > compactAt {
+				compactAt = next
 			}
 		}
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("embed: no co-occurrences (sentences too short?)")
 	}
+	trips = compactCooc(trips)
 
 	// Pass 3: PPMI rows projected through a seeded sparse random
 	// projection. Each vocabulary word's context dimension gets a random
@@ -138,27 +187,18 @@ func Train(sentences []string, cfg Config) (*Model, error) {
 	for i := range vecs {
 		vecs[i] = make([]float64, cfg.Dim)
 	}
-	// Iterate pairs in sorted order so floating-point accumulation is
-	// deterministic across runs (map iteration order is randomised).
-	pairs := make([][2]int, 0, len(cooc))
-	for pair := range cooc {
-		pairs = append(pairs, pair)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i][0] != pairs[j][0] {
-			return pairs[i][0] < pairs[j][0]
-		}
-		return pairs[i][1] < pairs[j][1]
-	})
-	for _, pair := range pairs {
-		wi, cj := pair[0], pair[1]
-		c := cooc[pair]
-		pmi := math.Log(c * total / (rowSum[wi] * rowSum[cj]))
+	// trips is compacted: one entry per distinct (word, context) pair, in
+	// sorted order, which keeps floating-point accumulation deterministic
+	// across runs.
+	for _, t := range trips {
+		pmi := math.Log(t.wgt * total / (rowSum[t.w] * rowSum[t.c]))
 		if pmi <= 0 {
 			continue
 		}
-		for d := 0; d < cfg.Dim; d++ {
-			vecs[wi][d] += pmi * proj[cj][d]
+		pr := proj[t.c]
+		vw := vecs[t.w]
+		for d := range vw {
+			vw[d] += pmi * pr[d]
 		}
 	}
 	// L2-normalise non-zero vectors.

@@ -178,3 +178,33 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("defaults = %+v", c)
 	}
 }
+
+func TestCompactCoocMergesAndSorts(t *testing.T) {
+	trips := []cooc{
+		{2, 1, 0.5},
+		{0, 3, 1.0},
+		{2, 1, 0.25},
+		{0, 3, 0.5},
+		{1, 1, 2.0},
+	}
+	got := compactCooc(trips)
+	want := []cooc{{0, 3, 1.5}, {1, 1, 2.0}, {2, 1, 0.75}}
+	if len(got) != len(want) {
+		t.Fatalf("compactCooc len = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].w != want[i].w || got[i].c != want[i].c || math.Abs(got[i].wgt-want[i].wgt) > 1e-12 {
+			t.Errorf("compactCooc[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Compacting twice is a no-op.
+	again := compactCooc(got)
+	for i := range want {
+		if again[i] != got[i] {
+			t.Errorf("double compaction changed entry %d", i)
+		}
+	}
+	if len(compactCooc(nil)) != 0 {
+		t.Error("empty input should stay empty")
+	}
+}

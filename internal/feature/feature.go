@@ -8,6 +8,14 @@
 // classifiers can be retrained repeatedly on a growing label set without
 // re-fitting features (the paper retrains classifiers per batch, not the
 // feature extractors).
+//
+// Vectors are emitted as textproc.Sparse — sorted, slice-backed (index,
+// value) pairs rather than maps. The layout is [0, EmbeddingDim) for the
+// averaged sentence embedding (a dense prefix) followed by the TF-IDF
+// vocabulary block; both halves are built sorted, so assembling a claim
+// vector is a single append with no hashing. Downstream consumers (the
+// classifiers' dense weight matrices, cosine pruning) rely on the sorted
+// order for merge-based products and deterministic float accumulation.
 package feature
 
 import (
@@ -65,17 +73,14 @@ func (p *Pipeline) Dim() int { return p.dim }
 func (p *Pipeline) EmbeddingDim() int { return p.emb.Dim() }
 
 // Vector featurises one claim in its sentence context. Embedding components
-// occupy indexes [0, EmbeddingDim); TF-IDF components follow.
-func (p *Pipeline) Vector(sentence, claim string) textproc.Vector {
-	v := make(textproc.Vector)
-	for d, x := range p.emb.SentenceVector(sentence) {
-		if x != 0 {
-			v[d] = x
-		}
-	}
+// occupy indexes [0, EmbeddingDim); TF-IDF components follow. The result is
+// a slice-backed sorted sparse vector: the dense embedding prefix and the
+// offset TF-IDF block occupy disjoint index ranges, so the concatenation is
+// a single right-sized append — no map, no merge.
+func (p *Pipeline) Vector(sentence, claim string) textproc.Sparse {
+	emb := textproc.SparseFromDense(p.emb.SentenceVector(sentence))
 	tf := p.tfidf.Transform(textproc.ClaimTokens(claim))
-	v.AddInto(tf, p.emb.Dim())
-	return v
+	return emb.AddInto(tf, p.emb.Dim())
 }
 
 // Model exposes the underlying embedding model (used by diagnostics and the

@@ -42,7 +42,8 @@ func TestVectorLayout(t *testing.T) {
 	p := fitPipeline(t)
 	v := p.Vector("global coal demand grew by 3% in 2017", "coal demand grew by 3%")
 	var hasDense, hasSparse bool
-	for i := range v {
+	for k := 0; k < v.NNZ(); k++ {
+		i := v.Index(k)
 		if i < p.EmbeddingDim() {
 			hasDense = true
 		} else {
@@ -50,6 +51,9 @@ func TestVectorLayout(t *testing.T) {
 		}
 		if i < 0 || i >= p.Dim() {
 			t.Fatalf("feature index %d out of range [0, %d)", i, p.Dim())
+		}
+		if k > 0 && v.Index(k-1) >= i {
+			t.Fatalf("indexes not strictly increasing at %d", k)
 		}
 	}
 	if !hasDense || !hasSparse {
@@ -61,10 +65,10 @@ func TestVectorsDifferAcrossClaims(t *testing.T) {
 	p := fitPipeline(t)
 	v1 := p.Vector("global coal demand grew by 3% in 2017", "coal demand grew by 3%")
 	v2 := p.Vector("solar capacity additions expanded strongly in 2017", "solar capacity expanded strongly")
-	same := len(v1) == len(v2)
+	same := v1.NNZ() == v2.NNZ()
 	if same {
-		for i, x := range v1 {
-			if v2[i] != x {
+		for k := 0; k < v1.NNZ(); k++ {
+			if v1.Index(k) != v2.Index(k) || v1.Value(k) != v2.Value(k) {
 				same = false
 				break
 			}
@@ -88,14 +92,7 @@ func TestFitErrors(t *testing.T) {
 func TestUnknownClaimStillGetsSentenceEmbedding(t *testing.T) {
 	p := fitPipeline(t)
 	v := p.Vector("global coal demand grew by 3% in 2017", "entirely novel words qqq")
-	hasDense := false
-	for i := range v {
-		if i < p.EmbeddingDim() {
-			hasDense = true
-			break
-		}
-	}
-	if !hasDense {
+	if v.NNZ() == 0 || v.Index(0) >= p.EmbeddingDim() {
 		t.Error("sentence embedding should be present even for unknown claim tokens")
 	}
 }

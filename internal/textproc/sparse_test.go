@@ -1,0 +1,202 @@
+package textproc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randVector draws a random map-backed vector from quick-generated raw
+// material: indexes in [0, 32), values in [-8, 8), so collisions and
+// cancellations actually happen.
+func randVector(rng *rand.Rand, maxNNZ int) Vector {
+	v := Vector{}
+	for n := rng.Intn(maxNNZ + 1); n > 0; n-- {
+		v[rng.Intn(32)] = float64(rng.Intn(160)-80) / 10
+	}
+	// Maps never store explicit zeros in the production pipeline; drop any.
+	for i, x := range v {
+		if x == 0 {
+			delete(v, i)
+		}
+	}
+	return v
+}
+
+// TestSparseMatchesMapSemantics is the equivalence property suite: every
+// Sparse operation must agree with the map-backed reference implementation
+// on random inputs.
+func TestSparseMatchesMapSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randVector(rng, 12), randVector(rng, 12)
+		sa, sb := a.Sparse(), b.Sparse()
+
+		if got, want := sa.Dot(sb), a.Dot(b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Dot = %g, map reference %g (a=%v b=%v)", trial, got, want, a, b)
+		}
+		if got, want := sa.Norm(), a.Norm(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Norm = %g, map reference %g", trial, got, want)
+		}
+		if got, want := Cosine(sa, sb), CosineSimilarity(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Cosine = %g, map reference %g", trial, got, want)
+		}
+
+		// AddInto with a random offset: the map mutates in place, the
+		// slice version returns the merged vector.
+		offset := rng.Intn(5)
+		ref := Vector{}
+		for i, x := range a {
+			ref[i] = x
+		}
+		ref.AddInto(b, offset)
+		merged := sa.AddInto(sb, offset)
+		for i, x := range ref {
+			if got := merged.Get(i); math.Abs(got-x) > 1e-9 {
+				t.Fatalf("trial %d: AddInto at %d = %g, map reference %g", trial, i, got, x)
+			}
+		}
+		// No phantom entries beyond cancellations-to-zero.
+		for k := 0; k < merged.NNZ(); k++ {
+			if _, ok := ref[merged.Index(k)]; !ok {
+				t.Fatalf("trial %d: AddInto invented index %d", trial, merged.Index(k))
+			}
+		}
+
+		// Scale agrees and is in place for Sparse.
+		k := float64(rng.Intn(7)) - 3
+		sc := a.Sparse().Scale(k)
+		for i, x := range a {
+			if got := sc.Get(i); math.Abs(got-x*k) > 1e-9 {
+				t.Fatalf("trial %d: Scale(%g) at %d = %g, want %g", trial, k, i, got, x*k)
+			}
+		}
+
+		// Round trip: map -> sparse -> map.
+		if back := sa.Map(); !reflect.DeepEqual(back, a) && !(len(back) == 0 && len(a) == 0) {
+			t.Fatalf("trial %d: round trip %v != %v", trial, back, a)
+		}
+	}
+}
+
+// Property: Dot is symmetric and bilinear under scaling for Sparse, matching
+// the map-vector property test.
+func TestSparseDotScaleProperty(t *testing.T) {
+	f := func(x, y, k int8) bool {
+		a := Vector{0: float64(x), 1: 1}.Sparse()
+		b := Vector{0: float64(y), 1: 2}.Sparse()
+		if math.Abs(a.Dot(b)-b.Dot(a)) > 1e-9 {
+			return false
+		}
+		lhs := a.Dot(b) * float64(k)
+		rhs := Vector{0: float64(x), 1: 1}.Sparse().Scale(float64(k)).Dot(b)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseInvariants(t *testing.T) {
+	s := Vector{9: 1, 3: 2, 7: -1}.Sparse()
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	for k := 1; k < s.NNZ(); k++ {
+		if s.Index(k-1) >= s.Index(k) {
+			t.Fatal("indexes not strictly increasing")
+		}
+	}
+	if s.MaxIndex() != 9 {
+		t.Errorf("MaxIndex = %d", s.MaxIndex())
+	}
+	if s.Get(3) != 2 || s.Get(4) != 0 {
+		t.Errorf("Get = %g, %g", s.Get(3), s.Get(4))
+	}
+	if (Sparse{}).MaxIndex() != -1 {
+		t.Error("empty MaxIndex should be -1")
+	}
+	if (Sparse{}).Norm() != 0 {
+		t.Error("empty Norm should be 0")
+	}
+}
+
+func TestSparseBuilder(t *testing.T) {
+	var b SparseBuilder
+	b.Add(5, 1)
+	b.Add(2, 3)
+	b.Add(5, 2) // duplicate sums
+	b.Add(8, 4)
+	b.Add(8, -4) // cancels to zero -> dropped
+	s := b.Build()
+	if want := (Vector{2: 3, 5: 3}); !reflect.DeepEqual(s.Map(), want) {
+		t.Errorf("Build = %v, want %v", s.Map(), want)
+	}
+	if b.Len() != 0 {
+		t.Error("Build should reset the builder")
+	}
+	// Already-sorted input takes the no-sort path.
+	b.Add(1, 1)
+	b.Add(2, 2)
+	if got := b.Build(); got.Get(1) != 1 || got.Get(2) != 2 {
+		t.Errorf("sorted Build = %v", got.Map())
+	}
+	if (&SparseBuilder{}).Build().NNZ() != 0 {
+		t.Error("empty Build should be empty")
+	}
+}
+
+func TestSparseFromDense(t *testing.T) {
+	s := SparseFromDense([]float64{0, 1.5, 0, -2, 0})
+	if want := (Vector{1: 1.5, 3: -2}); !reflect.DeepEqual(s.Map(), want) {
+		t.Errorf("SparseFromDense = %v, want %v", s.Map(), want)
+	}
+}
+
+func TestSparseAddIntoDisjointFastPath(t *testing.T) {
+	// The feature pipeline's layout: dense prefix plus shifted TF-IDF block.
+	prefix := SparseFromDense([]float64{0.5, 0, 0.25})
+	tf := Vector{0: 1, 4: 2}.Sparse()
+	got := prefix.AddInto(tf, 10)
+	want := Vector{0: 0.5, 2: 0.25, 10: 1, 14: 2}
+	if !reflect.DeepEqual(got.Map(), want) {
+		t.Errorf("AddInto = %v, want %v", got.Map(), want)
+	}
+	// Empty receiver and empty argument.
+	if got := (Sparse{}).AddInto(tf, 1); got.NNZ() != 2 {
+		t.Errorf("empty receiver AddInto = %v", got.Map())
+	}
+	if got := tf.AddInto(Sparse{}, 1); !reflect.DeepEqual(got.Map(), tf.Map()) {
+		t.Errorf("empty argument AddInto = %v", got.Map())
+	}
+}
+
+func BenchmarkSparseDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var ba, bb SparseBuilder
+	for i := 0; i < 120; i++ {
+		ba.Add(rng.Intn(4000), rng.Float64())
+		bb.Add(rng.Intn(4000), rng.Float64())
+	}
+	x, y := ba.Build(), bb.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Dot(y)
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	docs := make([][]string, 64)
+	for i := range docs {
+		docs[i] = ClaimTokens("global electricity demand grew by 3% between 2015 and 2017")
+	}
+	vz := NewVectorizer(1)
+	vz.Fit(docs)
+	doc := docs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vz.Transform(doc)
+	}
+}

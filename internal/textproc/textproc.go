@@ -1,7 +1,10 @@
 // Package textproc implements the claim-preprocessing text pipeline of the
 // paper's Section 4.1 (Figure 4): tokenisation, word unigrams/bigrams,
-// character trigrams, and TF-IDF vectorisation. Feature vectors are sparse;
-// the classifiers consume them directly.
+// character trigrams, and TF-IDF vectorisation. Feature vectors are sparse
+// and slice-backed (type Sparse: sorted parallel index/value slices built
+// through SparseBuilder); the classifiers consume them directly. The older
+// map-backed Vector type survives only as the reference implementation the
+// equivalence tests compare Sparse against.
 package textproc
 
 import (
@@ -76,9 +79,12 @@ func CharNGrams(text string, n int) []string {
 	return out
 }
 
-// Vector is a sparse feature vector: index -> weight. Feature indexes come
-// from a Vectorizer's vocabulary or from an offset composition (package
-// feature).
+// Vector is the original map-backed sparse vector: index -> weight. The
+// production pipeline now runs entirely on the slice-backed Sparse type
+// (see sparse.go); Vector is retained as the executable specification of
+// the sparse-vector semantics — the property-based equivalence tests in
+// sparse_test.go check every Sparse operation against it — and as a
+// convenient literal syntax (Vector{...}.Sparse()) in tests.
 type Vector map[int]float64
 
 // Dot returns the inner product of two sparse vectors.
@@ -194,17 +200,20 @@ func (vz *Vectorizer) VocabIndex(term string) int {
 	return -1
 }
 
-// Transform converts a token slice to an L2-normalised TF-IDF vector.
-func (vz *Vectorizer) Transform(doc []string) Vector {
-	tf := make(map[int]float64)
+// Transform converts a token slice to an L2-normalised TF-IDF vector. The
+// term-frequency accumulation runs through a SparseBuilder instead of the
+// two throwaway maps the map-vector version allocated per call.
+func (vz *Vectorizer) Transform(doc []string) Sparse {
+	var b SparseBuilder
 	for _, tok := range doc {
 		if i, ok := vz.vocab[tok]; ok {
-			tf[i]++
+			b.Add(i, 1)
 		}
 	}
-	v := make(Vector, len(tf))
-	for i, f := range tf {
-		v[i] = f * vz.idf[i]
+	v := b.Build() // sorted unique term counts
+	_, vals := v.Raw()
+	for k := range vals {
+		vals[k] *= vz.idf[v.Index(k)]
 	}
 	if n := v.Norm(); n > 0 {
 		v.Scale(1 / n)
@@ -213,9 +222,9 @@ func (vz *Vectorizer) Transform(doc []string) Vector {
 }
 
 // FitTransform fits on docs and returns their vectors.
-func (vz *Vectorizer) FitTransform(docs [][]string) []Vector {
+func (vz *Vectorizer) FitTransform(docs [][]string) []Sparse {
 	vz.Fit(docs)
-	out := make([]Vector, len(docs))
+	out := make([]Sparse, len(docs))
 	for i, d := range docs {
 		out[i] = vz.Transform(d)
 	}
@@ -240,8 +249,9 @@ func ClaimTokens(claim string) []string {
 	return out
 }
 
-// CosineSimilarity returns the cosine of the angle between two sparse
-// vectors, or 0 if either is zero.
+// CosineSimilarity returns the cosine of the angle between two map-backed
+// reference vectors, or 0 if either is zero. Production code uses Cosine on
+// Sparse vectors.
 func CosineSimilarity(a, b Vector) float64 {
 	na, nb := a.Norm(), b.Norm()
 	if na == 0 || nb == 0 {

@@ -106,8 +106,8 @@ func TestVectorizerFitTransform(t *testing.T) {
 	}
 	// Unknown tokens ignored at transform time.
 	v := vz.Transform([]string{"unseen", "tokens"})
-	if len(v) != 0 {
-		t.Errorf("unknown-only doc should be empty, got %v", v)
+	if v.NNZ() != 0 {
+		t.Errorf("unknown-only doc should be empty, got %v", v.Map())
 	}
 	if vz.VocabIndex("unseen") != -1 {
 		t.Error("VocabIndex of unknown should be -1")
