@@ -7,17 +7,30 @@
 //	go run ./cmd/bench -benchtime 2s      # steadier numbers
 //	go run ./cmd/bench -bench 'Train' -pkg ./internal/classifier
 //	go run ./cmd/bench -out /tmp -date 2026-01-31
+//	go run ./cmd/bench -baseline BENCH_2026-07-29.json -max-ratio 2
 //
 // The default tracked set covers the numeric hot path (classifier training
-// and scoring, sparse-vector ops, TF-IDF transform) and the end-to-end
-// document verification loop. Each record carries ns/op, B/op, allocs/op
-// and any custom b.ReportMetric metrics, plus enough environment metadata
-// (go version, CPU, GOMAXPROCS) to make cross-machine comparisons honest.
+// and scoring, sparse-vector ops, TF-IDF transform), the end-to-end
+// document verification loop, and the interactive session lifecycle
+// (create / answer-pump / evict). Each record carries ns/op, B/op,
+// allocs/op and any custom b.ReportMetric metrics, plus enough environment
+// metadata (go version, CPU, GOMAXPROCS) to make cross-machine comparisons
+// honest.
+//
+// With -baseline the run is also a regression gate: each fresh ns/op is
+// compared against the same-named benchmark in the given BENCH_*.json and
+// the process exits non-zero when any tracked benchmark slowed down by
+// more than -max-ratio (default 2x). Benchmarks missing from the baseline
+// are reported but do not fail the gate, so new benchmarks can land before
+// the baseline is refreshed. Ratios, not absolute numbers, keep the gate
+// meaningful across machines of similar class; the wide 2x threshold
+// absorbs the remaining machine-to-machine spread.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +55,7 @@ type trackedBench struct {
 var defaultTracked = []trackedBench{
 	{Pkg: "./internal/classifier", Bench: "BenchmarkTrain500x200|BenchmarkWarmRetrain500x200|BenchmarkPredictTopK|BenchmarkEntropy"},
 	{Pkg: "./internal/textproc", Bench: "BenchmarkSparseDot|BenchmarkTransform"},
+	{Pkg: "./internal/session", Bench: "BenchmarkSessionCreate|BenchmarkSessionAnswerPump|BenchmarkSessionEvict"},
 	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld"},
 }
 
@@ -77,6 +91,8 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 2s, 10x)")
 	out := flag.String("out", ".", "directory for BENCH_<date>.json")
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
+	baseline := flag.String("baseline", "", "BENCH_*.json to gate against; exit non-zero on regressions")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when fresh ns/op exceeds baseline ns/op by this factor (with -baseline)")
 	flag.Parse()
 
 	tracked := defaultTracked
@@ -133,6 +149,108 @@ func main() {
 		fmt.Printf("  %-45s %14.0f ns/op %12.0f B/op %8.0f allocs/op\n",
 			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 	}
+
+	if *baseline != "" {
+		if err := gateAgainstBaseline(*baseline, tracked, rep.Benchmarks, *benchtime, *maxRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// regression is one benchmark that came in slower than the baseline
+// allows.
+type regression struct {
+	res    result
+	baseNs float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%-45s %.2fx slower (%.0f ns/op vs %.0f ns/op baseline)",
+		r.res.Name, r.res.NsPerOp/r.baseNs, r.res.NsPerOp, r.baseNs)
+}
+
+// gateAgainstBaseline fails (returns an error) when any fresh benchmark
+// is more than maxRatio slower than its committed baseline entry.
+// Suspected regressions are re-measured once before failing: on shared
+// CI runners a noisy neighbour can slow a microbenchmark past 2x, but a
+// genuine regression reproduces; only benchmarks slow in both passes
+// fail the gate. Benchmarks absent from the baseline are reported and
+// skipped (they are new; the next baseline refresh covers them).
+func gateAgainstBaseline(path string, tracked []trackedBench, fresh []result, benchtime string, maxRatio float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	regressions := findRegressions(fresh, baseNs, maxRatio)
+	if len(regressions) > 0 {
+		fmt.Printf("re-measuring %d suspected regression(s) to rule out runner noise\n", len(regressions))
+		pkgs := map[string]bool{}
+		for _, r := range regressions {
+			pkgs[r.res.Package] = true
+		}
+		var retried []result
+		for _, t := range tracked {
+			if !pkgs[t.Pkg] {
+				continue
+			}
+			results, _, err := runBench(t, benchtime)
+			if err != nil {
+				return err
+			}
+			retried = append(retried, results...)
+		}
+		// Keep the faster of the two measurements per benchmark: the
+		// gate cares about the best the code can do, not the worst the
+		// runner did.
+		bestNs := make(map[string]result, len(retried))
+		for _, r := range regressions {
+			bestNs[r.res.Name] = r.res
+		}
+		for _, b := range retried {
+			if prev, ok := bestNs[b.Name]; ok && b.NsPerOp < prev.NsPerOp {
+				bestNs[b.Name] = b
+			}
+		}
+		var confirmed []result
+		for _, r := range regressions {
+			confirmed = append(confirmed, bestNs[r.res.Name])
+		}
+		regressions = findRegressions(confirmed, baseNs, maxRatio)
+	}
+	if len(regressions) > 0 {
+		msg := fmt.Sprintf("%d benchmark(s) regressed more than %.1fx vs %s:", len(regressions), maxRatio, path)
+		for _, r := range regressions {
+			msg += "\n  " + r.String()
+		}
+		return errors.New(msg)
+	}
+	fmt.Printf("baseline gate passed: no benchmark regressed more than %.1fx vs %s\n", maxRatio, path)
+	return nil
+}
+
+// findRegressions compares fresh results against baseline ns/op.
+func findRegressions(fresh []result, baseNs map[string]float64, maxRatio float64) []regression {
+	var out []regression
+	for _, b := range fresh {
+		old, ok := baseNs[b.Name]
+		if !ok || old <= 0 {
+			fmt.Printf("  (no baseline for %s; skipped by the gate)\n", b.Name)
+			continue
+		}
+		if b.NsPerOp/old > maxRatio {
+			out = append(out, regression{res: b, baseNs: old})
+		}
+	}
+	return out
 }
 
 // runBench executes one `go test -bench` invocation and parses its output.

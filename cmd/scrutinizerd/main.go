@@ -1,13 +1,25 @@
-// Command scrutinizerd serves Scrutinizer as a long-running HTTP service:
-// documents of annotated claims are POSTed in, verification reports come
-// back as JSON. The corpus is loaded once at startup and shared by all
-// requests; each request gets its own System (feature pipeline +
-// classifiers) fitted to the posted document, and its batches are verified
-// across -parallel goroutines.
+// Command scrutinizerd serves Scrutinizer as a long-running HTTP service.
+// The corpus is loaded once at startup and shared by all requests; each
+// request gets its own System (feature pipeline + classifiers) fitted to
+// the posted document.
+//
+// Two verification modes share one engine core:
+//
+//   - Batch: POST a document of annotated claims to /verify and the
+//     simulated crowd answers every question screen in-process; the
+//     verification report comes back in the same response.
+//   - Interactive sessions: POST a document to /sessions and the engine
+//     parks on its first batch of question screens. Checkers poll
+//     /sessions/{id}/questions, post answers to /sessions/{id}/answers,
+//     and fetch the report when progress shows done. Between answers a
+//     session holds no goroutines; batch-boundary retraining runs inside
+//     the answer that completes a batch. Sessions idle past -session-ttl
+//     are evicted.
 //
 // Usage:
 //
-//	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n] [-pprof addr]
+//	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n]
+//	             [-pprof addr] [-session-ttl 30m] [-max-sessions 256]
 //
 // Without -corpus the daemon generates a synthetic world corpus (the
 // quickest way to try the API: generate a matching document with
@@ -30,19 +42,26 @@
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness + corpus statistics
-//	POST /verify    document JSON in, verification report JSON out
+//	GET    /healthz                  liveness + corpus and session statistics
+//	POST   /verify                   document JSON in, verification report JSON out
+//	POST   /sessions                 create an interactive session (document JSON in)
+//	GET    /sessions/{id}            session progress
+//	GET    /sessions/{id}/questions  pending question screens
+//	POST   /sessions/{id}/answers    post one answer or a batch of answers
+//	GET    /sessions/{id}/report     outcomes so far (complete once done)
+//	DELETE /sessions/{id}            drop a session
 //
-// A /verify body is either a bare document (the claims.WriteJSON format) or
-// an envelope:
+// A /verify or /sessions body is either a bare document (the
+// claims.WriteJSON format) or an envelope:
 //
 //	{
 //	  "document":    {...},       // required: the document to verify
-//	  "team":        3,           // simulated checkers (default 3)
+//	  "team":        3,           // /verify: simulated checkers (default 3)
+//	  "checkers":    1,           // /sessions: humans skimming each section
 //	  "batch":       100,         // retraining batch size (default 100)
 //	  "parallelism": 0,           // 0 = server default
 //	  "ordering":    "ilp",       // ilp | sequential | greedy | random
-//	  "seed":        7,           // system + crowd seed
+//	  "seed":        7,           // system (+ crowd) seed
 //	  "section_read_cost": 0      // seconds per section skim
 //	}
 package main
@@ -74,15 +93,29 @@ func main() {
 	seed := flag.Int64("seed", 7, "synthetic world seed")
 	parallel := flag.Int("parallel", 0, "default per-batch verification fan-out (0 = all CPUs)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict interactive sessions idle longer than this (0 = never)")
+	maxSessions := flag.Int("max-sessions", 256, "cap on concurrent interactive sessions (0 = unlimited)")
 	flag.Parse()
 
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// The pprof handlers self-register on http.DefaultServeMux; serve
-		// that mux on a dedicated listener so profiling endpoints never
-		// share the API port.
+		// that mux on a dedicated, fully-configured listener so profiling
+		// endpoints never share the API port and participate in graceful
+		// shutdown like the API server.
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       time.Minute,
+			// Generous write window: profile?seconds=30 streams for the
+			// requested duration before the response completes.
+			WriteTimeout: 3 * time.Minute,
+			IdleTimeout:  2 * time.Minute,
+		}
 		go func() {
 			log.Printf("scrutinizerd: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("scrutinizerd: pprof server: %v", err)
 			}
 		}()
@@ -92,7 +125,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(corpus, *parallel)
+	s := newServer(corpus, *parallel, *sessionTTL, *maxSessions)
 	stats := corpus.Stats()
 	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), listening on %s",
 		stats.Relations, stats.Rows, stats.Cells, *addr)
@@ -101,8 +134,14 @@ func main() {
 		Addr:              *addr,
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
-		// No write timeout: paper-scale verifications legitimately run for
-		// minutes.
+		// Reading a request body tops out at the 64 MB document cap;
+		// five minutes covers that even on slow links.
+		ReadTimeout: 5 * time.Minute,
+		// Paper-scale /verify runs legitimately take minutes: the write
+		// window is wide but bounded so a dead peer can never pin a
+		// handler forever.
+		WriteTimeout: 30 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -118,6 +157,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("scrutinizerd: shutdown: %v", err)
+		}
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(ctx); err != nil {
+				log.Printf("scrutinizerd: pprof shutdown: %v", err)
+			}
 		}
 	}
 }
@@ -138,33 +182,49 @@ func loadCorpus(dir string, numClaims int, seed int64) (*scrutinizer.Corpus, err
 	return table.ReadCSVDir(dir)
 }
 
-// server holds the shared, read-only state of the daemon.
+// maxBodyBytes caps request bodies: a paper-scale annotated document is a
+// few MB, so 64 MB leaves an order-of-magnitude headroom.
+const maxBodyBytes = 64 << 20
+
+// server holds the shared state of the daemon: the read-only corpus plus
+// the interactive session registry.
 type server struct {
 	corpus   *scrutinizer.Corpus
 	parallel int
+	maxBody  int64
+	sessions *scrutinizer.SessionManager
 	started  time.Time
 }
 
-func newServer(corpus *scrutinizer.Corpus, parallel int) *server {
+func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duration, maxSessions int) *server {
 	if parallel <= 0 {
 		parallel = core.DefaultParallelism()
 	}
-	return &server{corpus: corpus, parallel: parallel, started: time.Now()}
+	return &server{
+		corpus:   corpus,
+		parallel: parallel,
+		maxBody:  maxBodyBytes,
+		sessions: scrutinizer.NewSessionManager(sessionTTL, maxSessions),
+		started:  time.Now(),
+	}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSessionProgress)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /sessions/{id}/questions", s.handleSessionQuestions)
+	mux.HandleFunc("POST /sessions/{id}/answers", s.handleSessionAnswers)
+	mux.HandleFunc("GET /sessions/{id}/report", s.handleSessionReport)
 	return mux
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
 	stats := s.corpus.Stats()
+	sess := s.sessions.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"corpus": map[string]int{
@@ -172,21 +232,79 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"rows":      stats.Rows,
 			"cells":     stats.Cells,
 		},
+		"sessions": map[string]any{
+			"active":           sess.Active,
+			"queued_questions": sess.PendingQuestions,
+			"model_generation": sess.MaxGeneration,
+			"created_total":    sess.CreatedTotal,
+			"evicted_total":    sess.EvictedTotal,
+		},
 		"parallelism": s.parallel,
 		"uptime_s":    int(time.Since(s.started).Seconds()),
 	})
 }
 
-// verifyRequest is the /verify envelope. Document is raw so a bare document
-// body can be detected and accepted too.
-type verifyRequest struct {
+// readBody slurps a capped request body, writing the HTTP error itself
+// when reading fails. The bool reports success.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// parseOrdering maps the wire name to a core ordering.
+func parseOrdering(name string) (core.Ordering, error) {
+	switch name {
+	case "", "ilp":
+		return core.OrderILP, nil
+	case "sequential":
+		return core.OrderSequential, nil
+	case "greedy":
+		return core.OrderGreedy, nil
+	case "random":
+		return core.OrderRandom, nil
+	}
+	return 0, fmt.Errorf("unknown ordering %q", name)
+}
+
+// documentRequest is the shared /verify and /sessions envelope. Document
+// is raw so a bare document body can be detected and accepted too.
+type documentRequest struct {
 	Document        json.RawMessage `json:"document"`
 	Team            int             `json:"team"`
+	Checkers        int             `json:"checkers"`
 	Batch           int             `json:"batch"`
 	Parallelism     int             `json:"parallelism"`
 	Ordering        string          `json:"ordering"`
 	Seed            int64           `json:"seed"`
 	SectionReadCost float64         `json:"section_read_cost"`
+}
+
+// decodeDocumentRequest parses an envelope or bare-document body.
+func decodeDocumentRequest(raw []byte) (*documentRequest, *scrutinizer.Document, error) {
+	var req documentRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, nil, fmt.Errorf("malformed JSON: %w", err)
+	}
+	docBytes := []byte(req.Document)
+	if len(docBytes) == 0 {
+		// Bare document body.
+		docBytes = raw
+	}
+	doc, err := scrutinizer.ReadDocumentJSON(bytes.NewReader(docBytes))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, doc, nil
 }
 
 // verifyResponse is the /verify report.
@@ -215,34 +333,29 @@ type verifyOutcome struct {
 	Suggestion *float64 `json:"suggestion,omitempty"`
 }
 
-func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+func toVerifyOutcome(o *scrutinizer.Outcome) verifyOutcome {
+	vo := verifyOutcome{
+		ClaimID: o.ClaimID,
+		Verdict: o.Verdict.String(),
+		Seconds: o.Seconds,
+		Value:   o.Value,
 	}
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(body); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
-		} else {
-			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
-		}
-		return
+	if o.Query != nil {
+		vo.SQL = o.Query.SQL()
 	}
+	if o.HasSuggestion {
+		s := o.Suggestion
+		vo.Suggestion = &s
+	}
+	return vo
+}
 
-	var req verifyRequest
-	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
-		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	docBytes := []byte(req.Document)
-	if len(docBytes) == 0 {
-		// Bare document body.
-		docBytes = buf.Bytes()
-	}
-	doc, err := scrutinizer.ReadDocumentJSON(bytes.NewReader(docBytes))
+	req, doc, err := decodeDocumentRequest(raw)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -250,22 +363,14 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	for _, c := range doc.Claims {
 		if c.Truth == nil {
 			httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf(
-				"claim %d has no ground-truth annotation; the HTTP service runs the simulated-crowd flow, which answers from annotations (plug a custom Oracle in programmatically for human answers)", c.ID))
+				"claim %d has no ground-truth annotation; /verify runs the simulated-crowd flow, which answers from annotations (use an interactive session via POST /sessions for human answers)", c.ID))
 			return
 		}
 	}
 
-	ordering := core.OrderILP
-	switch req.Ordering {
-	case "", "ilp":
-	case "sequential":
-		ordering = core.OrderSequential
-	case "greedy":
-		ordering = core.OrderGreedy
-	case "random":
-		ordering = core.OrderRandom
-	default:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown ordering %q", req.Ordering))
+	ordering, err := parseOrdering(req.Ordering)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	team := req.Team
@@ -309,19 +414,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		WallMillis:  time.Since(start).Milliseconds(),
 	}
 	for _, o := range res.Outcomes {
-		vo := verifyOutcome{
-			ClaimID: o.ClaimID,
-			Verdict: o.Verdict.String(),
-			Seconds: o.Seconds,
-			Value:   o.Value,
-		}
-		if o.Query != nil {
-			vo.SQL = o.Query.SQL()
-		}
-		if o.HasSuggestion {
-			s := o.Suggestion
-			vo.Suggestion = &s
-		}
+		vo := toVerifyOutcome(o)
 		switch o.Verdict {
 		case scrutinizer.VerdictCorrect:
 			resp.Correct++
@@ -331,6 +424,216 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			resp.Skipped++
 		}
 		resp.Outcomes = append(resp.Outcomes, vo)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionCreateResponse answers POST /sessions: the handle plus the first
+// batch of questions so a client can start answering without a second
+// round trip.
+type sessionCreateResponse struct {
+	ID        string                        `json:"id"`
+	Claims    int                           `json:"claims"`
+	Progress  scrutinizer.SessionProgress   `json:"progress"`
+	Questions []scrutinizer.SessionQuestion `json:"questions"`
+}
+
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, doc, err := decodeDocumentRequest(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ordering, err := parseOrdering(req.Ordering)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	parallelism := req.Parallelism
+	if parallelism <= 0 {
+		parallelism = s.parallel
+	}
+	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	sess, err := sys.StartSession(s.sessions, scrutinizer.SessionOptions{
+		Verify: scrutinizer.VerifyOptions{
+			BatchSize:       req.Batch,
+			SectionReadCost: req.SectionReadCost,
+			Ordering:        ordering,
+			Parallelism:     parallelism,
+		},
+		Checkers: req.Checkers,
+	})
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionCreateResponse{
+		ID:        sess.ID(),
+		Claims:    len(doc.Claims),
+		Progress:  sess.Progress(),
+		Questions: sess.Questions(),
+	})
+}
+
+// session fetches the handler's session or writes the 404.
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*scrutinizer.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no session %q (expired or never created)", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *server) handleSessionProgress(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Progress())
+}
+
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Remove(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *server) handleSessionQuestions(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	qs := sess.Questions()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"questions": qs,
+		"done":      sess.Done(),
+	})
+}
+
+// answersRequest posts one or many answers. Both shapes are accepted:
+//
+//	{"answers": [{"claim_id": 3, "value": "...", "seconds": 2.5}, ...]}
+//	{"claim_id": 3, "value": "...", "seconds": 2.5}
+type answersRequest struct {
+	Answers []scrutinizer.SessionAnswer `json:"answers"`
+}
+
+// answersResponse reports what was accepted plus the follow-up questions
+// for the answered claims, so a checker can keep going without polling.
+type answersResponse struct {
+	Accepted  int                           `json:"accepted"`
+	Questions []scrutinizer.SessionQuestion `json:"questions"`
+	Progress  scrutinizer.SessionProgress   `json:"progress"`
+}
+
+func (s *server) handleSessionAnswers(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Field presence, not zero values, decides the body shape: claim ID 0
+	// and an empty value (a skip) are both legitimate answer contents.
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	var req answersRequest
+	if _, ok := fields["answers"]; ok {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+	} else if _, ok := fields["claim_id"]; ok {
+		var single scrutinizer.SessionAnswer
+		if err := json.Unmarshal(raw, &single); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		req.Answers = []scrutinizer.SessionAnswer{single}
+	}
+	if len(req.Answers) == 0 {
+		httpError(w, http.StatusBadRequest, "no answers in body")
+		return
+	}
+	resp := answersResponse{}
+	for _, a := range req.Answers {
+		next, err := sess.Answer(a)
+		if err != nil {
+			// Conflict: the target question is gone (answered already,
+			// or the claim finished). Report what was accepted so far.
+			resp.Progress = sess.Progress()
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":    err.Error(),
+				"accepted": resp.Accepted,
+				"progress": resp.Progress,
+			})
+			return
+		}
+		resp.Accepted++
+		if next != nil {
+			resp.Questions = append(resp.Questions, *next)
+		}
+	}
+	resp.Progress = sess.Progress()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sessionReportResponse is the /sessions/{id}/report payload; outcomes
+// are partial until Done.
+type sessionReportResponse struct {
+	ID        string          `json:"id"`
+	Done      bool            `json:"done"`
+	Claims    int             `json:"claims"`
+	Correct   int             `json:"correct"`
+	Incorrect int             `json:"incorrect"`
+	Skipped   int             `json:"skipped"`
+	Accuracy  float64         `json:"accuracy"`
+	CrowdSecs float64         `json:"crowd_seconds"`
+	Batches   int             `json:"batches"`
+	Outcomes  []verifyOutcome `json:"outcomes"`
+}
+
+func (s *server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	rep := sess.Report()
+	resp := sessionReportResponse{
+		ID:        sess.ID(),
+		Done:      rep.Done,
+		Claims:    sess.Progress().Total,
+		Accuracy:  rep.Accuracy,
+		CrowdSecs: rep.Seconds,
+		Batches:   rep.Batches,
+	}
+	for _, o := range rep.Outcomes {
+		switch o.Verdict {
+		case scrutinizer.VerdictCorrect:
+			resp.Correct++
+		case scrutinizer.VerdictIncorrect:
+			resp.Incorrect++
+		default:
+			resp.Skipped++
+		}
+		resp.Outcomes = append(resp.Outcomes, toVerifyOutcome(o))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/repro/scrutinizer"
 )
@@ -20,7 +21,7 @@ func testServer(t *testing.T) (*server, *scrutinizer.World) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(w.Corpus, 4), w
+	return newServer(w.Corpus, 4, time.Hour, 0), w
 }
 
 func TestHealthz(t *testing.T) {

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer"
+	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/crowd"
+	"github.com/repro/scrutinizer/internal/planner"
+)
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func do(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// sessionCrowd answers session questions exactly like the in-process
+// simulated-crowd oracle: per-claim team views over the same seeds, truth
+// labels from the document, truth SQL from an identically-built system.
+type sessionCrowd struct {
+	t       *testing.T
+	engine  *core.Engine
+	team    *crowd.Team
+	doc     *scrutinizer.Document
+	oracles map[int]core.Oracle
+}
+
+func newSessionCrowd(t *testing.T, corpus *scrutinizer.Corpus, doc *scrutinizer.Document, seed int64, teamSize int) *sessionCrowd {
+	t.Helper()
+	sys, err := scrutinizer.New(corpus, doc, scrutinizer.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := sys.NewTeam(teamSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sessionCrowd{t: t, engine: sys.Engine(), team: team, doc: doc, oracles: map[int]core.Oracle{}}
+}
+
+func (sc *sessionCrowd) answer(q scrutinizer.SessionQuestion) scrutinizer.SessionAnswer {
+	sc.t.Helper()
+	oracle := sc.oracles[q.ClaimID]
+	if oracle == nil {
+		var err error
+		oracle, err = sc.engine.NewTeamOracle(sc.team.ForClaim(q.ClaimID))
+		if err != nil {
+			sc.t.Fatal(err)
+		}
+		sc.oracles[q.ClaimID] = oracle
+	}
+	var claim *scrutinizer.Claim
+	for _, c := range sc.doc.Claims {
+		if c.ID == q.ClaimID {
+			claim = c
+			break
+		}
+	}
+	if claim == nil {
+		sc.t.Fatalf("question for unknown claim %d", q.ClaimID)
+	}
+	var value string
+	var secs float64
+	if q.Screen == "final" {
+		value, secs = oracle.AnswerFinal(claim, q.Candidates)
+	} else {
+		var kind core.PropertyKind
+		switch q.Screen {
+		case "relation":
+			kind = core.PropRelation
+		case "key":
+			kind = core.PropKey
+		case "attribute":
+			kind = core.PropAttr
+		case "formula":
+			kind = core.PropFormula
+		default:
+			sc.t.Fatalf("unknown screen %q", q.Screen)
+		}
+		opts := make([]planner.Option, len(q.Options))
+		for i, o := range q.Options {
+			opts[i] = planner.Option{Value: o.Value, Prob: o.Prob}
+		}
+		value, secs = oracle.AnswerProperty(claim, kind, opts)
+	}
+	return scrutinizer.SessionAnswer{QuestionID: q.ID, ClaimID: q.ClaimID, Value: value, Seconds: secs}
+}
+
+// TestSessionLifecycleMatchesVerify is the acceptance pin at the HTTP
+// layer: a simulated crowd driving a document through the session API
+// (create → poll questions → post answers → report) produces verdicts,
+// crowd seconds and accuracy bit-identical to POST /verify with the same
+// seed and team.
+func TestSessionLifecycleMatchesVerify(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var doc bytes.Buffer
+	if err := w.Document.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	envelope := func(extra string) []byte {
+		return []byte(`{"document": ` + doc.String() + `, "batch": 10, "seed": 11, "section_read_cost": 15, ` + extra + `}`)
+	}
+
+	// Reference: the synchronous simulated-crowd endpoint.
+	refResp, ref := postVerify(t, ts, envelope(`"team": 3`))
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status = %d", refResp.StatusCode)
+	}
+
+	// Interactive: create a session with three section-skimming checkers
+	// (the team-size analog for the §5.1 cost accounting).
+	resp := do(t, http.MethodPost, ts.URL+"/sessions", envelope(`"checkers": 3`))
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create status = %d: %s", resp.StatusCode, b)
+	}
+	var created sessionCreateResponse
+	decodeJSON(t, resp, &created)
+	if created.ID == "" || created.Claims != len(w.Document.Claims) || len(created.Questions) == 0 {
+		t.Fatalf("create response = %+v", created)
+	}
+
+	sc := newSessionCrowd(t, w.Corpus, w.Document, 11, 3)
+	questions := created.Questions
+	for len(questions) > 0 {
+		var answers []scrutinizer.SessionAnswer
+		for _, q := range questions {
+			answers = append(answers, sc.answer(q))
+		}
+		payload, err := json.Marshal(map[string]any{"answers": answers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aResp := do(t, http.MethodPost, ts.URL+"/sessions/"+created.ID+"/answers", payload)
+		if aResp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(aResp.Body)
+			t.Fatalf("answers status = %d: %s", aResp.StatusCode, b)
+		}
+		var ar answersResponse
+		decodeJSON(t, aResp, &ar)
+		if ar.Accepted != len(answers) {
+			t.Fatalf("accepted %d of %d answers", ar.Accepted, len(answers))
+		}
+		questions = ar.Questions
+		if len(questions) == 0 && !ar.Progress.Done {
+			// Batch boundary: the next batch's questions are fetched by
+			// polling, as a real client would.
+			qResp := do(t, http.MethodGet, ts.URL+"/sessions/"+created.ID+"/questions", nil)
+			var qs struct {
+				Questions []scrutinizer.SessionQuestion `json:"questions"`
+				Done      bool                          `json:"done"`
+			}
+			decodeJSON(t, qResp, &qs)
+			questions = qs.Questions
+			if len(questions) == 0 && !qs.Done {
+				t.Fatal("session not done but no questions queued")
+			}
+		}
+	}
+
+	// Progress reflects completion and the retrain generations.
+	pResp := do(t, http.MethodGet, ts.URL+"/sessions/"+created.ID, nil)
+	var prog scrutinizer.SessionProgress
+	decodeJSON(t, pResp, &prog)
+	if !prog.Done || prog.Verified != len(w.Document.Claims) || prog.ModelGeneration == 0 {
+		t.Fatalf("final progress = %+v", prog)
+	}
+
+	rResp := do(t, http.MethodGet, ts.URL+"/sessions/"+created.ID+"/report", nil)
+	var rep sessionReportResponse
+	decodeJSON(t, rResp, &rep)
+	if !rep.Done {
+		t.Fatal("report not done")
+	}
+	if rep.CrowdSecs != ref.CrowdSecs {
+		t.Errorf("crowd seconds = %v, want %v", rep.CrowdSecs, ref.CrowdSecs)
+	}
+	if rep.Correct != ref.Correct || rep.Incorrect != ref.Incorrect || rep.Skipped != ref.Skipped {
+		t.Errorf("verdict counts %d/%d/%d, want %d/%d/%d",
+			rep.Correct, rep.Incorrect, rep.Skipped, ref.Correct, ref.Incorrect, ref.Skipped)
+	}
+	if rep.Accuracy != ref.Accuracy {
+		t.Errorf("accuracy = %v, want %v", rep.Accuracy, ref.Accuracy)
+	}
+	if rep.Batches != ref.Batches || len(rep.Outcomes) != len(ref.Outcomes) {
+		t.Errorf("batches/outcomes = %d/%d, want %d/%d", rep.Batches, len(rep.Outcomes), ref.Batches, len(ref.Outcomes))
+	}
+	for i := range rep.Outcomes {
+		if rep.Outcomes[i] != ref.Outcomes[i] && (rep.Outcomes[i].Suggestion == nil) == (ref.Outcomes[i].Suggestion == nil) {
+			// Pointers differ; compare fields.
+			a, b := rep.Outcomes[i], ref.Outcomes[i]
+			if a.ClaimID != b.ClaimID || a.Verdict != b.Verdict || a.Seconds != b.Seconds || a.SQL != b.SQL || a.Value != b.Value {
+				t.Fatalf("outcome %d = %+v, want %+v", i, a, b)
+			}
+		}
+	}
+
+	// Delete ends the session.
+	dResp := do(t, http.MethodDelete, ts.URL+"/sessions/"+created.ID, nil)
+	if dResp.StatusCode != http.StatusOK {
+		t.Errorf("delete status = %d", dResp.StatusCode)
+	}
+	dResp.Body.Close()
+	if g := do(t, http.MethodGet, ts.URL+"/sessions/"+created.ID, nil); g.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted session still reachable: %d", g.StatusCode)
+	}
+}
+
+// TestSessionEndpointErrors covers the session error surface: malformed
+// bodies, unknown IDs, stale question IDs, wrong methods.
+func TestSessionEndpointErrors(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// Malformed create bodies.
+	for _, payload := range []string{"{not json", `{"document": {"title": "t"}, "ordering": "alphabetical"}`} {
+		resp := do(t, http.MethodPost, ts.URL+"/sessions", []byte(payload))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("create %q: status = %d, want 400", payload, resp.StatusCode)
+		}
+	}
+	// Empty document fails system construction.
+	resp := do(t, http.MethodPost, ts.URL+"/sessions", []byte(`{}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("empty create: status = %d, want 422", resp.StatusCode)
+	}
+
+	// Unknown session IDs.
+	for _, ep := range []string{"/sessions/nope", "/sessions/nope/questions", "/sessions/nope/report"} {
+		resp := do(t, http.MethodGet, ts.URL+ep, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status = %d, want 404", ep, resp.StatusCode)
+		}
+	}
+	resp = do(t, http.MethodPost, ts.URL+"/sessions/nope/answers", []byte(`{"claim_id":1,"value":"x"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("answers for unknown session: status = %d, want 404", resp.StatusCode)
+	}
+
+	// A live session rejects malformed and conflicting answers.
+	var doc bytes.Buffer
+	if err := w.Document.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	cResp := do(t, http.MethodPost, ts.URL+"/sessions", doc.Bytes())
+	if cResp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", cResp.StatusCode)
+	}
+	var created sessionCreateResponse
+	decodeJSON(t, cResp, &created)
+	base := ts.URL + "/sessions/" + created.ID
+
+	resp = do(t, http.MethodPost, base+"/answers", []byte("{not json"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed answers: status = %d, want 400", resp.StatusCode)
+	}
+	resp = do(t, http.MethodPost, base+"/answers", []byte(`{}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty answers: status = %d, want 400", resp.StatusCode)
+	}
+	q := created.Questions[0]
+	stale, err := json.Marshal(scrutinizer.SessionAnswer{QuestionID: "c999999.7", ClaimID: q.ClaimID, Value: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = do(t, http.MethodPost, base+"/answers", stale)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale question id: status = %d, want 409", resp.StatusCode)
+	}
+
+	// Wrong methods 405 via the method-pattern router.
+	resp = do(t, http.MethodPut, base, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT session: status = %d, want 405", resp.StatusCode)
+	}
+	resp = do(t, http.MethodGet, ts.URL+"/sessions", nil)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("GET /sessions unexpectedly served: %d", resp.StatusCode)
+	}
+}
+
+// TestBodyCap verifies the request-body cap returns 413 on /verify and
+// the session endpoints (the server's cap is lowered so the test does not
+// allocate 64 MB).
+func TestBodyCap(t *testing.T) {
+	s, _ := testServer(t)
+	s.maxBody = 1024
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	big := []byte(`{"document": {"title": "` + strings.Repeat("x", 4096) + `"}}`)
+	for _, ep := range []string{"/verify", "/sessions"} {
+		resp := do(t, http.MethodPost, ts.URL+ep, big)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s oversized: status = %d, want 413", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzReportsSessions extends the liveness probe: active session
+// count, queued questions and the engine model generation must be
+// reported alongside the corpus statistics.
+func TestHealthzReportsSessions(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var doc bytes.Buffer
+	if err := w.Document.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	cResp := do(t, http.MethodPost, ts.URL+"/sessions", doc.Bytes())
+	if cResp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", cResp.StatusCode)
+	}
+	var created sessionCreateResponse
+	decodeJSON(t, cResp, &created)
+
+	hResp := do(t, http.MethodGet, ts.URL+"/healthz", nil)
+	var health struct {
+		Status   string `json:"status"`
+		Sessions struct {
+			Active          int    `json:"active"`
+			QueuedQuestions int    `json:"queued_questions"`
+			ModelGeneration uint64 `json:"model_generation"`
+		} `json:"sessions"`
+	}
+	decodeJSON(t, hResp, &health)
+	if health.Status != "ok" || health.Sessions.Active != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+	if health.Sessions.QueuedQuestions != len(created.Questions) {
+		t.Errorf("queued = %d, want %d", health.Sessions.QueuedQuestions, len(created.Questions))
+	}
+}

@@ -231,6 +231,16 @@ func (e *Engine) Library() *formula.Library { return e.lib }
 // Model returns the classifier for a property kind.
 func (e *Engine) Model(kind PropertyKind) *classifier.Classifier { return e.models[kind] }
 
+// Generation returns the model generation: how many times retraining has
+// refit the classifiers. Cached per-claim assessments are valid for
+// exactly one generation; session front ends surface it as a progress /
+// health signal.
+func (e *Engine) Generation() uint64 {
+	e.assessMu.RLock()
+	defer e.assessMu.RUnlock()
+	return e.gen
+}
+
 // Featurize returns (and caches) the feature vector of a claim. It is safe
 // for concurrent use. The slice-backed Sparse vectors are already sorted,
 // so no separate index cache is needed.

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
 	"github.com/repro/scrutinizer/internal/claims"
-	"github.com/repro/scrutinizer/internal/crowd"
 )
 
 // DefaultParallelism is the fan-out Verify uses when callers ask for
@@ -59,29 +57,3 @@ func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism in
 	return costs, utilities
 }
 
-// verifyBatch verifies the claims of one batch and returns their outcomes
-// in batch order. With parallelism > 1 the claims are distributed over a
-// pool of goroutines; each claim gets its own crowd view (team.ForClaim),
-// whose random streams depend only on the claim ID, so the outcomes — and
-// therefore the labels fed back into retraining — are identical to a
-// sequential pass over the same batch.
-//
-// Between batches the engine's classifiers and formula library are mutated
-// by Train; during a batch they are only read, which is what makes the
-// fan-out safe (Featurize, the one mutating read path, is lock-protected).
-func (e *Engine) verifyBatch(ids []int, pool map[int]*claims.Claim, team *crowd.Team, parallelism int) ([]*Outcome, error) {
-	outs := make([]*Outcome, len(ids))
-	errs := make([]error, len(ids))
-	runPool(len(ids), parallelism, func(i int) {
-		id := ids[i]
-		outs[i], errs[i] = e.VerifyClaim(pool[id], team.ForClaim(id))
-	})
-	// Report the first error in batch order so failures are deterministic
-	// too.
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: verifying claim %d: %w", ids[i], err)
-		}
-	}
-	return outs, nil
-}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/crowd"
+)
+
+// pumpDocument drives a DocumentRun the way an interactive session would:
+// read pending questions, answer them one by one with per-claim crowd
+// views, let the retrain barrier fire inside the last answer of each
+// batch. No Oracle, no goroutines — pure emit/consume.
+func pumpDocument(t *testing.T, e *Engine, dr *DocumentRun, team *crowd.Team) {
+	t.Helper()
+	oracles := map[int]Oracle{}
+	for !dr.Done() {
+		qs := dr.Questions()
+		if len(qs) == 0 {
+			t.Fatal("run not done but no pending questions")
+		}
+		for _, q := range qs {
+			oracle := oracles[q.ClaimID]
+			if oracle == nil {
+				var err error
+				oracle, err = e.NewTeamOracle(team.ForClaim(q.ClaimID))
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracles[q.ClaimID] = oracle
+			}
+			c := dr.remaining[q.ClaimID]
+			var value string
+			var secs float64
+			if q.Step == StepFinal {
+				value, secs = oracle.AnswerFinal(c, q.Candidates)
+			} else {
+				value, secs = oracle.AnswerProperty(c, q.Property, q.Options)
+			}
+			if _, err := dr.Answer(q.ClaimID, value, secs); err != nil {
+				t.Fatalf("answer claim %d: %v", q.ClaimID, err)
+			}
+		}
+	}
+}
+
+// TestDocumentRunMatchesVerify pins the control-flow inversion: a
+// DocumentRun pumped question-by-question (the session protocol) produces
+// verdicts, crowd seconds, labels and batch counts bit-identical to the
+// synchronous Verify driver on an identically-seeded engine.
+func TestDocumentRunMatchesVerify(t *testing.T) {
+	world := tinyWorld()
+	e1, w1 := buildEngine(t, world)
+	e2, _ := buildEngine(t, world)
+	team1, err := crowd.NewTeam("S", 3, 0.97, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team2, err := crowd.NewTeam("S", 3, 0.97, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc := VerifyConfig{BatchSize: 12, SectionReadCost: 30}
+	ref, err := e1.Verify(w1.Document, team1, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc2 := vc
+	vc2.Checkers = team2.Size()
+	dr, err := e2.StartDocument(w1.Document, vc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpDocument(t, e2, dr, team2)
+	got, err := dr.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Batches != ref.Batches {
+		t.Fatalf("batches = %d, want %d", got.Batches, ref.Batches)
+	}
+	if got.Seconds != ref.Seconds {
+		t.Fatalf("seconds = %v, want %v", got.Seconds, ref.Seconds)
+	}
+	if len(got.Outcomes) != len(ref.Outcomes) {
+		t.Fatalf("outcomes = %d, want %d", len(got.Outcomes), len(ref.Outcomes))
+	}
+	for i, o := range got.Outcomes {
+		r := ref.Outcomes[i]
+		if o.ClaimID != r.ClaimID || o.Verdict != r.Verdict || o.Seconds != r.Seconds ||
+			o.Value != r.Value || o.Screens != r.Screens || o.HasSuggestion != r.HasSuggestion {
+			t.Fatalf("outcome %d: %+v, want %+v", i, o, r)
+		}
+		if (o.Query == nil) != (r.Query == nil) {
+			t.Fatalf("outcome %d query presence differs", i)
+		}
+		if o.Query != nil && o.Query.SQL() != r.Query.SQL() {
+			t.Fatalf("outcome %d: query %q, want %q", i, o.Query.SQL(), r.Query.SQL())
+		}
+	}
+	if a, b := Accuracy(w1.Document, got.Outcomes), Accuracy(w1.Document, ref.Outcomes); a != b {
+		t.Fatalf("accuracy %v != %v", a, b)
+	}
+}
+
+// TestClaimRunQuestionSequence pins the §5.1 screen order emitted by the
+// machine: relation → key → attribute (always), then the final vote, with
+// seq numbers and the accounting (Seconds, Screens) matching the answers
+// consumed.
+func TestClaimRunQuestionSequence(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Document.Claims[0]
+	run, err := e.StartClaim(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProps := []PropertyKind{PropRelation, PropKey, PropAttr}
+	seq := 0
+	for i := 0; !run.Done(); i++ {
+		q := run.Question()
+		if q == nil {
+			t.Fatal("not done but no question")
+		}
+		if q.ClaimID != c.ID || q.Seq != seq {
+			t.Fatalf("question %d: claim %d seq %d", i, q.ClaimID, q.Seq)
+		}
+		switch {
+		case i < len(wantProps):
+			if q.Step != StepProperties || q.Property != wantProps[i] {
+				t.Fatalf("question %d: step %v property %v, want property screen %v", i, q.Step, q.Property, wantProps[i])
+			}
+		case q.Step == StepFormula:
+			if q.Property != PropFormula {
+				t.Fatalf("formula screen asks %v", q.Property)
+			}
+		case q.Step != StepFinal:
+			t.Fatalf("question %d: unexpected step %v", i, q.Step)
+		}
+		if err := run.Answer(TruthLabel(c.Truth, q.Property), 2); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	out := run.Outcome()
+	if out == nil {
+		t.Fatal("done without outcome")
+	}
+	if out.Seconds != float64(seq)*2 {
+		t.Errorf("seconds = %v, want %v", out.Seconds, float64(seq)*2)
+	}
+	if out.Screens != seq-1 {
+		t.Errorf("screens = %d, want %d (final vote is not a screen)", out.Screens, seq-1)
+	}
+	if err := run.Answer("late", 1); err == nil {
+		t.Error("answer on a finished run accepted")
+	}
+	if run.Step() != StepDone {
+		t.Errorf("step = %v, want done", run.Step())
+	}
+}
+
+// TestDocumentRunAnswerRouting covers the session-facing error surface:
+// answers for unknown claims are rejected, Result refuses partial reads,
+// and Progress tracks pending/answered counts.
+func TestDocumentRunAnswerRouting(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	dr, err := e.StartDocument(w.Document, VerifyConfig{BatchSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dr.Answer(-42, "x", 0); err == nil {
+		t.Error("answer for unknown claim accepted")
+	}
+	if _, err := dr.Result(); err == nil {
+		t.Error("partial Result read accepted")
+	}
+	p := dr.Progress()
+	if p.Done || p.Verified != 0 || p.Pending != 5 || p.Total != len(w.Document.Claims) {
+		t.Errorf("initial progress = %+v", p)
+	}
+	ids := dr.BatchClaims()
+	if len(ids) != 5 {
+		t.Fatalf("batch = %v", ids)
+	}
+	q := dr.QuestionFor(ids[0])
+	if q == nil || q.Step != StepProperties {
+		t.Fatalf("first question = %+v", q)
+	}
+	next, err := dr.Answer(ids[0], "nope", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil || next.Seq != 1 {
+		t.Fatalf("next question = %+v", next)
+	}
+	p = dr.Progress()
+	if p.Answered != 1 || p.Seconds != 3 {
+		t.Errorf("progress after one answer = %+v", p)
+	}
+}

@@ -3,14 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/crowd"
-	"github.com/repro/scrutinizer/internal/formula"
-	"github.com/repro/scrutinizer/internal/planner"
 	"github.com/repro/scrutinizer/internal/query"
-	"github.com/repro/scrutinizer/internal/scheduler"
 )
 
 // Verdict is the outcome of verifying one claim.
@@ -78,7 +74,10 @@ func (e *Engine) VerifyClaim(c *claims.Claim, team *crowd.Team) (*Outcome, error
 	return e.VerifyClaimWith(c, oracle)
 }
 
-// VerifyClaimWith verifies one claim through an Oracle (§5.1 flow):
+// VerifyClaimWith verifies one claim through a blocking Oracle (§5.1
+// flow): it starts the claim's step machine (see ClaimRun) and pumps it —
+// every emitted Question is put to the oracle, every answer advances the
+// machine — until the outcome is ready:
 //
 //  1. plan question screens from classifier candidates,
 //  2. the oracle validates relation / key / attribute properties,
@@ -92,7 +91,9 @@ func (e *Engine) VerifyClaim(c *claims.Claim, team *crowd.Team) (*Outcome, error
 //  6. the claim is judged by comparing the query value with the parameter.
 //
 // The flow works whether or not the classifiers are trained; a cold start
-// simply costs the oracle more time.
+// simply costs the oracle more time. Interactive front ends that cannot
+// block (an HTTP question/answer API, a UI event loop) drive the same
+// machine directly through StartClaim / Question / Answer.
 func (e *Engine) VerifyClaimWith(c *claims.Claim, oracle Oracle) (*Outcome, error) {
 	if c == nil {
 		return nil, fmt.Errorf("core: nil claim")
@@ -100,161 +101,11 @@ func (e *Engine) VerifyClaimWith(c *claims.Claim, oracle Oracle) (*Outcome, erro
 	if oracle == nil {
 		return nil, fmt.Errorf("core: nil oracle")
 	}
-	out := &Outcome{ClaimID: c.ID}
-
-	// 1-2. Property screens. The planner decides which properties earn a
-	// screen; every context property still needs an answer, so unplanned
-	// properties fall back to a suggestion-only screen (no options).
-	plan, _, err := e.PlanQuestions(c)
+	run, err := e.StartClaim(c)
 	if err != nil {
 		return nil, err
 	}
-	planned := make(map[string][]planner.Option, len(plan.Screens))
-	for _, s := range plan.Screens {
-		planned[s.Property] = s.Options
-	}
-	validated := make(map[PropertyKind]string, 3)
-	for _, kind := range []PropertyKind{PropRelation, PropKey, PropAttr} {
-		options := planned[kind.String()]
-		value, secs := oracle.AnswerProperty(c, kind, options)
-		out.Seconds += secs
-		out.Screens++
-		validated[kind] = value
-	}
-
-	ctx := Context{
-		Relations: SplitLabel(validated[PropRelation]),
-		Keys:      SplitLabel(validated[PropKey]),
-		Attrs:     SplitLabel(validated[PropAttr]),
-	}
-
-	// 3. Ranked formulas. If the planner decided a formula screen was
-	// worth asking, the crowd's (validated) answer leads the list;
-	// classifier predictions follow; on cold start fall back to the
-	// formula library.
-	var formulas []*formula.Formula
-	if options, ok := planned[PropFormula.String()]; ok {
-		value, secs := oracle.AnswerProperty(c, PropFormula, options)
-		out.Seconds += secs
-		out.Screens++
-		if f, err := formula.ParseFormula(value); err == nil {
-			formulas = append(formulas, f)
-		}
-	}
-	// Classifier formula predictions come from the cached assessment — the
-	// same scoring pass that already fed the scheduler and the planner this
-	// round, so no extra softmax here.
-	for _, prop := range e.assess(c).props {
-		if prop.Name != PropFormula.String() {
-			continue
-		}
-		for _, opt := range prop.Options {
-			if f, err := formula.ParseFormula(opt.Value); err == nil {
-				formulas = append(formulas, f)
-			}
-		}
-	}
-	if len(formulas) == 0 {
-		for _, key := range e.lib.TopK(e.cfg.TopK) {
-			if f, ok := e.lib.Get(key); ok {
-				formulas = append(formulas, f)
-			}
-		}
-	}
-
-	// 4. Query generation (Algorithm 2).
-	solutions, alternates := e.GenerateQueries(ctx, formulas, c.Param, c.HasParam && c.Kind == claims.Explicit)
-
-	// 5. Final screen: surviving query candidates, best first.
-	shown := make([]string, 0, plan.FinalOptions)
-	bySQL := make(map[string]GeneratedQuery)
-	for _, g := range append(append([]GeneratedQuery(nil), solutions...), alternates...) {
-		if len(shown) >= max(plan.FinalOptions, 1) {
-			break
-		}
-		sql := g.Query.SQL()
-		shown = append(shown, sql)
-		bySQL[sql] = g
-	}
-	votedSQL, secs := oracle.AnswerFinal(c, shown)
-	out.Seconds += secs
-
-	// Resolve the accepted query: a shown candidate, or the written/
-	// suggested query (parse it; checkers may produce a corrupt string, in
-	// which case the claim is skipped).
-	var accepted *query.Query
-	var acceptedValue float64
-	if g, ok := bySQL[votedSQL]; ok {
-		accepted = g.Query
-		acceptedValue = g.Value
-	} else {
-		parsed, err := query.Parse(votedSQL)
-		if err == nil {
-			if v, err := parsed.Execute(e.corpus); err == nil {
-				accepted = parsed
-				acceptedValue = v
-			}
-		}
-	}
-	if accepted == nil {
-		out.Verdict = VerdictSkipped
-		return out, nil
-	}
-
-	// 6. Judge the claim against the accepted query's value.
-	out.Query = accepted
-	out.Value = acceptedValue
-	op := c.Cmp
-	switch {
-	case c.Kind == claims.Explicit && c.HasParam:
-		if claims.RelClose(acceptedValue, c.Param, e.cfg.Tolerance) {
-			out.Verdict = VerdictCorrect
-		} else {
-			out.Verdict = VerdictIncorrect
-			out.Suggestion = acceptedValue
-			out.HasSuggestion = true
-		}
-	case c.HasParam:
-		if op.Compare(acceptedValue, c.Param, e.cfg.Tolerance) {
-			out.Verdict = VerdictCorrect
-		} else {
-			out.Verdict = VerdictIncorrect
-			out.Suggestion = acceptedValue
-			out.HasSuggestion = true
-		}
-	default:
-		// General claim without a predictable parameter: the human
-		// assesses the displayed value directly (Example 7); simulated
-		// workers judge from the annotation's correct value. Without an
-		// annotation nothing can be judged.
-		if c.Truth == nil {
-			out.Verdict = VerdictSkipped
-			out.Query = nil
-			return out, nil
-		}
-		if claims.RelClose(acceptedValue, c.Truth.Value, e.cfg.Tolerance) {
-			out.Verdict = VerdictCorrect
-		} else {
-			out.Verdict = VerdictIncorrect
-			out.Suggestion = acceptedValue
-			out.HasSuggestion = true
-		}
-	}
-
-	// The validated context plus the accepted query become a training
-	// label (Algorithm 1 line 16: A <- W ∪ R).
-	genF, _, err := formula.Generalize(accepted.Select)
-	label := &claims.GroundTruth{
-		Relations: ctx.Relations,
-		Keys:      ctx.Keys,
-		Attrs:     ctx.Attrs,
-		Value:     acceptedValue,
-	}
-	if err == nil {
-		label.Formula = genF.String()
-	}
-	out.Label = label
-	return out, nil
+	return PumpClaim(run, oracle)
 }
 
 func max(a, b int) int {
@@ -306,6 +157,11 @@ type VerifyConfig struct {
 	// between rounds, and per-claim crowd random streams make the results
 	// bit-identical to a sequential run. <= 1 means sequential.
 	Parallelism int
+	// Checkers is the number of human checkers skimming each section —
+	// the multiplier on SectionReadCost and the manual-cost budget
+	// (Definition 8). Verify overrides it with the crowd team size; the
+	// session layer sets it explicitly. <= 0 means 1.
+	Checkers int
 	// SectionReadCost is r(s) in seconds.
 	SectionReadCost float64
 	// BatchBudget is tm in seconds; 0 derives it from the batch size and
@@ -318,13 +174,18 @@ type VerifyConfig struct {
 	// Seed drives the OrderRandom baseline.
 	Seed int64
 	// AfterBatch, when non-nil, observes progress after each batch
-	// (used by the simulation to sample accuracy curves).
+	// (used by the simulation to sample accuracy curves). It is invoked
+	// synchronously at the retrain barrier and must not call back into
+	// the run that triggered it.
 	AfterBatch func(batch int, verified int, outcomes []*Outcome)
 }
 
 func (vc VerifyConfig) withDefaults() VerifyConfig {
 	if vc.BatchSize <= 0 {
 		vc.BatchSize = 100
+	}
+	if vc.Checkers <= 0 {
+		vc.Checkers = 1
 	}
 	if vc.SectionReadCost < 0 {
 		vc.SectionReadCost = 0
@@ -344,133 +205,55 @@ type Result struct {
 // Verify runs Algorithm 1: repeatedly select a batch (OptBatch), verify its
 // claims with the crowd (OptQuestions + GetAnswers + Validate), retrain the
 // classifiers on accumulated labels, and continue until no claims remain.
+//
+// It is the synchronous front end over the step-driven DocumentRun: each
+// batch's claims are pumped across vc.Parallelism goroutines, every claim
+// answered by its own crowd view (team.ForClaim), whose random streams
+// depend only on the claim ID — so verdicts are bit-identical whatever the
+// fan-out, and identical to an interactive session answering the same
+// questions through the step API.
 func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig) (*Result, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("core: nil document")
 	}
-	if err := doc.Validate(); err != nil {
+	if team == nil || team.Size() == 0 {
+		return nil, fmt.Errorf("core: empty crowd team")
+	}
+	vc.Checkers = team.Size()
+	dr, err := e.StartDocument(doc, vc)
+	if err != nil {
 		return nil, err
 	}
-	vc = vc.withDefaults()
-
-	remaining := make(map[int]*claims.Claim, len(doc.Claims))
+	byID := make(map[int]*claims.Claim, len(doc.Claims))
 	for _, c := range doc.Claims {
-		remaining[c.ID] = c
+		byID[c.ID] = c
 	}
-	var labelled []*claims.Claim
-	res := &Result{}
-
-	for len(remaining) > 0 {
-		// OptBatch: build scheduler items from current model state.
-		items := make([]scheduler.Item, 0, len(remaining))
-		ids := make([]int, 0, len(remaining))
-		for id := range remaining {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		costs, utilities := e.assessAll(ids, remaining, vc.Parallelism)
-		for i, id := range ids {
-			items = append(items, scheduler.Item{
-				ClaimID:    id,
-				Section:    remaining[id].Section,
-				VerifyCost: costs[i],
-				Utility:    utilities[i],
-			})
-		}
-		batchSize := vc.BatchSize
-		if batchSize > len(items) {
-			batchSize = len(items)
-		}
-		budget := vc.BatchBudget
-		if budget <= 0 {
-			// Generous default: worst case all-manual batch plus all
-			// section skims.
-			budget = float64(batchSize)*e.cfg.Cost.ManualCost()*float64(team.Size())*2 +
-				float64(doc.Sections)*vc.SectionReadCost
-		}
-		cfg := scheduler.Config{
-			MaxCost:         budget,
-			MinSize:         batchSize,
-			MaxSize:         batchSize,
-			SectionReadCost: vc.SectionReadCost,
-			UtilityWeight:   vc.UtilityWeight,
-			SolverOptions:   scheduler.DefaultSolverOptions(),
-		}
-		var batch *scheduler.Batch
-		var err error
-		switch vc.Ordering {
-		case OrderSequential:
-			batch, err = scheduler.SequentialBatch(items, cfg)
-		case OrderGreedy:
-			batch, err = scheduler.GreedyBatch(items, cfg)
-		case OrderRandom:
-			batch, err = scheduler.RandomBatch(items, cfg, vc.Seed+int64(res.Batches))
-		default:
-			batch, err = scheduler.SelectBatch(items, cfg)
-		}
-		if err != nil {
+	for !dr.Done() {
+		ids := dr.BatchClaims()
+		errs := make([]error, len(ids))
+		runPool(len(ids), vc.Parallelism, func(i int) {
+			id := ids[i]
+			c := byID[id]
+			if c == nil || c.Truth == nil {
+				errs[i] = fmt.Errorf("core: claim %d has no ground-truth annotation to answer from", id)
+				return
+			}
+			errs[i] = dr.Pump(id, &teamOracle{engine: e, team: team.ForClaim(id)})
+		})
+		// A retrain-barrier failure stops the whole run; report it
+		// unwrapped, like the blocking loop did.
+		if err := dr.Err(); err != nil {
 			return nil, err
 		}
-		if len(batch.ClaimIDs) == 0 {
-			// Infeasible under the budget: fall back to document order
-			// so progress is always made.
-			fallback := ids
-			if len(fallback) > batchSize {
-				fallback = fallback[:batchSize]
+		// Report the first per-claim error in batch order so failures
+		// are deterministic too.
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: verifying claim %d: %w", ids[i], err)
 			}
-			batch = &scheduler.Batch{ClaimIDs: append([]int(nil), fallback...)}
-			secs := map[int]bool{}
-			for _, id := range batch.ClaimIDs {
-				secs[remaining[id].Section] = true
-			}
-			for s := range secs {
-				batch.Sections = append(batch.Sections, s)
-			}
-		}
-
-		// Section skimming cost (Definition 8), paid once per section per
-		// batch by each worker.
-		res.Seconds += float64(len(batch.Sections)) * vc.SectionReadCost * float64(team.Size())
-
-		// Verify the batch, fanning claims out across vc.Parallelism
-		// goroutines. Outcomes come back in batch order whatever the
-		// goroutine interleaving, so everything below is deterministic.
-		outcomes, err := e.verifyBatch(batch.ClaimIDs, remaining, team, vc.Parallelism)
-		if err != nil {
-			return nil, err
-		}
-		for i, id := range batch.ClaimIDs {
-			c := remaining[id]
-			out := outcomes[i]
-			res.Seconds += out.Seconds
-			res.Outcomes = append(res.Outcomes, out)
-			// Unanimous removal (Algorithm 1 line 18): annotated ground
-			// truth always resolves, so even skipped claims leave the
-			// pool, guaranteeing termination.
-			delete(remaining, id)
-			if out.Label != nil {
-				labelled = append(labelled, &claims.Claim{
-					ID: c.ID, Text: c.Text, Sentence: c.Sentence,
-					Section: c.Section, Kind: c.Kind,
-					Param: c.Param, HasParam: c.HasParam,
-					Truth: out.Label,
-				})
-			}
-		}
-
-		// Retrain (Algorithm 1 line 20), fanning the four independent
-		// models out under the same parallelism knob as the batch.
-		if len(labelled) > 0 {
-			if err := e.train(labelled, vc.Parallelism); err != nil {
-				return nil, err
-			}
-		}
-		res.Batches++
-		if vc.AfterBatch != nil {
-			vc.AfterBatch(res.Batches, len(res.Outcomes), outcomes)
 		}
 	}
-	return res, nil
+	return dr.Result()
 }
 
 // Accuracy scores outcomes against the generator's error injection: an

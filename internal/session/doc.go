@@ -1,0 +1,32 @@
+// Package session turns the step-driven verification engine into
+// long-lived, resumable verification sessions — the mixed-initiative
+// deployment shape of the paper, where the system plans question screens
+// (§5.1) and human fact checkers answer them at their own pace.
+//
+// A Session wraps one core.DocumentRun: the Algorithm 1 loop parked
+// between questions. Checkers list pending questions with Questions,
+// post answers with Answer, and watch Progress until the run is done;
+// batch-boundary retraining fires inside the answer that completes a
+// batch, exactly as in the synchronous loop. Because the underlying run
+// is pure state — it emits questions and consumes answers — a parked
+// session holds no goroutines at all, which is what makes thousands of
+// concurrent sessions cheap between answers.
+//
+// The Manager is the concurrent session registry: it creates sessions,
+// routes lookups by ID, evicts sessions idle past their TTL (swept
+// inline on manager operations, never from a background goroutine), and
+// aggregates Stats for health reporting.
+//
+// Sessions are resumable in two senses. In-process, a session is always
+// parked and continues whenever the next answer arrives. Across
+// processes, Snapshot captures the ordered answer log; Restore replays
+// it against a freshly built engine — verification is deterministic in
+// (engine seed, document, answers), so the replayed session reaches a
+// state bit-identical to the original.
+//
+// The synchronous crowd path (core.Verify, core.VerifyClaimWith with an
+// Oracle) and this package are two front ends over the same step
+// machine: a simulated crowd pumping a session produces verdicts
+// bit-identical to core.Verify with the same team, which the package
+// tests pin.
+package session

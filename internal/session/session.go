@@ -1,0 +1,461 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/core"
+)
+
+// Config parameterises a Manager.
+type Config struct {
+	// TTL evicts sessions idle (no answer, question poll or progress
+	// read) for longer than this. 0 disables eviction.
+	TTL time.Duration
+	// MaxSessions caps concurrently active sessions; Create fails once
+	// the registry is full (after sweeping expired sessions). 0 means
+	// unlimited.
+	MaxSessions int
+	// Clock overrides the time source (tests); nil means time.Now.
+	Clock func() time.Time
+}
+
+// Options parameterises one session.
+type Options struct {
+	// Verify is the Algorithm 1 configuration for the run (batch size,
+	// ordering, checkers, section read cost, parallelism for batch
+	// assessment and retraining).
+	Verify core.VerifyConfig
+}
+
+// Option is one candidate answer shown on a question screen.
+type Option struct {
+	Value string  `json:"value"`
+	Prob  float64 `json:"prob"`
+}
+
+// Question is one pending question screen, enriched with the claim text a
+// human checker needs to answer it.
+type Question struct {
+	// ID names the (claim, seq) pair this question occupies; an answer
+	// carrying it is rejected if the session has moved on (duplicate or
+	// out-of-order post).
+	ID      string `json:"id"`
+	ClaimID int    `json:"claim_id"`
+	Seq     int    `json:"seq"`
+	// Screen is "relation", "key", "attribute", "formula" or "final".
+	Screen   string `json:"screen"`
+	Claim    string `json:"claim"`
+	Sentence string `json:"sentence"`
+	// Options are candidate property values, best first (property and
+	// formula screens).
+	Options []Option `json:"options,omitempty"`
+	// Candidates are full candidate queries as SQL (final screen).
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// Answer is one checker response, routed to the claim's pending question.
+type Answer struct {
+	// QuestionID optionally pins the answer to one question; when set it
+	// must match the claim's current question.
+	QuestionID string `json:"question_id,omitempty"`
+	ClaimID    int    `json:"claim_id"`
+	// Value is the chosen or suggested value ("" when the checker cannot
+	// answer; SQL on the final screen).
+	Value string `json:"value"`
+	// Seconds is the human effort the answer consumed.
+	Seconds float64 `json:"seconds"`
+}
+
+// Progress is a point-in-time view of a session.
+type Progress struct {
+	ID               string    `json:"id"`
+	Done             bool      `json:"done"`
+	Verified         int       `json:"verified"`
+	Total            int       `json:"total"`
+	Batches          int       `json:"batches"`
+	PendingQuestions int       `json:"pending_questions"`
+	Answered         int       `json:"answered"`
+	CrowdSeconds     float64   `json:"crowd_seconds"`
+	ModelGeneration  uint64    `json:"model_generation"`
+	Created          time.Time `json:"created"`
+	LastActive       time.Time `json:"last_active"`
+}
+
+// Report aggregates a session's outcomes (partial while the run is live).
+type Report struct {
+	Done     bool
+	Outcomes []*core.Outcome
+	Seconds  float64
+	Batches  int
+	Accuracy float64
+}
+
+// Snapshot is the durable form of a session: the ordered answer log.
+// Replaying it through Restore against a freshly built engine (same
+// corpus, document and seed) reconstructs the session state exactly —
+// verification is deterministic in (engine, document, answers).
+type Snapshot struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	Answers []Answer  `json:"answers"`
+}
+
+// Stats aggregates the registry for health reporting.
+type Stats struct {
+	// Active is the number of live sessions.
+	Active int `json:"active"`
+	// PendingQuestions sums the queued questions across live sessions.
+	PendingQuestions int `json:"pending_questions"`
+	// MaxGeneration is the highest classifier generation reached by any
+	// live session's engine.
+	MaxGeneration uint64 `json:"max_model_generation"`
+	// CreatedTotal and EvictedTotal count over the manager's lifetime.
+	CreatedTotal uint64 `json:"created_total"`
+	EvictedTotal uint64 `json:"evicted_total"`
+}
+
+// Manager is the concurrent session registry. All methods are safe for
+// concurrent use. The manager never spawns goroutines: TTL eviction is
+// swept inline on Create, Get, Remove and Stats.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      uint64
+	created  uint64
+	evicted  uint64
+}
+
+// NewManager builds an empty registry.
+func NewManager(cfg Config) *Manager {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Manager{cfg: cfg, sessions: make(map[string]*Session)}
+}
+
+func (m *Manager) now() time.Time { return m.cfg.Clock() }
+
+// sweep evicts idle sessions; caller holds m.mu.
+func (m *Manager) sweep(now time.Time) {
+	if m.cfg.TTL <= 0 {
+		return
+	}
+	for id, s := range m.sessions {
+		if now.Sub(s.lastActive()) > m.cfg.TTL {
+			delete(m.sessions, id)
+			m.evicted++
+		}
+	}
+}
+
+// Create starts a verification session for a document on a dedicated
+// engine. The engine must be exclusive to the session: batch-boundary
+// retraining mutates its classifiers.
+func (m *Manager) Create(engine *core.Engine, doc *claims.Document, opts Options) (*Session, error) {
+	return m.start(engine, doc, opts, nil)
+}
+
+// Restore rebuilds a session from a snapshot by replaying its answer log
+// against a freshly built engine. The engine and document must be
+// constructed exactly as the original session's were (same corpus,
+// feature pipeline, configuration and seed, no training beyond what the
+// original had at creation); replay then reaches a bit-identical state.
+// The restored session keeps the snapshot's ID.
+func (m *Manager) Restore(engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("session: nil snapshot")
+	}
+	return m.start(engine, doc, opts, snap)
+}
+
+func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("session: nil engine")
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("session: nil document")
+	}
+	now := m.now()
+	m.mu.Lock()
+	m.sweep(now)
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: registry full (%d active sessions)", m.cfg.MaxSessions)
+	}
+	m.seq++
+	seq := m.seq
+	m.mu.Unlock()
+
+	// Start the run outside the registry lock: first-batch selection
+	// scores every claim and is the expensive part of creation.
+	run, err := engine.StartDocument(doc, opts.Verify)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		id:      newID(seq),
+		mgr:     m,
+		engine:  engine,
+		doc:     doc,
+		byID:    make(map[int]*claims.Claim, len(doc.Claims)),
+		run:     run,
+		created: now,
+		last:    now,
+	}
+	for _, c := range doc.Claims {
+		s.byID[c.ID] = c
+	}
+	if snap != nil {
+		if snap.ID != "" {
+			s.id = snap.ID
+		}
+		if !snap.Created.IsZero() {
+			s.created = snap.Created
+		}
+		for i, a := range snap.Answers {
+			if _, err := s.Answer(a); err != nil {
+				return nil, fmt.Errorf("session: replaying answer %d (claim %d): %w", i, a.ClaimID, err)
+			}
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.sessions[s.id]; exists {
+		return nil, fmt.Errorf("session: id %q already registered", s.id)
+	}
+	// Re-check capacity: the registry lock was released while the run
+	// started, so concurrent creations may have filled the registry in
+	// the meantime.
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("session: registry full (%d active sessions)", m.cfg.MaxSessions)
+	}
+	m.sessions[s.id] = s
+	m.created++
+	return s, nil
+}
+
+// Get returns a live session by ID (expired sessions are swept first).
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweep(m.now())
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Remove deletes a session from the registry, reporting whether it was
+// present.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweep(m.now())
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	return ok
+}
+
+// Stats aggregates the live registry.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweep(m.now())
+	st := Stats{
+		Active:       len(m.sessions),
+		CreatedTotal: m.created,
+		EvictedTotal: m.evicted,
+	}
+	for _, s := range m.sessions {
+		pending, gen := s.statsView()
+		st.PendingQuestions += pending
+		if gen > st.MaxGeneration {
+			st.MaxGeneration = gen
+		}
+	}
+	return st
+}
+
+// newID mints a session ID: a monotone sequence number plus random bytes
+// so IDs are unguessable across restarts.
+func newID(seq uint64) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to
+		// the sequence alone rather than aborting session creation.
+		return fmt.Sprintf("s%d", seq)
+	}
+	return fmt.Sprintf("s%d-%s", seq, hex.EncodeToString(b[:]))
+}
+
+// Session is one parked verification run. All methods are safe for
+// concurrent use; a single lock serializes answers, which keeps the
+// underlying run's per-claim machines race-free however many checkers
+// post concurrently.
+type Session struct {
+	id     string
+	mgr    *Manager
+	engine *core.Engine
+	doc    *claims.Document
+	byID   map[int]*claims.Claim
+
+	mu      sync.Mutex
+	run     *core.DocumentRun
+	created time.Time
+	last    time.Time
+	log     []Answer
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+func (s *Session) lastActive() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+func (s *Session) touch() { s.last = s.mgr.now() }
+
+// questionID names the (claim, seq) slot of a pending question.
+func questionID(claimID, seq int) string { return fmt.Sprintf("c%d.%d", claimID, seq) }
+
+// toQuestion enriches a core question with the claim text.
+func (s *Session) toQuestion(q *core.Question) Question {
+	out := Question{
+		ID:      questionID(q.ClaimID, q.Seq),
+		ClaimID: q.ClaimID,
+		Seq:     q.Seq,
+	}
+	if q.Step == core.StepFinal {
+		out.Screen = "final"
+		out.Candidates = append([]string(nil), q.Candidates...)
+	} else {
+		out.Screen = q.Property.String()
+		for _, o := range q.Options {
+			out.Options = append(out.Options, Option{Value: o.Value, Prob: o.Prob})
+		}
+	}
+	if c := s.byID[q.ClaimID]; c != nil {
+		out.Claim = c.Text
+		out.Sentence = c.Sentence
+	}
+	return out
+}
+
+// Questions lists the pending questions of the current batch, in batch
+// order. An empty list means the run is done (or mid-answer on another
+// goroutine; poll again).
+func (s *Session) Questions() []Question {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	qs := s.run.Questions()
+	out := make([]Question, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, s.toQuestion(q))
+	}
+	return out
+}
+
+// Answer posts one answer, advancing the claim's machine — and, when it
+// completes the batch's last claim, running the retrain barrier and
+// selecting the next batch before returning. It returns the claim's next
+// question (nil when the claim — or the whole run — is finished).
+func (s *Session) Answer(a Answer) (*Question, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	if a.QuestionID != "" {
+		q := s.run.QuestionFor(a.ClaimID)
+		if q == nil {
+			return nil, fmt.Errorf("session: claim %d has no pending question", a.ClaimID)
+		}
+		if want := questionID(q.ClaimID, q.Seq); a.QuestionID != want {
+			return nil, fmt.Errorf("session: answer targets question %s but %s is pending", a.QuestionID, want)
+		}
+	}
+	next, err := s.run.Answer(a.ClaimID, a.Value, a.Seconds)
+	if err != nil {
+		return nil, err
+	}
+	s.log = append(s.log, a)
+	if next == nil {
+		return nil, nil
+	}
+	q := s.toQuestion(next)
+	return &q, nil
+}
+
+// Done reports whether every claim has been verified.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run.Done()
+}
+
+// statsView reports the queue length and model generation without
+// counting as checker activity (Manager.Stats would otherwise keep every
+// session alive through health polling).
+func (s *Session) statsView() (pending int, generation uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run.Progress().Pending, s.engine.Generation()
+}
+
+// Progress reports the session's position in the Algorithm 1 loop. Like
+// every checker-facing call, it refreshes the idle-eviction deadline.
+func (s *Session) Progress() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	p := s.run.Progress()
+	return Progress{
+		ID:               s.id,
+		Done:             p.Done,
+		Verified:         p.Verified,
+		Total:            p.Total,
+		Batches:          p.Batches,
+		PendingQuestions: p.Pending,
+		Answered:         p.Answered,
+		CrowdSeconds:     p.Seconds,
+		ModelGeneration:  s.engine.Generation(),
+		Created:          s.created,
+		LastActive:       s.last,
+	}
+}
+
+// Report returns the outcomes accumulated so far (complete once Done),
+// scored against the document where annotations exist.
+func (s *Session) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	p := s.run.Progress()
+	outs := s.run.Outcomes()
+	return Report{
+		Done:     p.Done,
+		Outcomes: outs,
+		Seconds:  p.Seconds,
+		Batches:  p.Batches,
+		Accuracy: core.Accuracy(s.doc, outs),
+	}
+}
+
+// Snapshot captures the session's answer log for durable storage; see
+// Manager.Restore.
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Snapshot{
+		ID:      s.id,
+		Created: s.created,
+		Answers: append([]Answer(nil), s.log...),
+	}
+}

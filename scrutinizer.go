@@ -20,6 +20,7 @@ package scrutinizer
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/core"
@@ -28,6 +29,7 @@ import (
 	"github.com/repro/scrutinizer/internal/feature"
 	"github.com/repro/scrutinizer/internal/planner"
 	"github.com/repro/scrutinizer/internal/report"
+	"github.com/repro/scrutinizer/internal/session"
 	"github.com/repro/scrutinizer/internal/table"
 	"github.com/repro/scrutinizer/internal/worldgen"
 )
@@ -248,6 +250,91 @@ type Oracle = core.Oracle
 // ground-truth annotation is needed when the oracle answers from a human.
 func (s *System) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
 	return s.engine.VerifyClaimWith(c, oracle)
+}
+
+// Interactive sessions -------------------------------------------------------
+//
+// A Session is the resumable, mixed-initiative counterpart of
+// VerifyDocument: the same Algorithm 1 loop, inverted so that the engine
+// emits pending question screens and consumes posted answers instead of
+// blocking on an Oracle. Between answers a session is parked state — no
+// goroutines — which is what lets one process host thousands of checkers
+// answering over HTTP (see cmd/scrutinizerd). Both paths drive the same
+// step machine, so a simulated crowd pumping a session reproduces
+// VerifyDocument's verdicts bit-for-bit.
+
+type (
+	// SessionManager is a concurrent registry of verification sessions
+	// with TTL eviction.
+	SessionManager = session.Manager
+	// Session is one parked verification run.
+	Session = session.Session
+	// SessionQuestion is a pending question screen.
+	SessionQuestion = session.Question
+	// SessionAnswer is one checker response.
+	SessionAnswer = session.Answer
+	// SessionProgress is a point-in-time session view.
+	SessionProgress = session.Progress
+	// SessionReport aggregates a session's outcomes.
+	SessionReport = session.Report
+	// SessionSnapshot is the durable answer log of a session.
+	SessionSnapshot = session.Snapshot
+	// SessionStats aggregates a manager's registry.
+	SessionStats = session.Stats
+)
+
+// NewSessionManager builds a session registry. Sessions idle longer than
+// ttl are evicted (0 = never); maxSessions caps concurrent sessions
+// (0 = unlimited).
+func NewSessionManager(ttl time.Duration, maxSessions int) *SessionManager {
+	return session.NewManager(session.Config{TTL: ttl, MaxSessions: maxSessions})
+}
+
+// SessionOptions configures an interactive session.
+type SessionOptions struct {
+	// Verify carries the Algorithm 1 knobs (batch size, ordering,
+	// section read cost, parallelism of batch assessment/retraining).
+	Verify VerifyOptions
+	// Checkers is the number of humans skimming each section (the
+	// SectionReadCost multiplier); default 1.
+	Checkers int
+}
+
+func (s *System) sessionOptions(opts SessionOptions) session.Options {
+	parallelism := opts.Verify.Parallelism
+	if parallelism <= 0 {
+		parallelism = core.DefaultParallelism()
+	}
+	return session.Options{Verify: core.VerifyConfig{
+		BatchSize:       opts.Verify.BatchSize,
+		SectionReadCost: opts.Verify.SectionReadCost,
+		Ordering:        opts.Verify.Ordering,
+		Parallelism:     parallelism,
+		Checkers:        opts.Checkers,
+	}}
+}
+
+// StartSession parks the system's document in an interactive verification
+// session registered with m. The session owns the system's engine from
+// here on: batch-boundary retraining mutates it, so do not mix a live
+// session with VerifyDocument on the same System.
+func (s *System) StartSession(m *SessionManager, opts SessionOptions) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scrutinizer: nil session manager")
+	}
+	return m.Create(s.engine, s.doc, s.sessionOptions(opts))
+}
+
+// RestoreSession rebuilds a session from a snapshot by replaying its
+// answer log. The System must be freshly constructed exactly like the
+// snapshotted session's (same corpus, document, options and seed);
+// verification is deterministic in (engine, document, answers), so the
+// replayed session reaches a bit-identical state.
+func (s *System) RestoreSession(m *SessionManager, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scrutinizer: nil session manager")
+	}
+	return m.Restore(s.engine, s.doc, s.sessionOptions(opts), snap)
 }
 
 // Report renders the verification report (Definition 4 output).

@@ -162,3 +162,61 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestSessionFacade walks the interactive API end to end at the facade
+// level: start a session, answer a few screens, snapshot, replay the
+// snapshot on a freshly built System, and check the restored session is
+// in the same place.
+func TestSessionFacade(t *testing.T) {
+	w := testWorld(t)
+	newSys := func() *System {
+		sys, err := New(w.Corpus, w.Document, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	opts := SessionOptions{Verify: VerifyOptions{BatchSize: 8}, Checkers: 2}
+
+	m := NewSessionManager(0, 0)
+	sess, err := newSys().StartSession(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Get(sess.ID()); !ok || got != sess {
+		t.Fatal("session not registered")
+	}
+	qs := sess.Questions()
+	if len(qs) != 8 {
+		t.Fatalf("first batch queued %d questions, want 8", len(qs))
+	}
+	// Walk one claim through its screens with suggested answers.
+	for next := &qs[0]; next != nil; {
+		var err error
+		next, err = sess.Answer(SessionAnswer{
+			QuestionID: next.ID, ClaimID: next.ClaimID, Value: "suggestion", Seconds: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := sess.Progress()
+	if p.Answered == 0 || p.Done {
+		t.Fatalf("progress = %+v", p)
+	}
+
+	snap := sess.Snapshot()
+	restored, err := newSys().RestoreSession(NewSessionManager(0, 0), opts, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := restored.Progress()
+	if restored.ID() != sess.ID() || rp.Answered != p.Answered ||
+		rp.CrowdSeconds != p.CrowdSeconds || rp.PendingQuestions != p.PendingQuestions {
+		t.Fatalf("restored progress %+v, want %+v", rp, p)
+	}
+	rep := restored.Report()
+	if rep.Done || len(rep.Outcomes) != 0 {
+		t.Fatalf("mid-batch report = %+v", rep)
+	}
+}
