@@ -51,10 +51,15 @@ type trackedBench struct {
 
 // defaultTracked is the curated paper-figure + hot-path set. The classifier
 // three are the acceptance benchmarks of the sparse-engine rewrite; the
-// root Verify pair is the serving-throughput headline.
+// table/query/core trio are the acceptance benchmarks of the compiled
+// query engine (BenchmarkGenerateQueries vs its Interpreted reference is
+// the ≥5x ratio); the root Verify pair is the serving-throughput headline.
 var defaultTracked = []trackedBench{
 	{Pkg: "./internal/classifier", Bench: "BenchmarkTrain500x200|BenchmarkWarmRetrain500x200|BenchmarkPredictTopK|BenchmarkEntropy"},
 	{Pkg: "./internal/textproc", Bench: "BenchmarkSparseDot|BenchmarkTransform"},
+	{Pkg: "./internal/table", Bench: "BenchmarkCellLookup$|BenchmarkCellLookupString"},
+	{Pkg: "./internal/query", Bench: "BenchmarkPlanExecute|BenchmarkExecuteCompiled|BenchmarkExecuteInterpreted"},
+	{Pkg: "./internal/core", Bench: "BenchmarkGenerateQueries$|BenchmarkGenerateQueriesCold|BenchmarkGenerateQueriesInterpreted|BenchmarkVerifyEndToEnd"},
 	{Pkg: "./internal/session", Bench: "BenchmarkSessionCreate|BenchmarkSessionAnswerPump|BenchmarkSessionEvict"},
 	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld"},
 }

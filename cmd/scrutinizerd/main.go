@@ -186,13 +186,15 @@ func loadCorpus(dir string, numClaims int, seed int64) (*scrutinizer.Corpus, err
 // few MB, so 64 MB leaves an order-of-magnitude headroom.
 const maxBodyBytes = 64 << 20
 
-// server holds the shared state of the daemon: the read-only corpus plus
-// the interactive session registry.
+// server holds the shared state of the daemon: the read-only corpus, the
+// interactive session registry, and the corpus-wide query cache that
+// deduplicates tentative execution across every request and session.
 type server struct {
 	corpus   *scrutinizer.Corpus
 	parallel int
 	maxBody  int64
 	sessions *scrutinizer.SessionManager
+	qcache   *scrutinizer.QueryCache
 	started  time.Time
 }
 
@@ -205,6 +207,7 @@ func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duratio
 		parallel: parallel,
 		maxBody:  maxBodyBytes,
 		sessions: scrutinizer.NewSessionManager(sessionTTL, maxSessions),
+		qcache:   scrutinizer.NewQueryCache(),
 		started:  time.Now(),
 	}
 }
@@ -225,6 +228,8 @@ func (s *server) routes() http.Handler {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	stats := s.corpus.Stats()
 	sess := s.sessions.Stats()
+	qc := s.qcache.Stats()
+	ix := s.corpus.Index().Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"corpus": map[string]int{
@@ -238,6 +243,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"model_generation": sess.MaxGeneration,
 			"created_total":    sess.CreatedTotal,
 			"evicted_total":    sess.EvictedTotal,
+		},
+		// query_cache: the corpus-wide tentative-execution memo shared by
+		// every /verify request and interactive session; generation is the
+		// corpus generation its entries were computed under.
+		"query_cache": qc,
+		// interner: the interned columnar index compiled queries execute
+		// against (entries per ID space + the snapshot's generation).
+		"interner": map[string]any{
+			"relations":  ix.Relations,
+			"rows":       ix.Rows,
+			"cols":       ix.Cols,
+			"cells":      ix.Cells,
+			"generation": ix.Generation,
 		},
 		"parallelism": s.parallel,
 		"uptime_s":    int(time.Since(s.started).Seconds()),
@@ -383,7 +401,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed})
+	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed, QueryCache: s.qcache})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -457,7 +475,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if parallelism <= 0 {
 		parallelism = s.parallel
 	}
-	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed})
+	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed, QueryCache: s.qcache})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return

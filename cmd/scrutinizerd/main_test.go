@@ -38,14 +38,54 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	var body struct {
-		Status string         `json:"status"`
-		Corpus map[string]int `json:"corpus"`
+		Status     string             `json:"status"`
+		Corpus     map[string]int     `json:"corpus"`
+		QueryCache map[string]float64 `json:"query_cache"`
+		Interner   map[string]int     `json:"interner"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
 	if body.Status != "ok" || body.Corpus["relations"] == 0 {
 		t.Errorf("healthz body = %+v", body)
+	}
+	if _, ok := body.QueryCache["entries"]; !ok {
+		t.Errorf("healthz missing query_cache stats: %+v", body.QueryCache)
+	}
+	if body.Interner["relations"] != body.Corpus["relations"] || body.Interner["cells"] == 0 {
+		t.Errorf("healthz interner stats = %+v", body.Interner)
+	}
+}
+
+// TestHealthzQueryCacheWarmsAcrossVerifies: the daemon shares one query
+// cache across requests over its corpus, so repeated verifications of the
+// same document must surface cache hits on /healthz.
+func TestHealthzQueryCacheWarmsAcrossVerifies(t *testing.T) {
+	s, w := testServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := w.Document.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A small batch forces mid-run retraining, so later batches carry
+	// trained formula candidates into Algorithm 2 (a single cold-start
+	// batch generates no queries at all).
+	payload, err := json.Marshal(map[string]any{
+		"document": json.RawMessage(buf.Bytes()),
+		"batch":    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if resp, _ := postVerify(t, ts, payload); resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if stats := s.qcache.Stats(); stats.Hits == 0 {
+		t.Errorf("second verify produced no query-cache hits: %+v", stats)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/classifier"
+	"github.com/repro/scrutinizer/internal/expr"
 	"github.com/repro/scrutinizer/internal/feature"
 	"github.com/repro/scrutinizer/internal/formula"
 	"github.com/repro/scrutinizer/internal/planner"
@@ -118,6 +119,11 @@ type Config struct {
 	// MaxAlternates bounds how many non-matching queries are kept as
 	// correction suggestions (Example 4).
 	MaxAlternates int
+	// QueryCache, when non-nil, is a shared tentative-execution cache
+	// (typically one per corpus, shared across engines so concurrent
+	// sessions deduplicate Algorithm 2 work). Nil gives the engine a
+	// private cache.
+	QueryCache *QueryCache
 }
 
 // DefaultConfig mirrors the experimental setup of §6.
@@ -160,6 +166,19 @@ type Engine struct {
 
 	models map[PropertyKind]*classifier.Classifier
 	lib    *formula.Library
+
+	// qcache memoizes tentative execution per corpus generation (see
+	// QueryCache); progs caches compiled formula programs by canonical
+	// formula string (programs are corpus-independent; nil marks a
+	// formula the compiler rejects).
+	qcache *QueryCache
+	progMu sync.RWMutex
+	progs  map[string]*expr.Program
+
+	// genOverride, when set, replaces GenerateQueries' compiled engine —
+	// the benchmark/equivalence hook that lets the reference interpreter
+	// drive the full Algorithm 1 loop for end-to-end comparisons.
+	genOverride func(Context, []*formula.Formula, float64, bool) ([]GeneratedQuery, []GeneratedQuery)
 
 	// featMu guards the feature cache: claim verification fans out across
 	// goroutines (Verify with Parallelism > 1) and Featurize is on that
@@ -212,6 +231,11 @@ func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engin
 		lib:       formula.NewLibrary(),
 		featCache: make(map[int]textproc.Sparse),
 		assessed:  make(map[int]*assessment),
+		qcache:    cfg.QueryCache,
+		progs:     make(map[string]*expr.Program),
+	}
+	if e.qcache == nil {
+		e.qcache = NewQueryCache()
 	}
 	for _, k := range PropertyKinds() {
 		e.models[k] = classifier.New(cfg.Classifier)
@@ -221,6 +245,36 @@ func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engin
 
 // Corpus returns the engine's relational corpus.
 func (e *Engine) Corpus() *table.Corpus { return e.corpus }
+
+// QueryCacheStats reports the engine's tentative-execution cache state.
+func (e *Engine) QueryCacheStats() QueryCacheStats { return e.qcache.Stats() }
+
+// progCacheCap bounds the compiled-formula cache; the formula vocabulary is
+// small in practice, the cap only guards against adversarial checker input.
+const progCacheCap = 1024
+
+// compiledProgram returns the compiled program for a canonical formula
+// string, compiling and caching on first use; nil when uncompilable (a nil
+// value is cached too, so rejected formulas fall back to the interpreter
+// without recompiling per claim).
+func (e *Engine) compiledProgram(fkey string, n expr.Node) *expr.Program {
+	e.progMu.RLock()
+	prog, ok := e.progs[fkey]
+	e.progMu.RUnlock()
+	if ok {
+		return prog
+	}
+	prog, err := expr.Compile(n)
+	if err != nil {
+		prog = nil
+	}
+	e.progMu.Lock()
+	if len(e.progs) < progCacheCap {
+		e.progs[fkey] = prog
+	}
+	e.progMu.Unlock()
+	return prog
+}
 
 // Config returns the effective configuration.
 func (e *Engine) Config() Config { return e.cfg }

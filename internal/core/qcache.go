@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync"
+
+	"github.com/repro/scrutinizer/internal/table"
+)
+
+// QueryCache memoizes tentative execution (Algorithm 2's inner loop): for a
+// (formula, validated context) pair over one corpus generation, the set of
+// successful candidate assignments — integer slot tuples plus their values —
+// is the same no matter which claim, session or goroutine asks. Screens
+// repeated within a session, restores replaying an answer log, and
+// concurrent sessions over one shared corpus all hit the same entries
+// instead of recomputing the cell math.
+//
+// Entries are keyed by the canonical formula string and the exact context
+// (relation/key/attribute lists, order-sensitive, since enumeration order
+// is part of the contract). A cache is safe for concurrent use and may be
+// shared across engines serving one corpus (scrutinizerd does); an engine
+// constructed without a shared cache gets a private one.
+//
+// Consistency: every entry records the corpus generation it was computed
+// under; the first access at a newer generation flushes the cache. Budget
+// semantics are preserved exactly — an entry remembers how many attempts
+// its enumeration explored, and a request whose assignment budget exceeds
+// an incomplete entry re-enumerates rather than serving a truncated view.
+type QueryCache struct {
+	mu      sync.Mutex
+	owner   *table.Corpus // corpus the entries were computed from
+	gen     uint64
+	entries map[string]*tentEntry
+	order   []string // FIFO eviction order
+	cap     int
+	bytes   int // approximate retained entry bytes
+	hits    uint64
+	misses  uint64
+}
+
+// queryCacheCap bounds distinct (formula, context) entries and
+// queryCacheMaxBytes bounds their retained memory (entries can reach a few
+// hundred kilobytes at the default assignment budget, and context keys are
+// ultimately user-driven through HTTP sessions) — FIFO eviction enforces
+// both, so a daemon's shared cache cannot be grown past ~32 MB by varied
+// checker answers.
+const (
+	queryCacheCap      = 1024
+	queryCacheMaxBytes = 32 << 20
+)
+
+// NewQueryCache builds an empty cache. Share one per corpus across engines
+// to deduplicate tentative execution between concurrent sessions.
+func NewQueryCache() *QueryCache {
+	return &QueryCache{entries: make(map[string]*tentEntry), cap: queryCacheCap}
+}
+
+// QueryCacheStats is a point-in-time cache summary for monitoring.
+type QueryCacheStats struct {
+	// Entries is the current number of memoized (formula, context) pairs.
+	Entries int `json:"entries"`
+	// Hits / Misses count lookups since process start.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// HitRate is Hits / (Hits + Misses), 0 when no lookups happened.
+	HitRate float64 `json:"hit_rate"`
+	// Generation is the corpus generation the entries were computed under.
+	Generation uint64 `json:"generation"`
+}
+
+// Stats reports cache statistics.
+func (qc *QueryCache) Stats() QueryCacheStats {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	s := QueryCacheStats{
+		Entries:    len(qc.entries),
+		Hits:       qc.hits,
+		Misses:     qc.misses,
+		Generation: qc.gen,
+	}
+	if total := qc.hits + qc.misses; total > 0 {
+		s.HitRate = float64(qc.hits) / float64(total)
+	}
+	return s
+}
+
+// tentEntry is the memoized enumeration of one (formula, context) pair:
+// the successful attempts in enumeration order, as canonical integer slot
+// tuples plus values, and enough bookkeeping to reproduce the legacy
+// budget accounting exactly.
+type tentEntry struct {
+	// stride is the slot-tuple width: len(aliases) + len(attrVars).
+	stride int
+	// explored is how many attempts the enumeration visited; complete
+	// reports whether that was the whole assignment space (when false,
+	// enumeration stopped at a budget and attempts beyond explored exist).
+	explored int
+	complete bool
+	// attempts[i] is the 1-based attempt index of success i; slots holds
+	// the tuples back to back (stride each); values the executed results.
+	attempts []int32
+	slots    []int32
+	values   []float64
+}
+
+// usable reports whether the entry can serve a request with the given
+// assignment budget without under-reporting attempts.
+func (t *tentEntry) usable(budget int) bool {
+	return t.complete || t.explored >= budget
+}
+
+// served reproduces generateForFormula's return accounting for a budget:
+// how many successes fall inside it and what "used" to report.
+func (t *tentEntry) served(budget int) (succ int, used int) {
+	if t.complete && t.explored <= budget {
+		return len(t.attempts), t.explored
+	}
+	// More attempts existed than the budget allows: the legacy loop
+	// counted one over before bailing out.
+	n := 0
+	for n < len(t.attempts) && int(t.attempts[n]) <= budget {
+		n++
+	}
+	return n, budget + 1
+}
+
+// tentKey builds the cache key for a formula string + context. Every
+// component is length-prefixed, so no context string — which ultimately
+// derives from user-supplied documents and crowd answers — can collide two
+// distinct contexts onto one key.
+func tentKey(fkey string, ctx Context) string {
+	var sb strings.Builder
+	sb.Grow(len(fkey) + 32)
+	writeStr := func(s string) {
+		var lenBuf [binary.MaxVarintLen64]byte
+		sb.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(s)))])
+		sb.WriteString(s)
+	}
+	writeStr(fkey)
+	for _, part := range [][]string{ctx.Relations, ctx.Keys, ctx.Attrs} {
+		var lenBuf [binary.MaxVarintLen64]byte
+		sb.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(part)))])
+		for _, s := range part {
+			writeStr(s)
+		}
+	}
+	return sb.String()
+}
+
+// flushLocked empties the cache for a new (corpus, generation) epoch.
+// Callers hold qc.mu.
+func (qc *QueryCache) flushLocked(c *table.Corpus, gen uint64) {
+	qc.owner = c
+	qc.gen = gen
+	qc.entries = make(map[string]*tentEntry)
+	qc.order = qc.order[:0]
+	qc.bytes = 0
+}
+
+// get returns a usable entry for the key at the corpus generation, flushing
+// on generation changes and — as a misuse guard — when a differently owned
+// corpus shows up (slot tuples are only meaningful against the corpus they
+// were enumerated from, and generations of unrelated corpora can collide).
+// The budget decides usability (see tentEntry.usable).
+func (qc *QueryCache) get(c *table.Corpus, gen uint64, key string, budget int) (*tentEntry, bool) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.owner != c || qc.gen != gen {
+		qc.flushLocked(c, gen)
+	}
+	t, ok := qc.entries[key]
+	if ok && t.usable(budget) {
+		qc.hits++
+		return t, true
+	}
+	qc.misses++
+	return nil, false
+}
+
+// size approximates an entry's retained bytes (slices only; struct and map
+// overhead are noise at these sizes).
+func (t *tentEntry) size() int {
+	return len(t.attempts)*4 + len(t.slots)*4 + len(t.values)*8
+}
+
+// put stores (or replaces) an entry computed at the corpus generation,
+// evicting FIFO until both the entry-count and byte caps hold.
+func (qc *QueryCache) put(c *table.Corpus, gen uint64, key string, t *tentEntry) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.owner != c || qc.gen != gen {
+		qc.flushLocked(c, gen)
+	}
+	if prev, exists := qc.entries[key]; exists {
+		qc.bytes -= prev.size()
+	} else {
+		qc.order = append(qc.order, key)
+	}
+	qc.entries[key] = t
+	qc.bytes += t.size()
+	for (len(qc.entries) > qc.cap || qc.bytes > queryCacheMaxBytes) && len(qc.order) > 1 {
+		oldest := qc.order[0]
+		qc.order = qc.order[1:]
+		if victim, ok := qc.entries[oldest]; ok {
+			qc.bytes -= victim.size()
+			delete(qc.entries, oldest)
+		}
+	}
+}

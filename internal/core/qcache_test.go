@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/table"
+)
+
+func testCorpusPair(t *testing.T) (*table.Corpus, *table.Corpus) {
+	t.Helper()
+	mk := func() *table.Corpus {
+		c := table.NewCorpus()
+		r := table.MustNewRelation("R", "Index", []string{"2017"})
+		if err := r.AddRow("k", []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	return mk(), mk()
+}
+
+// TestQueryCacheGenerationFlushResetsBytes pins the byte accounting across
+// generation flushes: a get() at a new generation must drop the retained
+// bytes along with the entries, or eviction eventually degrades the cache
+// to a single entry for the life of the process.
+func TestQueryCacheGenerationFlushResetsBytes(t *testing.T) {
+	c, _ := testCorpusPair(t)
+	qc := NewQueryCache()
+	big := &tentEntry{
+		stride:   1,
+		explored: 4,
+		complete: true,
+		attempts: make([]int32, 4),
+		slots:    make([]int32, 4),
+		values:   make([]float64, 4),
+	}
+	qc.put(c, 1, "k1", big)
+	if qc.bytes != big.size() {
+		t.Fatalf("bytes = %d, want %d", qc.bytes, big.size())
+	}
+	// get() at a newer generation flushes entries AND bytes.
+	if _, ok := qc.get(c, 2, "k1", 10); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	if qc.bytes != 0 {
+		t.Fatalf("bytes after generation flush = %d, want 0", qc.bytes)
+	}
+	qc.put(c, 2, "k2", big)
+	if qc.bytes != big.size() {
+		t.Fatalf("bytes accumulated stale residue: %d, want %d", qc.bytes, big.size())
+	}
+	if len(qc.entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(qc.entries))
+	}
+}
+
+// TestQueryCacheCorpusOwnershipGuard: slot tuples are only meaningful
+// against the corpus they were enumerated from; a differently owned corpus
+// with a colliding generation must flush, never serve.
+func TestQueryCacheCorpusOwnershipGuard(t *testing.T) {
+	a, b := testCorpusPair(t)
+	if a.Generation() != b.Generation() {
+		t.Fatal("fixture corpora should share a generation for the collision")
+	}
+	qc := NewQueryCache()
+	entry := &tentEntry{stride: 1, explored: 1, complete: true}
+	gen := a.Generation()
+	qc.put(a, gen, "k", entry)
+	if _, ok := qc.get(a, gen, "k", 10); !ok {
+		t.Fatal("owner corpus missed its own entry")
+	}
+	if _, ok := qc.get(b, gen, "k", 10); ok {
+		t.Fatal("entry computed for corpus A served for corpus B")
+	}
+}

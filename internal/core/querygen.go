@@ -1,14 +1,18 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"sync"
 
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/expr"
 	"github.com/repro/scrutinizer/internal/formula"
 	"github.com/repro/scrutinizer/internal/query"
+	"github.com/repro/scrutinizer/internal/table"
 )
 
 // Context is the crowd-validated query context (Algorithm 2 input): the
@@ -36,123 +40,588 @@ type GeneratedQuery struct {
 // and splits the results into solutions S (value ≈ p within tolerance) and
 // alternates SA (everything else, kept as correction suggestions and as the
 // candidate set for general claims).
+//
+// The implementation is the compiled hot path of the engine: each formula
+// is lowered once to a flat expr program, assignments are enumerated as
+// integer slot tuples — (relation, row) pair indexes per binding alias,
+// context-attribute indexes per attribute variable — over the corpus's
+// interned table.Index, and tentative execution runs query plans on pooled
+// scratch with no string handling at all. Results are deduplicated by
+// canonical (formula, slot-tuple) key rather than rendered SQL, and Query
+// values (whose SQL renders lazily) are materialised only for the
+// candidates that survive dedupe, ranking and truncation. Successful
+// enumerations are memoized per corpus generation in the engine's
+// QueryCache, so repeated screens and concurrent sessions over one corpus
+// never recompute the same cell math.
 func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p float64, hasParam bool) (solutions, alternates []GeneratedQuery) {
+	if e.genOverride != nil {
+		return e.genOverride(ctx, formulas, p, hasParam)
+	}
+	gs := getGenScratch()
+	defer putGenScratch(gs)
+
+	gen := e.corpus.Generation()
+	env := newGenEnv(e.corpus.Index(), ctx)
 	budget := e.cfg.MaxAssignments
 	for _, f := range formulas {
 		if f == nil || f.Expr == nil {
 			continue
 		}
-		sols, alts, used := e.generateForFormula(ctx, f, p, hasParam, budget)
+		fkey := f.String()
+		fid := gs.fid(fkey, f)
+		used := e.generateForFormula(gs, env, gen, f, fid, fkey, p, hasParam, budget)
 		budget -= used
-		solutions = append(solutions, sols...)
-		alternates = append(alternates, alts...)
 		if budget <= 0 {
 			break
 		}
 	}
-	// Deduplicate by SQL and rank: solutions by |value - p|, alternates by
-	// closeness to the parameter (most plausible corrections first).
-	solutions = dedupeQueries(solutions)
-	alternates = dedupeQueries(alternates)
+	// Deduplicate by canonical (formula, slots) key and rank: solutions by
+	// |value - p|, alternates by closeness to the parameter (most plausible
+	// corrections first). Slot-key dedupe removes the mass of duplicates
+	// without rendering anything; materialization then applies the exact
+	// legacy rendered-SQL dedupe over the few survivors it walks (distinct
+	// formulas can still collide on SQL), so truncation never wastes an
+	// alternate slot on a duplicate. Stable sort keeps equal-value
+	// duplicates in enumeration order, which makes the late SQL dedupe
+	// pick the same winners the pre-rewrite dedupe-then-sort did.
+	sols := gs.dedupe(gs.sols)
+	alts := gs.dedupe(gs.alts)
 	if hasParam {
-		sort.SliceStable(solutions, func(i, j int) bool {
-			return math.Abs(solutions[i].Value-p) < math.Abs(solutions[j].Value-p)
+		sort.SliceStable(sols, func(i, j int) bool {
+			return math.Abs(sols[i].value-p) < math.Abs(sols[j].value-p)
 		})
-		sort.SliceStable(alternates, func(i, j int) bool {
-			return math.Abs(alternates[i].Value-p) < math.Abs(alternates[j].Value-p)
+		sort.SliceStable(alts, func(i, j int) bool {
+			return math.Abs(alts[i].value-p) < math.Abs(alts[j].value-p)
 		})
 	}
-	if len(alternates) > e.cfg.MaxAlternates {
-		alternates = alternates[:e.cfg.MaxAlternates]
-	}
-	return solutions, alternates
+	return gs.materialize(env, sols, len(sols)), gs.materialize(env, alts, e.cfg.MaxAlternates)
 }
 
-// generateForFormula enumerates assignments for one formula under an
-// assignment budget; it returns the assignments tried.
-func (e *Engine) generateForFormula(ctx Context, f *formula.Formula, p float64, hasParam bool, budget int) (sols, alts []GeneratedQuery, used int) {
-	aliases := expr.Aliases(f.Expr)
+// generateForFormula runs (or serves from cache) the tentative execution of
+// one formula under an assignment budget, appending candidate records to
+// the scratch; it returns the assignments tried, with the same accounting
+// as the pre-compilation enumeration loop.
+func (e *Engine) generateForFormula(gs *genScratch, env *genEnv, gen uint64, f *formula.Formula, fid int32, fkey string, p float64, hasParam bool, budget int) (used int) {
+	if len(env.ctx.Relations) == 0 || len(env.ctx.Keys) == 0 {
+		return 0
+	}
+	if len(f.AttrVars) > 0 && len(env.ctx.Attrs) == 0 {
+		return 0
+	}
+	if len(env.pairs) == 0 {
+		return 0
+	}
+	key := tentKey(fkey, env.ctx)
+	entry, ok := e.qcache.get(e.corpus, gen, key, budget)
+	if !ok {
+		entry = e.enumerate(gs, env, f, fkey, budget)
+		e.qcache.put(e.corpus, gen, key, entry)
+	}
+	var n int
+	n, used = entry.served(budget)
+	tol := e.cfg.Tolerance
+	for i := 0; i < n; i++ {
+		rec := candRec{
+			fid:   fid,
+			value: entry.values[i],
+			off:   int32(len(gs.slots)),
+			n:     int32(entry.stride),
+		}
+		gs.slots = append(gs.slots, entry.slots[i*entry.stride:(i+1)*entry.stride]...)
+		if hasParam && claims.RelClose(rec.value, p, tol) {
+			gs.sols = append(gs.sols, rec)
+		} else {
+			gs.alts = append(gs.alts, rec)
+		}
+	}
+	return used
+}
+
+// enumerate visits the assignment space of one formula in the canonical
+// order — an odometer over (relation, key) pairs per alias, last alias
+// fastest, with every attribute assignment tried per pair tuple — and
+// records the successful executions as canonical slot tuples. Execution is
+// compiled (plan over the interned index) whenever the formula compiles;
+// expressions the compiler rejects fall back to per-candidate interpreted
+// execution with identical pruning semantics.
+func (e *Engine) enumerate(gs *genScratch, env *genEnv, f *formula.Formula, fkey string, budget int) *tentEntry {
 	attrVars := f.AttrVars
-
-	if len(ctx.Relations) == 0 || len(ctx.Keys) == 0 {
-		return nil, nil, 0
-	}
-	if len(attrVars) > 0 && len(ctx.Attrs) == 0 {
-		return nil, nil, 0
-	}
-
-	// Enumerate attribute-variable assignments: injective mappings of
-	// context attributes onto attribute variables (years in a CAGR are
-	// distinct), falling back to allowing repeats when the context has
-	// fewer attributes than the formula needs.
-	attrAssigns := injectiveAssignments(ctx.Attrs, len(attrVars))
+	aliases := expr.Aliases(f.Expr)
+	attrAssigns := injectiveIdx(len(env.ctx.Attrs), len(attrVars))
 	if len(attrAssigns) == 0 && len(attrVars) > 0 {
-		attrAssigns = repeatedAssignments(ctx.Attrs, len(attrVars))
+		attrAssigns = repeatedIdx(len(env.ctx.Attrs), len(attrVars))
 	}
 	if len(attrVars) == 0 {
-		attrAssigns = [][]string{nil}
+		attrAssigns = [][]int32{nil}
 	}
 
-	// Enumerate (relation, key) pairs per alias.
-	type cell struct{ rel, key string }
-	var pairs []cell
-	for _, r := range ctx.Relations {
-		rel, err := e.corpus.Relation(r)
-		if err != nil {
-			continue
-		}
-		for _, k := range ctx.Keys {
-			if rel.HasKey(k) {
-				pairs = append(pairs, cell{r, k})
-			}
-		}
+	t := &tentEntry{stride: len(aliases) + len(attrVars)}
+	exec, release := e.compiledExecutor(env, f, fkey, aliases)
+	if exec == nil {
+		exec = e.interpretedExecutor(env, f, aliases)
 	}
-	if len(pairs) == 0 {
-		return nil, nil, 0
+	if release != nil {
+		defer release()
 	}
 
-	// Odometer over pairs^|aliases| × attrAssigns.
-	idx := make([]int, len(aliases))
+	if cap(gs.pairTuple) < len(aliases) {
+		gs.pairTuple = make([]int32, len(aliases))
+	}
+	pt := gs.pairTuple[:len(aliases)]
+	for i := range pt {
+		pt[i] = 0
+	}
+	used := 0
 	for {
 		for _, aa := range attrAssigns {
 			used++
 			if used > budget {
-				return sols, alts, used
+				t.explored = used - 1
+				return t
 			}
-			q := &query.Query{Select: f.Expr, AttrBindings: map[string]string{}}
-			for vi, v := range attrVars {
-				q.AttrBindings[v] = aa[vi]
-			}
-			for ai, alias := range aliases {
-				pr := pairs[idx[ai]]
-				q.Bindings = append(q.Bindings, query.Binding{Alias: alias, Relation: pr.rel, Key: pr.key})
-			}
-			val, err := q.Execute(e.corpus)
-			if err != nil {
-				continue // missing cell, domain error, ... prune silently
-			}
-			g := GeneratedQuery{Query: q, Value: val, Formula: f.String()}
-			if hasParam && claims.RelClose(val, p, e.cfg.Tolerance) {
-				sols = append(sols, g)
-			} else {
-				alts = append(alts, g)
+			if v, ok := exec(pt, aa); ok {
+				t.attempts = append(t.attempts, int32(used))
+				for _, pi := range pt {
+					t.slots = append(t.slots, env.pairCanon[pi])
+				}
+				for _, ai := range aa {
+					t.slots = append(t.slots, env.attrCanon[ai])
+				}
+				t.values = append(t.values, v)
 			}
 		}
-		// Advance odometer.
-		carry := len(aliases) - 1
+		carry := len(pt) - 1
 		for carry >= 0 {
-			idx[carry]++
-			if idx[carry] < len(pairs) {
+			pt[carry]++
+			if int(pt[carry]) < len(env.pairs) {
 				break
 			}
-			idx[carry] = 0
+			pt[carry] = 0
 			carry--
 		}
 		if carry < 0 {
 			break
 		}
 	}
-	return sols, alts, used
+	t.explored = used
+	t.complete = true
+	return t
+}
+
+// compiledExecutor builds the integer-slot executor for a formula: all
+// names (columns, numeric attribute labels) are resolved to IDs or parsed
+// before the loop, so each candidate costs coordinate assembly plus one
+// program evaluation. Returns a nil executor when the expression does not
+// compile; the release function (when non-nil) returns the pooled scratch.
+func (e *Engine) compiledExecutor(env *genEnv, f *formula.Formula, fkey string, aliases []string) (exec func(pt, aa []int32) (float64, bool), release func()) {
+	prog := e.compiledProgram(fkey, f.Expr)
+	if prog == nil || len(prog.Aliases()) != len(aliases) {
+		return nil, nil
+	}
+	env.ensureExec()
+	varPos := func(name string) int32 {
+		for i, v := range f.AttrVars {
+			if v == name {
+				return int32(i)
+			}
+		}
+		return -1
+	}
+	cells := prog.Cells()
+	cellAlias := make([]int32, len(cells))
+	cellVar := make([]int32, len(cells))  // attr-variable position or -1
+	cellConc := make([]int32, len(cells)) // concrete-label index or -1
+	var concLabels []string
+	for ci, cs := range cells {
+		cellAlias[ci] = cs.Alias
+		cellVar[ci] = varPos(cs.Attr)
+		cellConc[ci] = -1
+		if cellVar[ci] < 0 {
+			idx := int32(-1)
+			for i, l := range concLabels {
+				if l == cs.Attr {
+					idx = int32(i)
+					break
+				}
+			}
+			if idx < 0 {
+				idx = int32(len(concLabels))
+				concLabels = append(concLabels, cs.Attr)
+			}
+			cellConc[ci] = idx
+		}
+	}
+	// Column IDs of concrete labels per (pair, label); -1 when absent.
+	colConc := make([]int32, len(env.pairs)*len(concLabels))
+	for pi := range env.pairs {
+		for li, label := range concLabels {
+			colConc[pi*len(concLabels)+li] = -1
+			if col, ok := env.idx.ColID(env.pairs[pi].rel, label); ok {
+				colConc[pi*len(concLabels)+li] = col
+			}
+		}
+	}
+	// Numeric attribute-variable slots; a variable outside the formula's
+	// assignment (malformed input) can never evaluate, as under the
+	// interpreter's unbound-variable error.
+	numPos := make([]int32, len(prog.NumVars()))
+	alwaysFail := false
+	for i, name := range prog.NumVars() {
+		numPos[i] = varPos(name)
+		if numPos[i] < 0 {
+			alwaysFail = true
+		}
+	}
+
+	plan := &query.Plan{Prog: prog, Idx: env.idx}
+	sc := plan.GetScratch()
+	nAttrs := len(env.ctx.Attrs)
+	return func(pt, aa []int32) (float64, bool) {
+		if alwaysFail {
+			return 0, false
+		}
+		coords := sc.Coords
+		for ci := range cellAlias {
+			pi := pt[cellAlias[ci]]
+			pr := &env.pairs[pi]
+			var col int32
+			if vp := cellVar[ci]; vp >= 0 {
+				col = env.colCtx[int(pi)*nAttrs+int(aa[vp])]
+			} else {
+				col = colConc[int(pi)*len(concLabels)+int(cellConc[ci])]
+			}
+			if col < 0 {
+				return 0, false
+			}
+			coords[ci] = table.CellCoord{Rel: pr.rel, Row: pr.row, Col: col}
+		}
+		for i, vp := range numPos {
+			ai := aa[vp]
+			if !env.attrNumOK[ai] {
+				return 0, false
+			}
+			sc.AttrNums[i] = env.attrNum[ai]
+		}
+		v, err := plan.ExecCoords(coords, sc.AttrNums, sc)
+		return v, err == nil
+	}, func() { query.PutScratch(sc) }
+}
+
+// interpretedExecutor is the fallback for uncompilable expressions: each
+// candidate builds a Query and runs the tree interpreter, pruning on any
+// error exactly like the pre-compilation loop.
+func (e *Engine) interpretedExecutor(env *genEnv, f *formula.Formula, aliases []string) func(pt, aa []int32) (float64, bool) {
+	return func(pt, aa []int32) (float64, bool) {
+		q := &query.Query{Select: f.Expr, AttrBindings: make(map[string]string, len(f.AttrVars))}
+		for vi, v := range f.AttrVars {
+			q.AttrBindings[v] = env.ctx.Attrs[aa[vi]]
+		}
+		for ai, alias := range aliases {
+			pr := &env.pairs[pt[ai]]
+			q.Bindings = append(q.Bindings, query.Binding{Alias: alias, Relation: pr.relName, Key: pr.key})
+		}
+		v, err := q.ExecuteInterpreted(e.corpus)
+		return v, err == nil
+	}
+}
+
+// genPair is one (relation, key) candidate for an alias binding, with both
+// the interned coordinates used by execution and the names used when a
+// surviving candidate materialises.
+type genPair struct {
+	rel, row     int32
+	relName, key string
+}
+
+// genEnv is the per-call resolution of a validated context against the
+// interned corpus: the alias candidate pairs in enumeration order, the
+// per-(pair, context-attribute) column table, parsed numeric attribute
+// labels, and the canonicalisation maps that make slot tuples comparable
+// across duplicate context entries.
+type genEnv struct {
+	idx   *table.Index
+	ctx   Context
+	pairs []genPair
+	// pairCanon / attrCanon map enumeration indexes to the first index
+	// carrying the same value, so the dedupe key of two assignments that
+	// differ only through duplicated context entries coincides (matching
+	// the old rendered-SQL dedupe).
+	pairCanon []int32
+	attrCanon []int32
+	// colCtx[pair*len(ctx.Attrs)+attr] is the column ID of the attribute
+	// label in the pair's relation, -1 when absent. Built lazily by
+	// ensureExec: fully cached calls never need it.
+	colCtx []int32
+	// attrNum / attrNumOK hold each context attribute parsed as a number
+	// (for attribute variables used numerically, e.g. year arithmetic).
+	// Lazy alongside colCtx.
+	attrNum   []float64
+	attrNumOK []bool
+	execReady bool
+}
+
+// ensureExec builds the execution-only tables (column IDs, parsed numeric
+// labels) on the first cache miss; serve/materialize paths skip the cost.
+func (env *genEnv) ensureExec() {
+	if env.execReady {
+		return
+	}
+	env.execReady = true
+	env.attrNum = make([]float64, len(env.ctx.Attrs))
+	env.attrNumOK = make([]bool, len(env.ctx.Attrs))
+	for i, a := range env.ctx.Attrs {
+		if v, err := strconv.ParseFloat(a, 64); err == nil {
+			env.attrNum[i] = v
+			env.attrNumOK[i] = true
+		}
+	}
+	env.colCtx = make([]int32, len(env.pairs)*len(env.ctx.Attrs))
+	for pi := range env.pairs {
+		for ai, a := range env.ctx.Attrs {
+			env.colCtx[pi*len(env.ctx.Attrs)+ai] = -1
+			if col, ok := env.idx.ColID(env.pairs[pi].rel, a); ok {
+				env.colCtx[pi*len(env.ctx.Attrs)+ai] = col
+			}
+		}
+	}
+}
+
+func newGenEnv(idx *table.Index, ctx Context) *genEnv {
+	env := &genEnv{idx: idx, ctx: ctx}
+	for _, r := range ctx.Relations {
+		rel, ok := idx.RelID(r)
+		if !ok {
+			continue
+		}
+		for _, k := range ctx.Keys {
+			row, ok := idx.RowID(rel, k)
+			if !ok {
+				continue
+			}
+			env.pairs = append(env.pairs, genPair{rel: rel, row: row, relName: r, key: k})
+		}
+	}
+	env.pairCanon = make([]int32, len(env.pairs))
+	for i := range env.pairs {
+		env.pairCanon[i] = int32(i)
+		for j := 0; j < i; j++ {
+			if env.pairs[j].rel == env.pairs[i].rel && env.pairs[j].row == env.pairs[i].row {
+				env.pairCanon[i] = int32(j)
+				break
+			}
+		}
+	}
+	env.attrCanon = make([]int32, len(ctx.Attrs))
+	for i, a := range ctx.Attrs {
+		env.attrCanon[i] = int32(i)
+		for j := 0; j < i; j++ {
+			if ctx.Attrs[j] == a {
+				env.attrCanon[i] = int32(j)
+				break
+			}
+		}
+	}
+	return env
+}
+
+// candRec is one tentative-execution success before materialisation: the
+// formula slot, the value, and the canonical slot tuple (offsets into the
+// scratch slot arena).
+type candRec struct {
+	fid   int32
+	off   int32
+	n     int32
+	value float64
+}
+
+// genScratch pools the per-claim enumeration state: candidate record
+// slices, the slot arena, dedupe map and key buffer, the pair-tuple
+// odometer, and formula interning. Query generation runs per claim on the
+// session answer path, so recycling these keeps the hot path allocation-
+// lean; the returned GeneratedQuery slices themselves are freshly
+// materialised for the few surviving candidates and owned by the caller.
+type genScratch struct {
+	sols, alts  []candRec
+	slots       []int32
+	forms       []*formula.Formula
+	formAliases [][]string // per fid, lazily filled by materialize
+	fidOf       map[string]int32
+	seen        map[string]struct{}
+	key         []byte
+	pairTuple   []int32
+}
+
+var genScratchPool = sync.Pool{New: func() any {
+	return &genScratch{
+		fidOf: make(map[string]int32),
+		seen:  make(map[string]struct{}),
+	}
+}}
+
+func getGenScratch() *genScratch {
+	return genScratchPool.Get().(*genScratch)
+}
+
+func putGenScratch(gs *genScratch) {
+	gs.sols = gs.sols[:0]
+	gs.alts = gs.alts[:0]
+	gs.slots = gs.slots[:0]
+	for i := range gs.forms {
+		gs.forms[i] = nil // drop formula references while pooled
+	}
+	gs.forms = gs.forms[:0]
+	for i := range gs.formAliases {
+		gs.formAliases[i] = nil
+	}
+	gs.formAliases = gs.formAliases[:0]
+	clear(gs.fidOf)
+	clear(gs.seen)
+	genScratchPool.Put(gs)
+}
+
+// fid interns a formula by canonical string for this call; equal formulas
+// share a slot, which is what makes the dedupe key catch duplicates.
+func (gs *genScratch) fid(fkey string, f *formula.Formula) int32 {
+	if id, ok := gs.fidOf[fkey]; ok {
+		return id
+	}
+	id := int32(len(gs.forms))
+	gs.fidOf[fkey] = id
+	gs.forms = append(gs.forms, f)
+	gs.formAliases = append(gs.formAliases, nil)
+	return id
+}
+
+// aliasesOf returns (and caches) the alias list of an interned formula, so
+// materialisation walks each formula's tree once, not once per candidate.
+func (gs *genScratch) aliasesOf(fid int32) []string {
+	if gs.formAliases[fid] == nil {
+		gs.formAliases[fid] = expr.Aliases(gs.forms[fid].Expr)
+	}
+	return gs.formAliases[fid]
+}
+
+// dedupe drops records whose canonical (formula, slots) key was already
+// seen, in place, preserving order (first wins — the enumeration-order
+// candidate keeps its rank).
+func (gs *genScratch) dedupe(recs []candRec) []candRec {
+	out := recs[:0]
+	for _, r := range recs {
+		gs.key = binary.AppendVarint(gs.key[:0], int64(r.fid))
+		for _, s := range gs.slots[r.off : r.off+r.n] {
+			gs.key = binary.AppendVarint(gs.key, int64(s))
+		}
+		// string(gs.key) in the index expression is a no-alloc lookup; the
+		// conversion only materialises when inserting a fresh key.
+		if _, dup := gs.seen[string(gs.key)]; dup {
+			continue
+		}
+		gs.seen[string(gs.key)] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// materialize builds the executable Query values for surviving candidates —
+// the only place query generation touches strings or renders anything. It
+// walks records in rank order, skips any whose rendered SQL was already
+// emitted (distinct formulas colliding on SQL), and stops once limit
+// distinct queries exist, so rendering stays proportional to the output,
+// not the candidate set.
+func (gs *genScratch) materialize(env *genEnv, recs []candRec, limit int) []GeneratedQuery {
+	if len(recs) == 0 || limit <= 0 {
+		return nil
+	}
+	if limit > len(recs) {
+		limit = len(recs)
+	}
+	out := make([]GeneratedQuery, 0, limit)
+	var seenSQL map[string]bool
+	for _, r := range recs {
+		if len(out) >= limit {
+			break
+		}
+		f := gs.forms[r.fid]
+		aliases := gs.aliasesOf(r.fid)
+		q := &query.Query{Select: f.Expr, AttrBindings: make(map[string]string, len(f.AttrVars))}
+		slots := gs.slots[r.off : r.off+r.n]
+		for i, alias := range aliases {
+			pr := &env.pairs[slots[i]]
+			q.Bindings = append(q.Bindings, query.Binding{Alias: alias, Relation: pr.relName, Key: pr.key})
+		}
+		for j, v := range f.AttrVars {
+			q.AttrBindings[v] = env.ctx.Attrs[slots[len(aliases)+j]]
+		}
+		if seenSQL == nil {
+			seenSQL = make(map[string]bool, limit)
+		}
+		sql := q.SQL()
+		if seenSQL[sql] {
+			continue
+		}
+		seenSQL[sql] = true
+		out = append(out, GeneratedQuery{Query: q, Value: r.value, Formula: f.String()})
+	}
+	return out
+}
+
+// injectiveIdx enumerates ordered selections of k distinct indexes out of
+// [0, n) — the index form of injectiveAssignments, in the same order.
+func injectiveIdx(n, k int) [][]int32 {
+	if k == 0 {
+		return [][]int32{nil}
+	}
+	if n < k {
+		return nil
+	}
+	var out [][]int32
+	cur := make([]int32, 0, k)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			out = append(out, append([]int32(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, int32(i))
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// repeatedIdx enumerates ordered selections with repetition over [0, n).
+func repeatedIdx(n, k int) [][]int32 {
+	if k == 0 {
+		return [][]int32{nil}
+	}
+	if n == 0 {
+		return nil
+	}
+	var out [][]int32
+	cur := make([]int32, 0, k)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			out = append(out, append([]int32(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			cur = append(cur, int32(i))
+			rec()
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	return out
 }
 
 // injectiveAssignments enumerates ordered selections of n distinct values.
@@ -164,26 +633,13 @@ func injectiveAssignments(values []string, n int) [][]string {
 		return nil
 	}
 	var out [][]string
-	cur := make([]string, 0, n)
-	usedIdx := make([]bool, len(values))
-	var rec func()
-	rec = func() {
-		if len(cur) == n {
-			out = append(out, append([]string(nil), cur...))
-			return
+	for _, idxs := range injectiveIdx(len(values), n) {
+		sel := make([]string, n)
+		for i, ix := range idxs {
+			sel[i] = values[ix]
 		}
-		for i, v := range values {
-			if usedIdx[i] {
-				continue
-			}
-			usedIdx[i] = true
-			cur = append(cur, v)
-			rec()
-			cur = cur[:len(cur)-1]
-			usedIdx[i] = false
-		}
+		out = append(out, sel)
 	}
-	rec()
 	return out
 }
 
@@ -196,33 +652,12 @@ func repeatedAssignments(values []string, n int) [][]string {
 		return nil
 	}
 	var out [][]string
-	cur := make([]string, 0, n)
-	var rec func()
-	rec = func() {
-		if len(cur) == n {
-			out = append(out, append([]string(nil), cur...))
-			return
+	for _, idxs := range repeatedIdx(len(values), n) {
+		sel := make([]string, n)
+		for i, ix := range idxs {
+			sel[i] = values[ix]
 		}
-		for _, v := range values {
-			cur = append(cur, v)
-			rec()
-			cur = cur[:len(cur)-1]
-		}
-	}
-	rec()
-	return out
-}
-
-func dedupeQueries(qs []GeneratedQuery) []GeneratedQuery {
-	seen := make(map[string]bool, len(qs))
-	out := qs[:0]
-	for _, g := range qs {
-		sql := g.Query.SQL()
-		if seen[sql] {
-			continue
-		}
-		seen[sql] = true
-		out = append(out, g)
+		out = append(out, sel)
 	}
 	return out
 }

@@ -246,6 +246,13 @@ func (r *ClaimRun) buildFinal() {
 			break
 		}
 		sql := g.Query.SQL()
+		// Generation dedupes by (formula, slots); distinct formulas can
+		// still render identical SQL (e.g. repeated attribute assignments
+		// collapsing two variable patterns), so guard the screen itself —
+		// a duplicate must not burn one of the checker's option slots.
+		if _, dup := r.bySQL[sql]; dup {
+			continue
+		}
 		shown = append(shown, sql)
 		r.bySQL[sql] = g
 	}

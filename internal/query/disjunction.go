@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/repro/scrutinizer/internal/expr"
@@ -119,11 +120,25 @@ func (d *DisjunctiveQuery) NumExpansions() int {
 }
 
 // Expand enumerates the concrete conjunctive queries, in odometer order
-// over the alternatives. The shared Select node and AttrBindings map are
-// referenced, not copied (both are treated as immutable).
+// over the alternatives with each alias's keys visited in canonical
+// (lexicographic) order. Canonicalizing here makes the expansion sequence a
+// function of the query alone, independent of the order upstream producers
+// (crowd answers, map iteration) happened to list the keys in — so any
+// consumer that ranks or first-wins-dedupes expansions gets deterministic
+// results. (The query generator itself enumerates integer slot tuples
+// directly and canonicalizes in internal/core; this keeps the disjunctive
+// surface of Definition 3 consistent with it.) The shared Select node and
+// AttrBindings map are referenced, not copied (both are treated as
+// immutable); the canonical key order is built on copies, so Alternatives
+// and the rendered SQL keep the author's order.
 func (d *DisjunctiveQuery) Expand() ([]*Query, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
+	}
+	keys := make([][]string, len(d.Alternatives))
+	for ai, a := range d.Alternatives {
+		keys[ai] = append([]string(nil), a.Keys...)
+		sort.Strings(keys[ai])
 	}
 	idx := make([]int, len(d.Alternatives))
 	var out []*Query
@@ -133,14 +148,14 @@ func (d *DisjunctiveQuery) Expand() ([]*Query, error) {
 			q.Bindings = append(q.Bindings, Binding{
 				Alias:    a.Alias,
 				Relation: a.Relation,
-				Key:      a.Keys[idx[ai]],
+				Key:      keys[ai][idx[ai]],
 			})
 		}
 		out = append(out, q)
 		carry := len(idx) - 1
 		for carry >= 0 {
 			idx[carry]++
-			if idx[carry] < len(d.Alternatives[carry].Keys) {
+			if idx[carry] < len(keys[carry]) {
 				break
 			}
 			idx[carry] = 0

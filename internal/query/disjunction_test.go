@@ -98,7 +98,9 @@ func TestDisjunctiveExpand(t *testing.T) {
 	if len(qs) != 2 {
 		t.Fatalf("expanded %d queries", len(qs))
 	}
-	if qs[0].Bindings[1].Key != "PGINCoal" || qs[1].Bindings[1].Key != "CapAddTotal_Wind" {
+	// Expansion visits keys in canonical (sorted) order regardless of how
+	// the author listed them.
+	if qs[0].Bindings[1].Key != "CapAddTotal_Wind" || qs[1].Bindings[1].Key != "PGINCoal" {
 		t.Errorf("expansion order: %v / %v", qs[0].Bindings, qs[1].Bindings)
 	}
 	// Each expansion validates and executes.
@@ -183,5 +185,41 @@ func TestDisjunctiveExpansionValuesCoverAllKeys(t *testing.T) {
 		if !seen {
 			t.Errorf("value %g not produced by any expansion", w)
 		}
+	}
+}
+
+func TestDisjunctiveExpandCanonicalOrder(t *testing.T) {
+	// Two queries that differ only in the order the keys were listed must
+	// expand to the identical query sequence: candidate rank downstream
+	// (stable sort + first-wins dedupe in the query generator) must not
+	// depend on upstream iteration order.
+	mk := func(keys []string) *DisjunctiveQuery {
+		return &DisjunctiveQuery{
+			Select: expr.MustParse("a.2017 + b.2017"),
+			Alternatives: []AliasAlternatives{
+				{Alias: "a", Relation: "GED", Keys: []string{"x", "w"}},
+				{Alias: "b", Relation: "GED", Keys: keys},
+			},
+		}
+	}
+	q1, err := mk([]string{"k3", "k1", "k2"}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := mk([]string{"k2", "k3", "k1"}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q1) != len(q2) {
+		t.Fatalf("expansion sizes differ: %d vs %d", len(q1), len(q2))
+	}
+	for i := range q1 {
+		if q1[i].SQL() != q2[i].SQL() {
+			t.Errorf("expansion %d differs: %q vs %q", i, q1[i].SQL(), q2[i].SQL())
+		}
+	}
+	// And the canonical order is sorted within each alias.
+	if q1[0].Bindings[0].Key != "w" || q1[0].Bindings[1].Key != "k1" {
+		t.Errorf("first expansion not canonical: %v", q1[0].Bindings)
 	}
 }

@@ -14,11 +14,36 @@
 //
 // The round trip is Parse ⇄ Query.SQL: queries written by fact checkers on
 // the final screen are parsed back into executable form, and generated
-// queries are rendered for display. Query.Execute evaluates against a
-// table.Corpus and is read-only, so one corpus serves any number of
-// concurrent verification workers.
+// queries are rendered for display.
+//
+// # Execution: Execute vs Plan
+//
+// Two execution layers share one compiled core:
+//
+//   - Query.Execute is the convenience path for a single fixed query. It
+//     lowers the SELECT expression to a flat expr.Program once (cached on
+//     the Query), resolves names through the corpus's interned
+//     table.Index, and evaluates on pooled scratch — allocation-free in
+//     steady state. Any failure re-runs the tree interpreter
+//     (ExecuteInterpreted), which owns the canonical validation and
+//     execution error messages; the two paths are pinned value- and
+//     error-equivalent by property-based tests.
+//
+//   - Plan is the bulk path for one expression executed under many
+//     variable assignments — tentative execution in the query generator.
+//     NewPlan compiles once against an Index; Bind resolves a concrete
+//     assignment to integer cell coordinates for repeated Run calls, and
+//     ExecCoords evaluates pre-resolved coordinate slices directly, which
+//     is what lets Algorithm 2 enumerate candidate assignments as integer
+//     slot tuples with zero string handling per candidate.
+//
+// Execute is read-only over the corpus, so one corpus serves any number of
+// concurrent verification workers; a compiled Query and a BoundQuery are
+// likewise safe for concurrent execution with distinct scratches.
 //
 // Disjunctive WHERE clauses (the "v2 OR v3" form produced when a claim
 // aggregates several key values) are handled by disjunction.go, which
-// expands them into the per-execution single-value form.
+// expands them into the per-execution single-value form; expansion visits
+// keys in canonical (sorted) order so downstream candidate ranking is
+// deterministic regardless of how upstream producers ordered the keys.
 package query

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/expr"
+	"github.com/repro/scrutinizer/internal/table"
+)
+
+func TestPlanBindRunMatchesInterpreter(t *testing.T) {
+	c := corpusWithGED(t)
+	q := benchQuery()
+	want, err := q.ExecuteInterpreted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(q.Select, c.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := plan.Bind(q.Bindings, q.AttrBindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := plan.NewScratch()
+	for i := 0; i < 3; i++ {
+		got, err := bq.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Run = %v, interpreter = %v", got, want)
+		}
+	}
+}
+
+func TestPlanBindErrors(t *testing.T) {
+	c := corpusWithGED(t)
+	idx := c.Index()
+	sel := expr.MustParse("a.2017")
+	plan, err := NewPlan(sel, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		bindings []Binding
+		attrs    map[string]string
+	}{
+		{"missing alias", nil, nil},
+		{"missing relation", []Binding{{Alias: "a", Relation: "Nope", Key: "k"}}, nil},
+		{"missing key", []Binding{{Alias: "a", Relation: "GED", Key: "Nope"}}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := plan.Bind(tc.bindings, tc.attrs); err == nil {
+			t.Errorf("%s: Bind succeeded", tc.name)
+		}
+	}
+	// Unresolvable attribute variable (numeric) and non-numeric label.
+	plan2, err := NewPlan(expr.MustParse("a.A1 + (A1 - A2)"), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []Binding{{Alias: "a", Relation: "GED", Key: "PGElecDemand"}}
+	if _, err := plan2.Bind(good, map[string]string{"A1": "2017"}); err == nil {
+		t.Error("unbound A2 accepted")
+	}
+	if _, err := plan2.Bind(good, map[string]string{"A1": "2017", "A2": "Total"}); err == nil {
+		t.Error("non-numeric A2 accepted")
+	}
+	if _, err := plan2.Bind(good, map[string]string{"A1": "2017", "A2": "2016"}); err != nil {
+		t.Errorf("valid binding rejected: %v", err)
+	}
+}
+
+// TestExecuteCompiledMatchesInterpreterRandom property-tests the compiled
+// Execute fast path against the interpreter over randomized queries on a
+// randomized corpus: same values bit-for-bit, same error-ness, including
+// NULL cells, missing rows and attribute-variable resolution.
+func TestExecuteCompiledMatchesInterpreterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := table.NewCorpus()
+	attrs := []string{"2015", "2016", "2017", "Total"}
+	for r := 0; r < 3; r++ {
+		rel := table.MustNewRelation("R"+strconv.Itoa(r), "Index", attrs)
+		for k := 0; k < 4; k++ {
+			vals := map[string]float64{}
+			for _, a := range attrs {
+				if rng.Intn(5) > 0 { // leave some cells NULL
+					vals[a] = math.Trunc(rng.Float64()*200-50) / 2
+				}
+			}
+			if err := rel.AddSparseRow("K"+strconv.Itoa(k), vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Add(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exprs := []string{
+		"a.A1",
+		"a.A1 / b.A2",
+		"POWER(a.A1/b.A2, 1/(A1-A2)) - 1",
+		"a.2017 - b.Total",
+		"SQRT(a.A1) + LOG(b.A2)",
+		"MAX(a.A1, b.A2) > MIN(a.A1, b.A2)",
+		"CAGR(a.A1, b.A2, A1 - A2)",
+		"a.Total * -1",
+	}
+	keys := []string{"K0", "K1", "K2", "K3", "KMissing"}
+	rels := []string{"R0", "R1", "R2", "RMissing"}
+	for trial := 0; trial < 4000; trial++ {
+		q := &Query{
+			Select: expr.MustParse(exprs[rng.Intn(len(exprs))]),
+			Bindings: []Binding{
+				{Alias: "a", Relation: rels[rng.Intn(len(rels))], Key: keys[rng.Intn(len(keys))]},
+				{Alias: "b", Relation: rels[rng.Intn(len(rels))], Key: keys[rng.Intn(len(keys))]},
+			},
+			AttrBindings: map[string]string{
+				"A1": attrs[rng.Intn(len(attrs))],
+				"A2": attrs[rng.Intn(len(attrs))],
+			},
+		}
+		if rng.Intn(10) == 0 {
+			delete(q.AttrBindings, "A2") // unbound attribute variable path
+		}
+		gv, gerr := q.Execute(c)
+		// A fresh identical query for the interpreter so no state is shared.
+		q2 := &Query{Select: q.Select, Bindings: q.Bindings, AttrBindings: q.AttrBindings}
+		wv, werr := q2.ExecuteInterpreted(c)
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("%s: Execute err=%v, interpreter err=%v", q.SQL(), gerr, werr)
+		}
+		if gerr == nil && math.Float64bits(gv) != math.Float64bits(wv) {
+			t.Fatalf("%s: Execute=%v interpreter=%v", q.SQL(), gv, wv)
+		}
+	}
+}
+
+func BenchmarkPlanExecute(b *testing.B) {
+	c := benchCorpus(b)
+	q := benchQuery()
+	plan, err := NewPlan(q.Select, c.Index())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bq, err := plan.Bind(q.Bindings, q.AttrBindings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := plan.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bq.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteCompiled measures the steady-state Query.Execute fast
+// path (compiled, pooled scratch); compare with BenchmarkExecuteInterpreted
+// for the tree-walking cost and allocation delta.
+func BenchmarkExecuteCompiled(b *testing.B) {
+	c := benchCorpus(b)
+	q := benchQuery()
+	if _, err := q.Execute(c); err != nil { // warm the compilation cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Execute(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteInterpreted(b *testing.B) {
+	c := benchCorpus(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.ExecuteInterpreted(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

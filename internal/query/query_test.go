@@ -72,22 +72,22 @@ func TestExecuteExample3Ratio(t *testing.T) {
 func TestValidate(t *testing.T) {
 	cases := []struct {
 		name string
-		q    Query
+		q    *Query
 	}{
-		{"nil select", Query{}},
-		{"unbound alias", Query{Select: expr.MustParse("a.2017")}},
-		{"incomplete binding", Query{
+		{"nil select", &Query{}},
+		{"unbound alias", &Query{Select: expr.MustParse("a.2017")}},
+		{"incomplete binding", &Query{
 			Select:   expr.MustParse("a.2017"),
 			Bindings: []Binding{{Alias: "a"}},
 		}},
-		{"duplicate alias", Query{
+		{"duplicate alias", &Query{
 			Select: expr.MustParse("a.2017"),
 			Bindings: []Binding{
 				{Alias: "a", Relation: "R", Key: "k"},
 				{Alias: "a", Relation: "S", Key: "k"},
 			},
 		}},
-		{"unbound attr var", Query{
+		{"unbound attr var", &Query{
 			Select:   expr.MustParse("a.A1"),
 			Bindings: []Binding{{Alias: "a", Relation: "R", Key: "k"}},
 		}},

@@ -72,3 +72,80 @@ func BenchmarkRelationsWithKey(b *testing.B) {
 		c.RelationsWithKey("key3")
 	}
 }
+
+// benchIndexCorpus builds a mid-sized corpus (20 relations × 40 rows × 12
+// attrs) so cell look-ups hit realistic map sizes.
+func benchIndexCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	c := NewCorpus()
+	for r := 0; r < 20; r++ {
+		attrs := make([]string, 12)
+		for a := range attrs {
+			attrs[a] = strconv.Itoa(2010 + a)
+		}
+		rel := MustNewRelation("Rel"+strconv.Itoa(r), "Index", attrs)
+		vals := make([]float64, len(attrs))
+		for row := 0; row < 40; row++ {
+			for a := range vals {
+				vals[a] = float64(r*1000 + row*10 + a)
+			}
+			if err := rel.AddRow("Key"+strconv.Itoa(row), vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Add(rel); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkCellLookup measures the interned hot path: a resolved
+// (relID, rowID, colID) probe — two slice indexes plus a bitmask check.
+func BenchmarkCellLookup(b *testing.B) {
+	c := benchIndexCorpus(b)
+	ix := c.Index()
+	rel, _ := ix.RelID("Rel7")
+	row, _ := ix.RowID(rel, "Key23")
+	col, _ := ix.ColID(rel, "2017")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, ok := ix.Cell(rel, row, col)
+		if !ok {
+			b.Fatal("missing cell")
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkCellLookupString measures the compatibility façade the hot
+// loops avoid: three string-map look-ups per cell.
+func BenchmarkCellLookupString(b *testing.B) {
+	c := benchIndexCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, err := c.Get("Rel7", "Key23", "2017")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+// BenchmarkBuildIndex tracks snapshot cost: it bounds how expensive a
+// corpus-generation bump (load-time mutation) is for the first reader
+// that rebuilds the interned view.
+func BenchmarkBuildIndex(b *testing.B) {
+	c := benchIndexCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildIndex(c)
+	}
+}

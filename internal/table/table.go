@@ -8,6 +8,15 @@
 // key-equality look-ups feeding arithmetic expressions, so the store is
 // optimised for exactly that access path: O(1) row lookup by key and O(1)
 // cell lookup by (key, attribute).
+//
+// Two access layers share the data. The string-keyed Relation/Corpus API is
+// the compatibility façade: loading, mutation, and occasional look-ups go
+// through it. Hot loops (compiled query plans, tentative execution in the
+// query generator) instead resolve names once through the interned Index
+// (see index.go) — relation/key/attribute → dense int IDs — and read cells
+// as two slice indexes plus a presence-bitmask probe. Corpus.Index caches
+// the interned snapshot and rebuilds it when Generation observes a
+// mutation.
 package table
 
 import (
@@ -38,6 +47,7 @@ type Relation struct {
 	cells    [][]float64 // rows × attrs
 	present  [][]bool    // whether a cell holds a value (NULL tracking)
 	metadata map[string]string
+	version  uint64 // bumped on every row/cell mutation (index invalidation)
 }
 
 // NewRelation creates an empty relation with the given name, key attribute
@@ -139,6 +149,7 @@ func (r *Relation) AddRow(key string, values []float64) error {
 		pres[i] = true
 	}
 	r.present = append(r.present, pres)
+	r.version++
 	return nil
 }
 
@@ -164,6 +175,7 @@ func (r *Relation) AddSparseRow(key string, values map[string]float64) error {
 	r.rowKeys = append(r.rowKeys, key)
 	r.cells = append(r.cells, row)
 	r.present = append(r.present, pres)
+	r.version++
 	return nil
 }
 
@@ -179,6 +191,7 @@ func (r *Relation) Set(key, attr string, v float64) error {
 	}
 	r.cells[ri][ai] = v
 	r.present[ri][ai] = true
+	r.version++
 	return nil
 }
 
@@ -329,6 +342,8 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 type Corpus struct {
 	byName map[string]*Relation
 	names  []string
+	adds   uint64     // relations added; part of Generation
+	idx    indexCache // lazily built interned snapshot (index.go)
 }
 
 // NewCorpus creates an empty corpus.
@@ -346,6 +361,7 @@ func (c *Corpus) Add(r *Relation) error {
 	}
 	c.byName[r.Name()] = r
 	c.names = append(c.names, r.Name())
+	c.adds++
 	return nil
 }
 

@@ -56,7 +56,19 @@ type (
 	World = worldgen.World
 	// WorldConfig parameterises synthetic world generation.
 	WorldConfig = worldgen.Config
+	// QueryCache memoizes tentative execution (Algorithm 2) per corpus
+	// generation; share one across Systems serving the same corpus.
+	QueryCache = core.QueryCache
+	// QueryCacheStats is a point-in-time cache summary.
+	QueryCacheStats = core.QueryCacheStats
+	// CorpusIndexStats summarises the corpus's interned index.
+	CorpusIndexStats = table.IndexStats
 )
+
+// NewQueryCache builds a shared tentative-execution cache. Pass it through
+// Options.QueryCache on every System bound to the same corpus so
+// concurrent verifications and sessions deduplicate query-generation work.
+func NewQueryCache() *QueryCache { return core.NewQueryCache() }
 
 // Verdict values.
 const (
@@ -121,6 +133,10 @@ type Options struct {
 	EmbeddingDim int
 	// Seed drives all randomised components.
 	Seed int64
+	// QueryCache optionally shares a tentative-execution cache across
+	// Systems over one corpus (see NewQueryCache). Nil keeps a private
+	// per-System cache.
+	QueryCache *QueryCache
 }
 
 // System is a ready-to-run Scrutinizer instance bound to one corpus and
@@ -171,6 +187,7 @@ func New(corpus *Corpus, doc *Document, opts Options) (*System, error) {
 		cfg.TopK = opts.TopK
 	}
 	cfg.Classifier.Seed = opts.Seed
+	cfg.QueryCache = opts.QueryCache
 	engine, err := core.NewEngine(corpus, pipe, cfg)
 	if err != nil {
 		return nil, err
