@@ -1,20 +1,26 @@
-// Command scrutinizerd serves Scrutinizer as a long-running HTTP service.
-// The corpus is loaded once at startup and shared by all requests; each
-// request gets its own System (feature pipeline + classifiers) fitted to
-// the posted document.
+// Command scrutinizerd serves Scrutinizer as a long-running, multi-tenant
+// HTTP service built on the corpus / verifier / run resource model:
 //
-// Two verification modes share one engine core:
+//   - Corpora are registered relational data sets. The corpus loaded at
+//     startup (-corpus, or a synthetic world) is registered as "default";
+//     more are created over the /v1 API and populated with CSV uploads.
+//   - Verifiers are trained model bundles over a corpus: training fits the
+//     feature pipeline once on the posted annotated document and
+//     bootstraps the classifiers from "a database of previously checked
+//     claims". A trained verifier serves any number of documents without
+//     refitting — the fit-once / verify-many amortization the paper's IEA
+//     deployment relies on.
+//   - Runs execute one document against a verifier: mode "batch" answers
+//     every question screen with the simulated crowd in-process and
+//     returns the report inline; mode "session" parks an interactive
+//     question/answer session. Between answers a session holds no
+//     goroutines; batch-boundary retraining runs inside the answer that
+//     completes a batch, on the run's private engine. Sessions idle past
+//     -session-ttl are evicted.
 //
-//   - Batch: POST a document of annotated claims to /verify and the
-//     simulated crowd answers every question screen in-process; the
-//     verification report comes back in the same response.
-//   - Interactive sessions: POST a document to /sessions and the engine
-//     parks on its first batch of question screens. Checkers poll
-//     /sessions/{id}/questions, post answers to /sessions/{id}/answers,
-//     and fetch the report when progress shows done. Between answers a
-//     session holds no goroutines; batch-boundary retraining runs inside
-//     the answer that completes a batch. Sessions idle past -session-ttl
-//     are evicted.
+// The legacy single-corpus routes (/verify, /sessions) are preserved
+// unchanged as aliases onto the default corpus; they fit a fresh model
+// per request, exactly as before the /v1 surface existed.
 //
 // Usage:
 //
@@ -40,28 +46,47 @@
 // look for are classifier scoring (scoreInto), query generation and the
 // scheduler ILP.
 //
-// Endpoints:
+// Endpoints (versioned /v1 surface):
 //
-//	GET    /healthz                  liveness + corpus and session statistics
+//	POST   /v1/corpora                           create a corpus (optionally seeded with inline CSV relations)
+//	GET    /v1/corpora                           list corpora
+//	GET    /v1/corpora/{id}                      corpus stats
+//	DELETE /v1/corpora/{id}                      drop a corpus and its verifiers
+//	PUT    /v1/corpora/{id}/relations/{name}     upload one relation as a raw CSV body
+//	DELETE /v1/corpora/{id}/relations/{name}     drop a relation (only while the corpus has no verifiers)
+//	POST   /v1/corpora/{id}/verifiers            train a verifier from an annotated document
+//	GET    /v1/verifiers[/{id}]                  list / inspect verifiers
+//	DELETE /v1/verifiers/{id}                    drop a verifier
+//	POST   /v1/verifiers/{id}/runs               run a document (mode "batch" or "session")
+//	GET    /v1/runs/{id}                         interactive run progress
+//	GET    /v1/runs/{id}/questions               pending question screens
+//	POST   /v1/runs/{id}/answers                 post one answer or a batch of answers
+//	GET    /v1/runs/{id}/report                  outcomes so far (complete once done)
+//	DELETE /v1/runs/{id}                         drop an interactive run
+//
+// Legacy endpoints (aliases onto the default corpus, behaviour unchanged):
+//
+//	GET    /healthz                  liveness + version, tenant, corpus and session statistics
 //	POST   /verify                   document JSON in, verification report JSON out
 //	POST   /sessions                 create an interactive session (document JSON in)
-//	GET    /sessions/{id}            session progress
+//	GET    /sessions/{id}            session progress (also resolves /v1 run IDs)
 //	GET    /sessions/{id}/questions  pending question screens
 //	POST   /sessions/{id}/answers    post one answer or a batch of answers
 //	GET    /sessions/{id}/report     outcomes so far (complete once done)
 //	DELETE /sessions/{id}            drop a session
 //
-// A /verify or /sessions body is either a bare document (the
+// A /verify, /sessions or /v1 runs body is either a bare document (the
 // claims.WriteJSON format) or an envelope:
 //
 //	{
 //	  "document":    {...},       // required: the document to verify
-//	  "team":        3,           // /verify: simulated checkers (default 3)
-//	  "checkers":    1,           // /sessions: humans skimming each section
+//	  "mode":        "batch",     // /v1 runs only: batch | session
+//	  "team":        3,           // batch runs: simulated checkers (default 3)
+//	  "checkers":    1,           // session runs: humans skimming each section
 //	  "batch":       100,         // retraining batch size (default 100)
 //	  "parallelism": 0,           // 0 = server default
 //	  "ordering":    "ilp",       // ilp | sequential | greedy | random
-//	  "seed":        7,           // system (+ crowd) seed
+//	  "seed":        7,           // legacy: system (+ crowd) seed; also the random-ordering seed
 //	  "section_read_cost": 0      // seconds per section skim
 //	}
 package main
@@ -78,6 +103,8 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only when -pprof is set)
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"sync"
 	"syscall"
 	"time"
 
@@ -186,28 +213,55 @@ func loadCorpus(dir string, numClaims int, seed int64) (*scrutinizer.Corpus, err
 // few MB, so 64 MB leaves an order-of-magnitude headroom.
 const maxBodyBytes = 64 << 20
 
-// server holds the shared state of the daemon: the read-only corpus, the
-// interactive session registry, and the corpus-wide query cache that
-// deduplicates tentative execution across every request and session.
+// defaultCorpusID is the registry name of the corpus loaded at startup;
+// the legacy /verify and /sessions routes alias onto it.
+const defaultCorpusID = "default"
+
+// server holds the shared state of the daemon: the multi-tenant resource
+// registry (corpora + verifiers), the interactive session registry shared
+// by /v1 runs and legacy sessions, and — for the legacy routes — the
+// default corpus with its corpus-wide query cache.
 type server struct {
-	corpus   *scrutinizer.Corpus
+	svc      *scrutinizer.Service
+	corpus   *scrutinizer.Corpus // the default corpus (legacy routes)
 	parallel int
 	maxBody  int64
 	sessions *scrutinizer.SessionManager
-	qcache   *scrutinizer.QueryCache
+	qcache   *scrutinizer.QueryCache // the default corpus's shared cache
 	started  time.Time
+	// corpusLocks serializes /v1 mutations per corpus ID (relation
+	// uploads/removals against each other and against verifier training
+	// over the same corpus) without ever blocking other tenants. Reads
+	// during verification need no lock: mutation is rejected once a
+	// corpus has verifiers. Entries for deleted corpora linger until
+	// process exit — one mutex per corpus ID ever seen, negligible.
+	corpusLocks sync.Map // corpus id -> *sync.Mutex
+}
+
+// lockCorpus returns the mutation lock for one corpus ID.
+func (s *server) lockCorpus(id string) *sync.Mutex {
+	mu, _ := s.corpusLocks.LoadOrStore(id, &sync.Mutex{})
+	return mu.(*sync.Mutex)
 }
 
 func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duration, maxSessions int) *server {
 	if parallel <= 0 {
 		parallel = core.DefaultParallelism()
 	}
+	svc := scrutinizer.NewService()
+	if _, err := svc.AddCorpus(defaultCorpusID, corpus); err != nil {
+		// Registering the startup corpus under a fixed valid id into a
+		// fresh registry cannot fail.
+		panic(err)
+	}
+	qcache, _ := svc.CorpusQueryCache(defaultCorpusID)
 	return &server{
+		svc:      svc,
 		corpus:   corpus,
 		parallel: parallel,
 		maxBody:  maxBodyBytes,
 		sessions: scrutinizer.NewSessionManager(sessionTTL, maxSessions),
-		qcache:   scrutinizer.NewQueryCache(),
+		qcache:   qcache,
 		started:  time.Now(),
 	}
 }
@@ -215,6 +269,9 @@ func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duratio
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	// Legacy surface: single-corpus, per-request model fitting. Preserved
+	// unchanged as an alias onto the default corpus.
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("POST /sessions", s.handleSessionCreate)
 	mux.HandleFunc("GET /sessions/{id}", s.handleSessionProgress)
@@ -222,7 +279,57 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/questions", s.handleSessionQuestions)
 	mux.HandleFunc("POST /sessions/{id}/answers", s.handleSessionAnswers)
 	mux.HandleFunc("GET /sessions/{id}/report", s.handleSessionReport)
+
+	// Versioned multi-tenant surface (v1.go): corpora, verifiers, runs.
+	mux.HandleFunc("POST /v1/corpora", s.handleCorpusCreate)
+	mux.HandleFunc("GET /v1/corpora", s.handleCorpusList)
+	mux.HandleFunc("GET /v1/corpora/{id}", s.handleCorpusGet)
+	mux.HandleFunc("DELETE /v1/corpora/{id}", s.handleCorpusDelete)
+	mux.HandleFunc("PUT /v1/corpora/{id}/relations/{name}", s.handleRelationPut)
+	mux.HandleFunc("DELETE /v1/corpora/{id}/relations/{name}", s.handleRelationDelete)
+	mux.HandleFunc("POST /v1/corpora/{id}/verifiers", s.handleVerifierCreate)
+	mux.HandleFunc("GET /v1/verifiers", s.handleVerifierList)
+	mux.HandleFunc("GET /v1/verifiers/{id}", s.handleVerifierGet)
+	mux.HandleFunc("DELETE /v1/verifiers/{id}", s.handleVerifierDelete)
+	mux.HandleFunc("POST /v1/verifiers/{id}/runs", s.handleRunCreate)
+
+	// Interactive /v1 runs are sessions: the run ID is a session ID, so
+	// the run sub-resources reuse the session handlers (and legacy
+	// /sessions/{id} routes resolve /v1 run IDs too).
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleSessionProgress)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/runs/{id}/questions", s.handleSessionQuestions)
+	mux.HandleFunc("POST /v1/runs/{id}/answers", s.handleSessionAnswers)
+	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleSessionReport)
 	return mux
+}
+
+// buildVersion resolves the daemon's version from the embedded build info
+// (module version for released builds, VCS revision for source builds).
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version := info.Main.Version
+	var rev, dirty string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return version + " (" + rev + dirty + ")"
+	}
+	return version
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -230,12 +337,43 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sess := s.sessions.Stats()
 	qc := s.qcache.Stats()
 	ix := s.corpus.Index().Stats()
+	svcStats := s.svc.Stats()
+	// Per-tenant load at a glance: verifier count per corpus, run count
+	// per verifier; live sessions per verifier come from the session
+	// registry's owner tags.
+	perCorpus := make(map[string]any)
+	for _, ci := range s.svc.Corpora() {
+		perCorpus[ci.ID] = map[string]any{
+			"relations": ci.Relations,
+			"verifiers": ci.Verifiers,
+		}
+	}
+	perVerifier := make(map[string]any)
+	for _, vi := range s.svc.Verifiers() {
+		perVerifier[vi.ID] = map[string]any{
+			"corpus":           vi.CorpusID,
+			"runs_started":     vi.Runs,
+			"model_generation": vi.Generation,
+			"trained_on":       vi.TrainedOn,
+			"active_sessions":  sess.ByOwner[vi.ID],
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
+		"status":  "ok",
+		"version": buildVersion(),
 		"corpus": map[string]int{
 			"relations": stats.Relations,
 			"rows":      stats.Rows,
 			"cells":     stats.Cells,
+		},
+		// service: the /v1 registry — tenant counts plus per-corpus and
+		// per-verifier breakdowns.
+		"service": map[string]any{
+			"corpora":      svcStats.Corpora,
+			"verifiers":    svcStats.Verifiers,
+			"runs_started": svcStats.Runs,
+			"per_corpus":   perCorpus,
+			"per_verifier": perVerifier,
 		},
 		"sessions": map[string]any{
 			"active":           sess.Active,
@@ -243,10 +381,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"model_generation": sess.MaxGeneration,
 			"created_total":    sess.CreatedTotal,
 			"evicted_total":    sess.EvictedTotal,
+			"by_owner":         sess.ByOwner,
 		},
-		// query_cache: the corpus-wide tentative-execution memo shared by
-		// every /verify request and interactive session; generation is the
-		// corpus generation its entries were computed under.
+		// query_cache: the default corpus's tentative-execution memo
+		// shared by every legacy request and session over it; generation
+		// is the corpus generation its entries were computed under.
 		"query_cache": qc,
 		// interner: the interned columnar index compiled queries execute
 		// against (entries per ID space + the snapshot's generation).
@@ -257,8 +396,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"cells":      ix.Cells,
 			"generation": ix.Generation,
 		},
-		"parallelism": s.parallel,
-		"uptime_s":    int(time.Since(s.started).Seconds()),
+		"parallelism":    s.parallel,
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
 	})
 }
 
@@ -307,18 +446,23 @@ type documentRequest struct {
 	SectionReadCost float64         `json:"section_read_cost"`
 }
 
+// readDocument parses a document from an envelope field, falling back to
+// the whole body when the field is absent (bare-document requests).
+func readDocument(raw []byte, field json.RawMessage) (*scrutinizer.Document, error) {
+	docBytes := []byte(field)
+	if len(docBytes) == 0 {
+		docBytes = raw
+	}
+	return scrutinizer.ReadDocumentJSON(bytes.NewReader(docBytes))
+}
+
 // decodeDocumentRequest parses an envelope or bare-document body.
 func decodeDocumentRequest(raw []byte) (*documentRequest, *scrutinizer.Document, error) {
 	var req documentRequest
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return nil, nil, fmt.Errorf("malformed JSON: %w", err)
 	}
-	docBytes := []byte(req.Document)
-	if len(docBytes) == 0 {
-		// Bare document body.
-		docBytes = raw
-	}
-	doc, err := scrutinizer.ReadDocumentJSON(bytes.NewReader(docBytes))
+	doc, err := readDocument(raw, req.Document)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -416,6 +560,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		SectionReadCost: req.SectionReadCost,
 		Ordering:        ordering,
 		Parallelism:     parallelism,
+		Seed:            req.Seed,
 	})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -486,6 +631,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			SectionReadCost: req.SectionReadCost,
 			Ordering:        ordering,
 			Parallelism:     parallelism,
+			Seed:            req.Seed,
 		},
 		Checkers: req.Checkers,
 	})

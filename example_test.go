@@ -108,3 +108,47 @@ func ExampleSystem_VerifyDocument() {
 	// claims verified: 30 in 3 batches
 	// verdict accuracy: 1.00
 }
+
+// ExampleNewVerifier shows the fit-once / verify-many serving shape: a
+// verifier trained on an archived annotated document serves two new
+// documents without refitting features, and the trained state is never
+// mutated by the runs.
+func ExampleNewVerifier() {
+	cfg := scrutinizer.SmallWorld()
+	cfg.NumClaims = 30
+	world, err := scrutinizer.GenerateWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := scrutinizer.NewVerifier(world.Corpus, world.Document, scrutinizer.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two "new editions" checked against the same trained verifier.
+	half := len(world.Document.Claims) / 2
+	docs := []*scrutinizer.Document{
+		{Title: "edition A", Sections: world.Document.Sections, Claims: world.Document.Claims[:half]},
+		{Title: "edition B", Sections: world.Document.Sections, Claims: world.Document.Claims[half:]},
+	}
+	for _, doc := range docs {
+		run, err := v.StartRun(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		team, err := v.NewTeam(3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := run.Verify(team, scrutinizer.VerifyOptions{BatchSize: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d claims, accuracy %.2f\n", doc.Title, len(res.Outcomes), res.Accuracy())
+	}
+	fmt.Printf("verifier generation after serving: %d\n", v.Generation())
+	// Output:
+	// edition A: 15 claims, accuracy 1.00
+	// edition B: 15 claims, accuracy 1.00
+	// verifier generation after serving: 1
+}

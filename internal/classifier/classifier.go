@@ -136,6 +136,32 @@ func New(cfg Config) *Classifier {
 	}
 }
 
+// Clone returns a deep copy of the model: weights, AdaGrad state, label
+// vocabulary and the warm-start round counter are all duplicated, so
+// training the clone never perturbs the original (and vice versa). The
+// clone starts with an empty scratch pool. Clone must not run concurrently
+// with Train on the same model; it is safe to run concurrently with the
+// scoring methods.
+func (c *Classifier) Clone() *Classifier {
+	cp := &Classifier{
+		cfg:      c.cfg,
+		labels:   append([]string(nil), c.labels...),
+		labelIdx: make(map[string]int, len(c.labelIdx)),
+		dim:      c.dim,
+		w:        append([]float64(nil), c.w...),
+		gsq:      append([]float64(nil), c.gsq...),
+		bias:     append([]float64(nil), c.bias...),
+		gsqB:     append([]float64(nil), c.gsqB...),
+		trained:  c.trained,
+		rounds:   c.rounds,
+		warm:     c.warm,
+	}
+	for l, i := range c.labelIdx {
+		cp.labelIdx[l] = i
+	}
+	return cp
+}
+
 // Labels returns the label vocabulary in first-seen order. Callers must not
 // mutate the returned slice.
 func (c *Classifier) Labels() []string { return c.labels }

@@ -473,3 +473,86 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("WarmStartEpochs for Epochs=1 = %d, want 1", c.WarmStartEpochs)
 	}
 }
+
+// TestCloneIndependence: a clone scores identically to its original, and
+// training either side afterwards leaves the other side untouched —
+// including the warm-start round counter, so diverged copies keep their
+// own deterministic shuffle streams.
+func TestCloneIndependence(t *testing.T) {
+	orig := New(Config{Seed: 3})
+	base := separableSet(90, 11)
+	if err := orig.Train(base); err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone()
+
+	probe := separableSet(20, 42)
+	for _, ex := range probe {
+		a, b := orig.Probs(ex.Features), clone.Probs(ex.Features)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("clone probs diverge on fresh clone: %v vs %v", a, b)
+			}
+		}
+	}
+	if clone.TrainedOn() != orig.TrainedOn() || clone.NumLabels() != orig.NumLabels() {
+		t.Fatalf("clone metadata: TrainedOn=%d/%d NumLabels=%d/%d",
+			clone.TrainedOn(), orig.TrainedOn(), clone.NumLabels(), orig.NumLabels())
+	}
+
+	// Train the clone on more data; the original must not move.
+	before := orig.Probs(probe[0].Features)
+	if err := clone.Train(separableSet(150, 5)); err != nil {
+		t.Fatal(err)
+	}
+	after := orig.Probs(probe[0].Features)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("training the clone perturbed the original")
+		}
+	}
+
+	// Two clones trained on the same data remain bit-identical to each
+	// other (shared rounds counter -> same shuffle stream).
+	c1, c2 := orig.Clone(), orig.Clone()
+	more := separableSet(120, 9)
+	if err := c1.Train(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Train(more); err != nil {
+		t.Fatal(err)
+	}
+	if c1.WarmStarted() != c2.WarmStarted() {
+		t.Fatal("clones diverged on warm-start decision")
+	}
+	for _, ex := range probe {
+		a, b := c1.Probs(ex.Features), c2.Probs(ex.Features)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("identically trained clones diverged")
+			}
+		}
+	}
+}
+
+// TestCloneUntrained: cloning a cold model yields a usable cold model.
+func TestCloneUntrained(t *testing.T) {
+	c := New(Config{Seed: 1}).Clone()
+	if c.NumLabels() != 0 {
+		t.Fatal("clone of untrained model has labels")
+	}
+	if err := c.Train(separableSet(30, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(Config{Seed: 1})
+	if err := ref.Train(separableSet(30, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f := separableSet(5, 77)[0].Features
+	a, b := c.Probs(f), ref.Probs(f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cold clone trains differently from a fresh model")
+		}
+	}
+}

@@ -169,11 +169,10 @@ type Engine struct {
 
 	// qcache memoizes tentative execution per corpus generation (see
 	// QueryCache); progs caches compiled formula programs by canonical
-	// formula string (programs are corpus-independent; nil marks a
-	// formula the compiler rejects).
+	// formula string (programs are corpus-independent, so the cache is
+	// shared across every engine spawned from one snapshot lineage).
 	qcache *QueryCache
-	progMu sync.RWMutex
-	progs  map[string]*expr.Program
+	progs  *progCache
 
 	// genOverride, when set, replaces GenerateQueries' compiled engine —
 	// the benchmark/equivalence hook that lets the reference interpreter
@@ -232,7 +231,7 @@ func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engin
 		featCache: make(map[int]textproc.Sparse),
 		assessed:  make(map[int]*assessment),
 		qcache:    cfg.QueryCache,
-		progs:     make(map[string]*expr.Program),
+		progs:     newProgCache(),
 	}
 	if e.qcache == nil {
 		e.qcache = NewQueryCache()
@@ -253,14 +252,29 @@ func (e *Engine) QueryCacheStats() QueryCacheStats { return e.qcache.Stats() }
 // small in practice, the cap only guards against adversarial checker input.
 const progCacheCap = 1024
 
+// progCache is the compiled-formula program cache: canonical formula
+// string -> compiled program (nil marks a formula the compiler rejects).
+// Programs are corpus-independent and immutable once compiled, so one
+// cache is shared by an engine and every engine spawned from its
+// snapshots. All methods are safe for concurrent use.
+type progCache struct {
+	mu sync.RWMutex
+	m  map[string]*expr.Program
+}
+
+func newProgCache() *progCache {
+	return &progCache{m: make(map[string]*expr.Program)}
+}
+
 // compiledProgram returns the compiled program for a canonical formula
 // string, compiling and caching on first use; nil when uncompilable (a nil
 // value is cached too, so rejected formulas fall back to the interpreter
 // without recompiling per claim).
 func (e *Engine) compiledProgram(fkey string, n expr.Node) *expr.Program {
-	e.progMu.RLock()
-	prog, ok := e.progs[fkey]
-	e.progMu.RUnlock()
+	pc := e.progs
+	pc.mu.RLock()
+	prog, ok := pc.m[fkey]
+	pc.mu.RUnlock()
 	if ok {
 		return prog
 	}
@@ -268,11 +282,11 @@ func (e *Engine) compiledProgram(fkey string, n expr.Node) *expr.Program {
 	if err != nil {
 		prog = nil
 	}
-	e.progMu.Lock()
-	if len(e.progs) < progCacheCap {
-		e.progs[fkey] = prog
+	pc.mu.Lock()
+	if len(pc.m) < progCacheCap {
+		pc.m[fkey] = prog
 	}
-	e.progMu.Unlock()
+	pc.mu.Unlock()
 	return prog
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/crowd"
+)
+
+// TestSnapshotSpawnEquivalence: spawning twice from one snapshot yields
+// engines whose full verification runs are bit-identical — and running one
+// spawn (which retrains it at batch barriers) must not perturb the
+// snapshot or later spawns.
+func TestSnapshotSpawnEquivalence(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+
+	run := func(spawned *Engine) *Result {
+		team, err := crowd.NewTeam("W", 3, 0.97, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := spawned.Verify(w.Document, team, VerifyConfig{BatchSize: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := run(snap.Spawn())
+	// The first run retrained its spawned engine several times; a fresh
+	// spawn must still start from the pristine snapshot state.
+	second := run(snap.Spawn())
+
+	if first.Seconds != second.Seconds || first.Batches != second.Batches {
+		t.Fatalf("spawned runs diverged: %v/%d vs %v/%d batches",
+			first.Seconds, first.Batches, second.Seconds, second.Batches)
+	}
+	if len(first.Outcomes) != len(second.Outcomes) {
+		t.Fatalf("outcome counts: %d vs %d", len(first.Outcomes), len(second.Outcomes))
+	}
+	for i := range first.Outcomes {
+		a, b := first.Outcomes[i], second.Outcomes[i]
+		if a.ClaimID != b.ClaimID || a.Verdict != b.Verdict || a.Seconds != b.Seconds || a.Value != b.Value {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// The snapshot's source engine is untouched too: a clone of it equals
+	// a spawn of the snapshot.
+	third := run(e.Clone())
+	if third.Seconds != first.Seconds {
+		t.Fatalf("source engine drifted: clone run %v vs spawn run %v", third.Seconds, first.Seconds)
+	}
+}
+
+// TestSnapshotConcurrentSpawns: many spawns of one snapshot verifying
+// concurrently (each retraining its own engine at batch barriers) agree
+// with each other — the -race run is the actual assertion that no state
+// is shared mutably.
+func TestSnapshotConcurrentSpawns(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			team, err := crowd.NewTeam("W", 3, 0.97, 8)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = snap.Spawn().Verify(w.Document, team, VerifyConfig{
+				BatchSize: 20, Parallelism: 2,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Seconds != results[0].Seconds || results[i].Batches != results[0].Batches {
+			t.Fatalf("concurrent run %d diverged: %v vs %v", i, results[i].Seconds, results[0].Seconds)
+		}
+		for j := range results[0].Outcomes {
+			if results[i].Outcomes[j].Verdict != results[0].Outcomes[j].Verdict {
+				t.Fatalf("run %d outcome %d verdict diverged", i, j)
+			}
+		}
+	}
+}
+
+// TestSnapshotGeneration: the snapshot records the generation it was taken
+// at and spawns inherit it.
+func TestSnapshotGeneration(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if e.Snapshot().Generation() != 0 {
+		t.Fatal("cold snapshot generation != 0")
+	}
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Generation() != e.Generation() || snap.Generation() == 0 {
+		t.Fatalf("snapshot generation %d, engine %d", snap.Generation(), e.Generation())
+	}
+	if got := snap.Spawn().Generation(); got != snap.Generation() {
+		t.Fatalf("spawn generation %d, want %d", got, snap.Generation())
+	}
+}

@@ -41,9 +41,15 @@ type Pipeline struct {
 	dim   int
 }
 
-// Fit builds the pipeline from the document's sentences and claims. Both
-// the embedding and the TF-IDF vocabulary are learned once per document;
-// they do not depend on verification labels.
+// Fit builds the pipeline from a training document's sentences and claims.
+// Neither the embedding nor the TF-IDF vocabulary depends on verification
+// labels, and a fitted pipeline is immutable: Vector may be applied to any
+// later document, not just the one it was fitted on. Out-of-vocabulary
+// input degrades gracefully — unknown TF-IDF tokens are dropped, unknown
+// embedding words are skipped from the sentence average, and a fully
+// unseen sentence yields a zero embedding prefix — so a pipeline trained
+// once can serve new documents indefinitely (use Coverage to monitor how
+// far a new document drifts from the training vocabulary).
 func Fit(sentences, claimTexts []string, cfg Config) (*Pipeline, error) {
 	if len(sentences) == 0 {
 		return nil, fmt.Errorf("feature: no sentences")
@@ -86,3 +92,65 @@ func (p *Pipeline) Vector(sentence, claim string) textproc.Sparse {
 // Model exposes the underlying embedding model (used by diagnostics and the
 // examples).
 func (p *Pipeline) Model() *embed.Model { return p.emb }
+
+// Coverage quantifies how much of a new document's text the fitted
+// vocabularies cover: the out-of-vocabulary signal for a pipeline fitted
+// on a training document and applied to later ones. Ratios of 1 mean the
+// new text is fully inside the training vocabulary; low ratios flag a
+// document the classifiers will see mostly as zeros.
+type Coverage struct {
+	// EmbedTokens counts the sentence's word tokens; KnownEmbedTokens
+	// those with a trained embedding vector.
+	EmbedTokens, KnownEmbedTokens int
+	// ClaimTokens counts the claim's TF-IDF tokens (word unigrams,
+	// bigrams and character trigrams); KnownClaimTokens those in the
+	// fitted vocabulary.
+	ClaimTokens, KnownClaimTokens int
+}
+
+// EmbedRatio is the fraction of sentence tokens with embeddings (1 when
+// the sentence has no tokens).
+func (c Coverage) EmbedRatio() float64 {
+	if c.EmbedTokens == 0 {
+		return 1
+	}
+	return float64(c.KnownEmbedTokens) / float64(c.EmbedTokens)
+}
+
+// TFIDFRatio is the fraction of claim tokens inside the TF-IDF vocabulary
+// (1 when the claim has no tokens).
+func (c Coverage) TFIDFRatio() float64 {
+	if c.ClaimTokens == 0 {
+		return 1
+	}
+	return float64(c.KnownClaimTokens) / float64(c.ClaimTokens)
+}
+
+// Add accumulates another pair's counts (aggregating coverage over a whole
+// document).
+func (c Coverage) Add(o Coverage) Coverage {
+	c.EmbedTokens += o.EmbedTokens
+	c.KnownEmbedTokens += o.KnownEmbedTokens
+	c.ClaimTokens += o.ClaimTokens
+	c.KnownClaimTokens += o.KnownClaimTokens
+	return c
+}
+
+// Coverage reports the fitted vocabularies' coverage of one (sentence,
+// claim) pair without building its vector.
+func (p *Pipeline) Coverage(sentence, claim string) Coverage {
+	var c Coverage
+	for _, tok := range textproc.Tokenize(sentence) {
+		c.EmbedTokens++
+		if p.emb.Has(tok) {
+			c.KnownEmbedTokens++
+		}
+	}
+	for _, tok := range textproc.ClaimTokens(claim) {
+		c.ClaimTokens++
+		if p.tfidf.VocabIndex(tok) >= 0 {
+			c.KnownClaimTokens++
+		}
+	}
+	return c
+}

@@ -96,3 +96,78 @@ func TestUnknownClaimStillGetsSentenceEmbedding(t *testing.T) {
 		t.Error("sentence embedding should be present even for unknown claim tokens")
 	}
 }
+
+// TestApplyToUnseenDocument pins the out-of-vocabulary contract a trained
+// Verifier relies on when serving new documents: unknown TF-IDF tokens
+// are dropped, unknown embedding words are skipped from the average, all
+// emitted indexes stay inside the fitted feature space, and featurization
+// of unseen text is deterministic.
+func TestApplyToUnseenDocument(t *testing.T) {
+	p := fitPipeline(t)
+
+	// Partially overlapping vocabulary: "coal demand" is trained,
+	// "xylophone quotas" is not.
+	v := p.Vector("coal demand and xylophone quotas shrank in 2031", "xylophone quotas shrank")
+	for k := 0; k < v.NNZ(); k++ {
+		if i := v.Index(k); i < 0 || i >= p.Dim() {
+			t.Fatalf("unseen text emitted index %d outside feature space [0, %d)", i, p.Dim())
+		}
+	}
+	v2 := p.Vector("coal demand and xylophone quotas shrank in 2031", "xylophone quotas shrank")
+	if v.NNZ() != v2.NNZ() {
+		t.Fatal("featurizing unseen text is not deterministic")
+	}
+	for k := 0; k < v.NNZ(); k++ {
+		if v.Index(k) != v2.Index(k) || v.Value(k) != v2.Value(k) {
+			t.Fatal("featurizing unseen text is not deterministic")
+		}
+	}
+
+	// Fully out-of-vocabulary text: zero embedding prefix, empty TF-IDF
+	// block — a legal (empty) vector, not a panic.
+	oov := p.Vector("zzz qqq www", "zzz qqq")
+	for k := 0; k < oov.NNZ(); k++ {
+		if oov.Value(k) != 0 {
+			t.Fatalf("fully-OOV text produced nonzero feature %d=%g", oov.Index(k), oov.Value(k))
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	p := fitPipeline(t)
+
+	// Training text covers itself.
+	full := p.Coverage("global coal demand grew by 3% in 2017", "coal demand grew by 3%")
+	if full.EmbedRatio() != 1 || full.TFIDFRatio() != 1 {
+		t.Errorf("training text coverage = %+v (ratios %g/%g), want full",
+			full, full.EmbedRatio(), full.TFIDFRatio())
+	}
+
+	// Fully unseen text covers nothing.
+	none := p.Coverage("zzz qqq www", "zzz qqq")
+	if none.KnownEmbedTokens != 0 || none.KnownClaimTokens != 0 {
+		t.Errorf("OOV text coverage = %+v, want zero known tokens", none)
+	}
+	if none.EmbedRatio() != 0 || none.TFIDFRatio() != 0 {
+		t.Errorf("OOV ratios = %g/%g, want 0", none.EmbedRatio(), none.TFIDFRatio())
+	}
+
+	// Mixed text lands strictly between.
+	mixed := p.Coverage("coal demand zzz", "coal zzz")
+	if r := mixed.EmbedRatio(); r <= 0 || r >= 1 {
+		t.Errorf("mixed embed ratio = %g, want in (0,1)", r)
+	}
+
+	// Empty input counts as fully covered (nothing to miss).
+	empty := p.Coverage("", "")
+	if empty.EmbedRatio() != 1 || empty.TFIDFRatio() != 1 {
+		t.Errorf("empty coverage ratios = %g/%g, want 1", empty.EmbedRatio(), empty.TFIDFRatio())
+	}
+
+	// Add aggregates counts.
+	sum := full.Add(none)
+	if sum.EmbedTokens != full.EmbedTokens+none.EmbedTokens ||
+		sum.KnownClaimTokens != full.KnownClaimTokens {
+		t.Errorf("Add = %+v", sum)
+	}
+}

@@ -15,7 +15,9 @@
 // The Manager is the concurrent session registry: it creates sessions,
 // routes lookups by ID, evicts sessions idle past their TTL (swept
 // inline on manager operations, never from a background goroutine), and
-// aggregates Stats for health reporting.
+// aggregates Stats for health reporting. Multi-tenant serving tags each
+// session with the resource that started it (Options.Owner — the facade
+// uses the verifier ID), and Stats breaks live sessions down per owner.
 //
 // Sessions are resumable in two senses. In-process, a session is always
 // parked and continues whenever the next answer arrives. Across

@@ -30,6 +30,10 @@ type Options struct {
 	// ordering, checkers, section read cost, parallelism for batch
 	// assessment and retraining).
 	Verify core.VerifyConfig
+	// Owner optionally tags the session with the resource it runs under
+	// (the service layer uses the verifier ID), so registry statistics
+	// can be broken down per tenant. Empty owners are untagged.
+	Owner string
 }
 
 // Option is one candidate answer shown on a question screen.
@@ -117,6 +121,9 @@ type Stats struct {
 	// CreatedTotal and EvictedTotal count over the manager's lifetime.
 	CreatedTotal uint64 `json:"created_total"`
 	EvictedTotal uint64 `json:"evicted_total"`
+	// ByOwner counts live sessions per Options.Owner tag (untagged
+	// sessions are omitted); nil when no live session carries a tag.
+	ByOwner map[string]int `json:"by_owner,omitempty"`
 }
 
 // Manager is the concurrent session registry. All methods are safe for
@@ -201,6 +208,7 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 	}
 	s := &Session{
 		id:      newID(seq),
+		owner:   opts.Owner,
 		mgr:     m,
 		engine:  engine,
 		doc:     doc,
@@ -278,6 +286,12 @@ func (m *Manager) Stats() Stats {
 		if gen > st.MaxGeneration {
 			st.MaxGeneration = gen
 		}
+		if s.owner != "" {
+			if st.ByOwner == nil {
+				st.ByOwner = make(map[string]int)
+			}
+			st.ByOwner[s.owner]++
+		}
 	}
 	return st
 }
@@ -300,6 +314,7 @@ func newID(seq uint64) string {
 // post concurrently.
 type Session struct {
 	id     string
+	owner  string // immutable after creation
 	mgr    *Manager
 	engine *core.Engine
 	doc    *claims.Document
@@ -314,6 +329,10 @@ type Session struct {
 
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
+
+// Owner returns the Options.Owner tag the session was created with ("" for
+// untagged sessions).
+func (s *Session) Owner() string { return s.owner }
 
 func (s *Session) lastActive() time.Time {
 	s.mu.Lock()

@@ -433,3 +433,43 @@ func (f *fakeClock) Advance(d time.Duration) {
 	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
 }
+
+// TestOwnerTagging: sessions carry their Options.Owner tag and Stats
+// breaks live sessions down per owner.
+func TestOwnerTagging(t *testing.T) {
+	w := testWorld(t, 8)
+	m := NewManager(Config{})
+
+	mk := func(owner string) *Session {
+		s, err := m.Create(testEngine(t, w), w.Document, Options{
+			Verify: core.VerifyConfig{BatchSize: 4},
+			Owner:  owner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mk("verifier-1")
+	mk("verifier-1")
+	mk("verifier-2")
+	untagged := mk("")
+
+	if a.Owner() != "verifier-1" || untagged.Owner() != "" {
+		t.Fatalf("Owner() = %q / %q", a.Owner(), untagged.Owner())
+	}
+	st := m.Stats()
+	if st.Active != 4 {
+		t.Fatalf("Active = %d, want 4", st.Active)
+	}
+	if st.ByOwner["verifier-1"] != 2 || st.ByOwner["verifier-2"] != 1 || len(st.ByOwner) != 2 {
+		t.Fatalf("ByOwner = %v", st.ByOwner)
+	}
+
+	// Removing sessions updates the breakdown; an all-untagged registry
+	// reports a nil map.
+	m.Remove(a.ID())
+	if st := m.Stats(); st.ByOwner["verifier-1"] != 1 {
+		t.Fatalf("ByOwner after remove = %v", st.ByOwner)
+	}
+}

@@ -33,13 +33,13 @@ type CellCoord struct {
 
 // indexedRel is one relation's interned snapshot.
 type indexedRel struct {
-	rel    *Relation
-	rowID  map[string]int32
-	colID  map[string]int32
-	nCols  int32
-	nRows  int32
-	cells  []float64 // row-major: cells[row*nCols+col]
-	mask   []uint64  // presence bitmask over the same flat space
+	rel   *Relation
+	rowID map[string]int32
+	colID map[string]int32
+	nCols int32
+	nRows int32
+	cells []float64 // row-major: cells[row*nCols+col]
+	mask  []uint64  // presence bitmask over the same flat space
 }
 
 // Index is the interned, columnar snapshot of a corpus.
@@ -178,7 +178,7 @@ type indexCache struct {
 // tentative-execution results in the query generator) key their caches by
 // this value.
 func (c *Corpus) Generation() uint64 {
-	g := c.adds
+	g := c.adds + c.drops
 	for _, name := range c.names {
 		g += c.byName[name].version
 	}

@@ -343,6 +343,7 @@ type Corpus struct {
 	byName map[string]*Relation
 	names  []string
 	adds   uint64     // relations added; part of Generation
+	drops  uint64     // removal weight (see Remove); part of Generation
 	idx    indexCache // lazily built interned snapshot (index.go)
 }
 
@@ -363,6 +364,31 @@ func (c *Corpus) Add(r *Relation) error {
 	c.names = append(c.names, r.Name())
 	c.adds++
 	return nil
+}
+
+// Remove deletes a relation by name, reporting whether it was present.
+// Tenant corpora served long-term need this to retire stale tables;
+// removal advances the corpus generation, so interned indexes and
+// tentative-execution caches derived from the old contents rebuild on
+// next use. Like Add, Remove must not race verification over the corpus.
+func (c *Corpus) Remove(name string) bool {
+	r, ok := c.byName[name]
+	if !ok {
+		return false
+	}
+	delete(c.byName, name)
+	for i, n := range c.names {
+		if n == name {
+			c.names = append(c.names[:i], c.names[i+1:]...)
+			break
+		}
+	}
+	// Generation sums relation versions; fold the removed relation's
+	// version (plus one for the removal itself) into drops so the
+	// generation strictly advances and can never collide with a
+	// pre-removal value.
+	c.drops += r.version + 1
+	return true
 }
 
 // Relation returns the relation with the given name.

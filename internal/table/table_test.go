@@ -331,3 +331,43 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCorpusRemove: removal drops the relation, strictly advances the
+// generation (so cached indexes rebuild), and reports absence honestly.
+func TestCorpusRemove(t *testing.T) {
+	c := NewCorpus()
+	r1 := MustNewRelation("co2", "indicator", []string{"y2000", "y2001"})
+	if err := r1.AddRow("transport", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	r2 := MustNewRelation("gdp", "indicator", []string{"y2000"})
+	if err := c.Add(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(r2); err != nil {
+		t.Fatal(err)
+	}
+
+	ixBefore := c.Index()
+	genBefore := c.Generation()
+	if !c.Remove("co2") {
+		t.Fatal("Remove reported co2 absent")
+	}
+	if c.Has("co2") || c.Len() != 1 || c.Names()[0] != "gdp" {
+		t.Fatalf("post-remove corpus: has=%v len=%d names=%v", c.Has("co2"), c.Len(), c.Names())
+	}
+	if gen := c.Generation(); gen <= genBefore {
+		t.Fatalf("generation %d did not advance past %d on removal", gen, genBefore)
+	}
+	if ix := c.Index(); ix == ixBefore || ix.Stats().Relations != 1 {
+		t.Fatalf("index did not rebuild after removal: %+v", ix.Stats())
+	}
+	if c.Remove("co2") {
+		t.Fatal("second Remove reported success")
+	}
+	// Re-adding the same name after removal is legal and advances the
+	// generation again.
+	if err := c.Add(MustNewRelation("co2", "indicator", []string{"y2000"})); err != nil {
+		t.Fatalf("re-add after remove: %v", err)
+	}
+}

@@ -3,15 +3,32 @@
 // in text documents against a corpus of relational tables (Karagiannis,
 // Saeed, Papotti, Trummer — VLDB 2020).
 //
-// The facade wires the internal subsystems — feature pipeline, property
-// classifiers, question planner, claim-ordering scheduler, query generator
-// and simulated crowd — into a small API:
+// The API is organised around three decoupled resources, so trained state
+// is amortized across many checking tasks instead of being rebuilt per
+// document:
 //
-//	world, _ := scrutinizer.GenerateWorld(scrutinizer.SmallWorld())
-//	sys, _ := scrutinizer.New(world.Corpus, world.Document, scrutinizer.Options{})
-//	team, _ := sys.NewTeam(3)
-//	result, _ := sys.VerifyDocument(team, scrutinizer.VerifyOptions{})
-//	fmt.Println(result.Report())
+//   - A Corpus is the registered relational data D.
+//
+//   - A Verifier is a corpus-bound trained model bundle: the feature
+//     pipeline fitted once on a training document, classifiers trained on
+//     its annotated claims and warm-start retrainable. One verifier serves
+//     any number of documents and concurrent runs.
+//
+//   - A Run is one document verification — batch via Run.Verify, or
+//     interactive via Verifier.StartSession.
+//
+//     world, _ := scrutinizer.GenerateWorld(scrutinizer.SmallWorld())
+//     v, _ := scrutinizer.NewVerifier(world.Corpus, world.Document, scrutinizer.Options{})
+//     team, _ := v.NewTeam(3)
+//     run, _ := v.StartRun(world.Document)
+//     result, _ := run.Verify(team, scrutinizer.VerifyOptions{})
+//     fmt.Println(result.Report())
+//
+// Service is the multi-tenant registry over these resources; cmd/scrutinizerd
+// serves it as a versioned /v1 REST API. The historical single-use System
+// (scrutinizer.New welds corpus + document + freshly fitted features into
+// one instance) survives as a thin compatibility shim over Verifier and
+// Run.
 //
 // See the examples directory for runnable end-to-end programs and DESIGN.md
 // for the architecture and the paper-to-package map.
@@ -25,8 +42,6 @@ import (
 	"github.com/repro/scrutinizer/internal/claims"
 	"github.com/repro/scrutinizer/internal/core"
 	"github.com/repro/scrutinizer/internal/crowd"
-	"github.com/repro/scrutinizer/internal/embed"
-	"github.com/repro/scrutinizer/internal/feature"
 	"github.com/repro/scrutinizer/internal/planner"
 	"github.com/repro/scrutinizer/internal/report"
 	"github.com/repro/scrutinizer/internal/session"
@@ -57,7 +72,9 @@ type (
 	// WorldConfig parameterises synthetic world generation.
 	WorldConfig = worldgen.Config
 	// QueryCache memoizes tentative execution (Algorithm 2) per corpus
-	// generation; share one across Systems serving the same corpus.
+	// generation; a Service keeps one per registered corpus so every
+	// verifier and run over that corpus deduplicates query-generation
+	// work.
 	QueryCache = core.QueryCache
 	// QueryCacheStats is a point-in-time cache summary.
 	QueryCacheStats = core.QueryCacheStats
@@ -66,8 +83,9 @@ type (
 )
 
 // NewQueryCache builds a shared tentative-execution cache. Pass it through
-// Options.QueryCache on every System bound to the same corpus so
-// concurrent verifications and sessions deduplicate query-generation work.
+// Options.QueryCache on every Verifier or System bound to the same corpus
+// so concurrent verifications and sessions deduplicate query-generation
+// work (Service does this automatically per registered corpus).
 func NewQueryCache() *QueryCache { return core.NewQueryCache() }
 
 // Verdict values.
@@ -83,19 +101,22 @@ const (
 	KindGeneral  = claims.General
 )
 
-// Ordering strategies for claim scheduling.
+// Ordering strategies for claim scheduling: the Definition 9 ILP, the
+// document-order Sequential baseline, the greedy ILP ablation and the
+// seeded random-order ablation baseline of the §6.2 comparison.
 const (
 	OrderILP        = core.OrderILP
 	OrderSequential = core.OrderSequential
 	OrderGreedy     = core.OrderGreedy
+	OrderRandom     = core.OrderRandom
 )
 
 // NewCorpus creates an empty relational corpus.
 func NewCorpus() *Corpus { return table.NewCorpus() }
 
 // ReadDocumentJSON parses a document (with annotations) previously written
-// by Document.WriteJSON; archived past checks can bootstrap a new System
-// through Train.
+// by Document.WriteJSON; archived past checks can bootstrap a Verifier
+// (NewVerifier trains on the annotated claims) or a System through Train.
 func ReadDocumentJSON(r io.Reader) (*Document, error) { return claims.ReadJSON(r) }
 
 // ReadRelationCSV parses one relation from CSV (first column is the key
@@ -121,7 +142,7 @@ func PaperWorld() WorldConfig { return worldgen.PaperScale() }
 // DefaultCostModel returns the reference §5.1 cost constants.
 func DefaultCostModel() CostModel { return planner.DefaultCostModel() }
 
-// Options configures a System.
+// Options configures a Verifier (or the legacy System).
 type Options struct {
 	// Cost overrides the crowd cost model (zero value = default).
 	Cost CostModel
@@ -134,17 +155,21 @@ type Options struct {
 	// Seed drives all randomised components.
 	Seed int64
 	// QueryCache optionally shares a tentative-execution cache across
-	// Systems over one corpus (see NewQueryCache). Nil keeps a private
-	// per-System cache.
+	// verifiers over one corpus (see NewQueryCache). Nil keeps a private
+	// per-verifier cache, still shared by all of that verifier's runs.
 	QueryCache *QueryCache
 }
 
-// System is a ready-to-run Scrutinizer instance bound to one corpus and
-// document.
+// System is the legacy single-use facade: one corpus + one document + a
+// feature pipeline fitted on that document. It survives as a thin shim
+// over the Verifier/Run split — a System is a verifier whose training
+// document is the document under verification, with classifiers
+// cold-started (train them via Train or let run-level batch retraining
+// warm them up). New code serving many documents should use NewVerifier
+// or Service instead and fit features once.
 type System struct {
-	engine *core.Engine
-	doc    *claims.Document
-	seed   int64
+	v   *Verifier
+	run *Run
 }
 
 // New builds a System: it fits the feature pipeline (embeddings + TF-IDF)
@@ -154,59 +179,26 @@ func New(corpus *Corpus, doc *Document, opts Options) (*System, error) {
 	if corpus == nil || doc == nil {
 		return nil, fmt.Errorf("scrutinizer: corpus and document are required")
 	}
-	if err := doc.Validate(); err != nil {
-		return nil, err
-	}
-	if len(doc.Claims) == 0 {
-		return nil, fmt.Errorf("scrutinizer: document has no claims")
-	}
-	dim := opts.EmbeddingDim
-	if dim <= 0 {
-		dim = 32
-	}
-	var sentences, texts []string
-	for _, c := range doc.Claims {
-		sentences = append(sentences, c.Sentence)
-		texts = append(texts, c.Text)
-	}
-	pipe, err := feature.Fit(sentences, texts, feature.Config{
-		Embedding: embed.Config{Dim: dim, Seed: opts.Seed},
-		MinDF:     1,
-	})
+	v, err := newVerifier(corpus, doc, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig()
-	if opts.Cost != (CostModel{}) {
-		cfg.Cost = opts.Cost
-	}
-	if opts.Tolerance > 0 {
-		cfg.Tolerance = opts.Tolerance
-	}
-	if opts.TopK > 0 {
-		cfg.TopK = opts.TopK
-	}
-	cfg.Classifier.Seed = opts.Seed
-	cfg.QueryCache = opts.QueryCache
-	engine, err := core.NewEngine(corpus, pipe, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &System{engine: engine, doc: doc, seed: opts.Seed}, nil
+	// The shim keeps the historical single-use semantics by handing the
+	// verifier's base engine itself to one eager run: Train mutates it,
+	// VerifyDocument retrains it batch by batch, sessions own it.
+	return &System{v: v, run: &Run{verifier: v, engine: v.base, doc: doc}}, nil
 }
 
 // Engine exposes the underlying engine for advanced use (examples, benches).
-func (s *System) Engine() *core.Engine { return s.engine }
+func (s *System) Engine() *core.Engine { return s.run.engine }
 
 // Train bootstraps the classifiers from previously checked claims (those
 // with Truth annotations), as when "a database of previously checked claims
 // is available".
-func (s *System) Train(annotated []*Claim) error { return s.engine.Train(annotated) }
+func (s *System) Train(annotated []*Claim) error { return s.run.engine.Train(annotated) }
 
 // NewTeam creates n simulated domain experts with near-perfect judgement.
-func (s *System) NewTeam(n int) (*Team, error) {
-	return crowd.NewTeam("W", n, 0.97, s.seed+1)
-}
+func (s *System) NewTeam(n int) (*Team, error) { return s.v.NewTeam(n) }
 
 // VerifyOptions configures document verification.
 type VerifyOptions struct {
@@ -222,6 +214,9 @@ type VerifyOptions struct {
 	// streams keep verdicts independent of execution order, and batch
 	// selection / retraining stay sequential between rounds.
 	Parallelism int
+	// Seed drives the OrderRandom ablation baseline's batch shuffling
+	// (ignored by the other orderings).
+	Seed int64
 }
 
 // Result bundles outcomes with reporting helpers.
@@ -235,26 +230,13 @@ type Result struct {
 // VerifyDocument runs the full Algorithm 1 loop over the system's document,
 // verifying each batch's claims across Parallelism goroutines.
 func (s *System) VerifyDocument(team *Team, opts VerifyOptions) (*Result, error) {
-	parallelism := opts.Parallelism
-	if parallelism <= 0 {
-		parallelism = core.DefaultParallelism()
-	}
-	res, err := s.engine.Verify(s.doc, team, core.VerifyConfig{
-		BatchSize:       opts.BatchSize,
-		SectionReadCost: opts.SectionReadCost,
-		Ordering:        opts.Ordering,
-		Parallelism:     parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{doc: s.doc, Outcomes: res.Outcomes, Seconds: res.Seconds, Batches: res.Batches}, nil
+	return s.run.Verify(team, opts)
 }
 
 // VerifyClaim verifies a single claim (it must carry a Truth annotation for
 // the simulated crowd to answer from).
 func (s *System) VerifyClaim(c *Claim, team *Team) (*Outcome, error) {
-	return s.engine.VerifyClaim(c, team)
+	return s.run.VerifyClaim(c, team)
 }
 
 // Oracle is the mixed-initiative answer source: implement it to plug real
@@ -266,19 +248,19 @@ type Oracle = core.Oracle
 // VerifyClaimWith verifies a single claim through a custom Oracle; no
 // ground-truth annotation is needed when the oracle answers from a human.
 func (s *System) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
-	return s.engine.VerifyClaimWith(c, oracle)
+	return s.run.VerifyClaimWith(c, oracle)
 }
 
 // Interactive sessions -------------------------------------------------------
 //
-// A Session is the resumable, mixed-initiative counterpart of
-// VerifyDocument: the same Algorithm 1 loop, inverted so that the engine
-// emits pending question screens and consumes posted answers instead of
-// blocking on an Oracle. Between answers a session is parked state — no
-// goroutines — which is what lets one process host thousands of checkers
-// answering over HTTP (see cmd/scrutinizerd). Both paths drive the same
-// step machine, so a simulated crowd pumping a session reproduces
-// VerifyDocument's verdicts bit-for-bit.
+// A Session is the resumable, mixed-initiative counterpart of a batch run:
+// the same Algorithm 1 loop, inverted so that the engine emits pending
+// question screens and consumes posted answers instead of blocking on an
+// Oracle. Between answers a session is parked state — no goroutines —
+// which is what lets one process host thousands of checkers answering
+// over HTTP (see cmd/scrutinizerd). Both paths drive the same step
+// machine, so a simulated crowd pumping a session reproduces a batch
+// run's verdicts bit-for-bit.
 
 type (
 	// SessionManager is a concurrent registry of verification sessions
@@ -317,7 +299,8 @@ type SessionOptions struct {
 	Checkers int
 }
 
-func (s *System) sessionOptions(opts SessionOptions) session.Options {
+// sessionOptions converts facade session options to the internal form.
+func sessionOptions(opts SessionOptions) session.Options {
 	parallelism := opts.Verify.Parallelism
 	if parallelism <= 0 {
 		parallelism = core.DefaultParallelism()
@@ -327,6 +310,7 @@ func (s *System) sessionOptions(opts SessionOptions) session.Options {
 		SectionReadCost: opts.Verify.SectionReadCost,
 		Ordering:        opts.Verify.Ordering,
 		Parallelism:     parallelism,
+		Seed:            opts.Verify.Seed,
 		Checkers:        opts.Checkers,
 	}}
 }
@@ -334,12 +318,13 @@ func (s *System) sessionOptions(opts SessionOptions) session.Options {
 // StartSession parks the system's document in an interactive verification
 // session registered with m. The session owns the system's engine from
 // here on: batch-boundary retraining mutates it, so do not mix a live
-// session with VerifyDocument on the same System.
+// session with VerifyDocument on the same System. (Verifier.StartSession
+// has no such restriction — every session gets a private engine.)
 func (s *System) StartSession(m *SessionManager, opts SessionOptions) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	return m.Create(s.engine, s.doc, s.sessionOptions(opts))
+	return m.Create(s.run.engine, s.run.doc, sessionOptions(opts))
 }
 
 // RestoreSession rebuilds a session from a snapshot by replaying its
@@ -351,7 +336,7 @@ func (s *System) RestoreSession(m *SessionManager, opts SessionOptions, snap *Se
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	return m.Restore(s.engine, s.doc, s.sessionOptions(opts), snap)
+	return m.Restore(s.run.engine, s.run.doc, sessionOptions(opts), snap)
 }
 
 // Report renders the verification report (Definition 4 output).

@@ -1,0 +1,629 @@
+package scrutinizer
+
+// This file is the multi-tenant service API: the decoupling of long-lived
+// trained state from per-document work that lets one process amortize
+// learning across many checking tasks (the paper's premise — IEA checkers
+// verify report after report against the same statistical corpus).
+//
+// Three resources replace the single-use System:
+//
+//   - Corpus: registered relational data, shared read-only by everything
+//     bound to it, with one tentative-execution QueryCache per corpus.
+//   - Verifier: a corpus-bound trained model bundle — the feature pipeline
+//     fitted once on a training document, classifiers trained on its
+//     annotations and warm-start retrainable as new checked claims
+//     accumulate. Internally the verifier keeps an immutable model
+//     snapshot; starting a run spawns a private engine from it, so any
+//     number of concurrent runs never race batch-boundary retraining.
+//   - Run: one document verification — batch (Run.Verify) or interactive
+//     (Verifier.StartSession) — executed against a Verifier.
+//
+// Service is the registry tying them together for multi-tenant serving
+// (cmd/scrutinizerd exposes it as the versioned /v1 REST surface). The
+// legacy System facade survives as a thin shim over these types.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/repro/scrutinizer/internal/claims"
+	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/crowd"
+	"github.com/repro/scrutinizer/internal/embed"
+	"github.com/repro/scrutinizer/internal/feature"
+	"github.com/repro/scrutinizer/internal/session"
+)
+
+// FeatureCoverage reports how much of a document's text a verifier's
+// fitted vocabularies cover (the out-of-vocabulary signal when a verifier
+// trained on one document serves another).
+type FeatureCoverage = feature.Coverage
+
+// Verifier is a corpus-bound, trained, reusable model bundle: the feature
+// pipeline is fitted once on a training document and the four property
+// classifiers are trained on its annotated claims. A Verifier is safe for
+// concurrent use — StartRun and StartSession spawn private engines from an
+// immutable snapshot of the trained state, and Retrain swaps the snapshot
+// atomically — so one Verifier can serve any number of documents and
+// concurrent runs without refitting features or racing retraining.
+type Verifier struct {
+	id       string // assigned by Service; "" for standalone verifiers
+	corpusID string
+	corpus   *Corpus
+	pipe     *feature.Pipeline
+	opts     Options
+	created  time.Time
+
+	mu      sync.RWMutex
+	base    *core.Engine        // training home; mutated only by Retrain
+	snap    *core.ModelSnapshot // lazily derived from base, reset by Retrain
+	trained int                 // annotated claims in the last (re)train
+	runs    uint64              // runs + sessions started
+}
+
+// NewVerifier builds a verifier over a corpus from a training document:
+// the feature pipeline (embeddings + TF-IDF) is fitted on the document's
+// text, and the classifiers are trained on its annotated claims (those
+// with Truth set — "a database of previously checked claims"). A document
+// with no annotations yields a cold-start verifier: runs still work, they
+// just cost the checkers more questions until run-level retraining warms
+// the clones up.
+//
+// Unlike New, the resulting verifier is not welded to the training
+// document: StartRun and StartSession accept any document over the same
+// corpus, reusing the fitted pipeline and trained classifiers.
+func NewVerifier(corpus *Corpus, training *Document, opts Options) (*Verifier, error) {
+	return newVerifier(corpus, training, opts, true)
+}
+
+// newVerifier is NewVerifier with the initial classifier fit optional: the
+// legacy System facade constructs its verifier untrained so System.New
+// keeps its historical cold-start semantics (training happens through
+// System.Train or at run-level batch barriers).
+func newVerifier(corpus *Corpus, training *Document, opts Options, pretrain bool) (*Verifier, error) {
+	if corpus == nil || training == nil {
+		return nil, fmt.Errorf("scrutinizer: corpus and training document are required")
+	}
+	if err := training.Validate(); err != nil {
+		return nil, err
+	}
+	if len(training.Claims) == 0 {
+		return nil, fmt.Errorf("scrutinizer: training document has no claims")
+	}
+	dim := opts.EmbeddingDim
+	if dim <= 0 {
+		dim = 32
+	}
+	var sentences, texts []string
+	for _, c := range training.Claims {
+		sentences = append(sentences, c.Sentence)
+		texts = append(texts, c.Text)
+	}
+	pipe, err := feature.Fit(sentences, texts, feature.Config{
+		Embedding: embed.Config{Dim: dim, Seed: opts.Seed},
+		MinDF:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if opts.Cost != (CostModel{}) {
+		cfg.Cost = opts.Cost
+	}
+	if opts.Tolerance > 0 {
+		cfg.Tolerance = opts.Tolerance
+	}
+	if opts.TopK > 0 {
+		cfg.TopK = opts.TopK
+	}
+	cfg.Classifier.Seed = opts.Seed
+	cfg.QueryCache = opts.QueryCache
+	engine, err := core.NewEngine(corpus, pipe, cfg)
+	if err != nil {
+		return nil, err
+	}
+	v := &Verifier{
+		corpus:  corpus,
+		pipe:    pipe,
+		opts:    opts,
+		created: time.Now(),
+		base:    engine,
+	}
+	if pretrain {
+		if err := v.Retrain(training.Claims); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// ID returns the verifier's registry identifier ("" when the verifier was
+// built standalone rather than through a Service).
+func (v *Verifier) ID() string { return v.id }
+
+// CorpusID returns the registry identifier of the verifier's corpus (""
+// for standalone verifiers).
+func (v *Verifier) CorpusID() string { return v.corpusID }
+
+// Corpus returns the relational corpus the verifier is bound to.
+func (v *Verifier) Corpus() *Corpus { return v.corpus }
+
+// Retrain refits the classifiers on a set of annotated claims (claims
+// without Truth are skipped). When the label vocabulary is stable the
+// underlying models warm-start from their previous weights. Retraining
+// affects only runs started afterwards: live runs keep the snapshot they
+// spawned from.
+func (v *Verifier) Retrain(annotated []*Claim) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.base.Train(annotated); err != nil {
+		return err
+	}
+	n := 0
+	for _, c := range annotated {
+		if c != nil && c.Truth != nil {
+			n++
+		}
+	}
+	v.trained = n
+	v.snap = nil // next run snapshots the new state
+	return nil
+}
+
+// snapshot returns the current immutable model snapshot, deriving it from
+// the base engine on first use after construction or Retrain.
+func (v *Verifier) snapshot() *core.ModelSnapshot {
+	v.mu.RLock()
+	s := v.snap
+	v.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.snap == nil {
+		v.snap = v.base.Snapshot()
+	}
+	return v.snap
+}
+
+// StartRun starts one batch verification of a document against the
+// verifier's trained state. The run owns a private engine spawned from
+// the current snapshot: its batch-boundary retraining warms it up over
+// the course of the run without ever touching the verifier, so concurrent
+// runs are independent and deterministic.
+func (v *Verifier) StartRun(doc *Document) (*Run, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("scrutinizer: nil document")
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(doc.Claims) == 0 {
+		return nil, fmt.Errorf("scrutinizer: document has no claims")
+	}
+	engine := v.snapshot().Spawn()
+	v.mu.Lock()
+	v.runs++
+	v.mu.Unlock()
+	return &Run{verifier: v, engine: engine, doc: doc}, nil
+}
+
+// StartSession parks a document in an interactive verification session
+// registered with m, executing against a private engine spawned from the
+// verifier's current snapshot (the interactive counterpart of StartRun).
+// The session is tagged with the verifier's ID for registry statistics.
+func (v *Verifier) StartSession(m *SessionManager, doc *Document, opts SessionOptions) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scrutinizer: nil session manager")
+	}
+	r, err := v.StartRun(doc)
+	if err != nil {
+		return nil, err
+	}
+	return m.Create(r.engine, doc, v.sessionOptions(opts))
+}
+
+// RestoreSession rebuilds a session from a snapshot by replaying its
+// answer log against a fresh spawn of the verifier's current model
+// snapshot. The verifier must be in the same trained state as when the
+// snapshotted session was created (same corpus, training data, options
+// and seed, no intervening Retrain); replay then reaches a bit-identical
+// session state.
+func (v *Verifier) RestoreSession(m *SessionManager, doc *Document, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scrutinizer: nil session manager")
+	}
+	r, err := v.StartRun(doc)
+	if err != nil {
+		return nil, err
+	}
+	return m.Restore(r.engine, doc, v.sessionOptions(opts), snap)
+}
+
+func (v *Verifier) sessionOptions(opts SessionOptions) session.Options {
+	so := sessionOptions(opts)
+	so.Owner = v.id
+	return so
+}
+
+// NewTeam creates n simulated domain experts with near-perfect judgement,
+// seeded from the verifier's options so crowd behaviour is reproducible.
+func (v *Verifier) NewTeam(n int) (*Team, error) {
+	return crowd.NewTeam("W", n, 0.97, v.opts.Seed+1)
+}
+
+// Coverage aggregates the fitted vocabularies' coverage of a document —
+// how much of its text the verifier's training vocabulary knows. Serve it
+// alongside run results so operators can spot documents drifting away
+// from the training distribution.
+func (v *Verifier) Coverage(doc *Document) FeatureCoverage {
+	var cov FeatureCoverage
+	if doc == nil {
+		return cov
+	}
+	for _, c := range doc.Claims {
+		cov = cov.Add(v.pipe.Coverage(c.Sentence, c.Text))
+	}
+	return cov
+}
+
+// Generation returns the model generation of the verifier's trained state
+// (how many times Retrain refit the classifiers).
+func (v *Verifier) Generation() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.base.Generation()
+}
+
+// TrainedOn returns the number of annotated claims in the verifier's last
+// (re)train; 0 for a cold-start verifier.
+func (v *Verifier) TrainedOn() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.trained
+}
+
+// Runs returns how many runs and sessions the verifier has started.
+func (v *Verifier) Runs() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.runs
+}
+
+// Created returns the verifier's construction time.
+func (v *Verifier) Created() time.Time { return v.created }
+
+// FeatureDim returns the fitted feature-space width (embedding dimension
+// plus TF-IDF vocabulary size).
+func (v *Verifier) FeatureDim() int { return v.pipe.Dim() }
+
+// Run is one document verification against a Verifier: a private engine
+// spawned from the verifier's trained snapshot plus the document under
+// check. A Run is single-use (Verify consumes it) and not safe for
+// concurrent use; start one Run per goroutine instead — they are cheap,
+// which is the point of the split.
+type Run struct {
+	verifier *Verifier
+	engine   *core.Engine
+	doc      *claims.Document
+}
+
+// Document returns the document under verification.
+func (r *Run) Document() *Document { return r.doc }
+
+// Engine exposes the run's private engine for advanced use (examples,
+// benches, diagnostics).
+func (r *Run) Engine() *core.Engine { return r.engine }
+
+// Coverage reports the verifier's vocabulary coverage of this run's
+// document.
+func (r *Run) Coverage() FeatureCoverage { return r.verifier.Coverage(r.doc) }
+
+// Verify runs the full Algorithm 1 loop over the run's document with a
+// simulated crowd team answering every question screen. Batch-boundary
+// retraining mutates only the run's private engine.
+func (r *Run) Verify(team *Team, opts VerifyOptions) (*Result, error) {
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = core.DefaultParallelism()
+	}
+	res, err := r.engine.Verify(r.doc, team, core.VerifyConfig{
+		BatchSize:       opts.BatchSize,
+		SectionReadCost: opts.SectionReadCost,
+		Ordering:        opts.Ordering,
+		Parallelism:     parallelism,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{doc: r.doc, Outcomes: res.Outcomes, Seconds: res.Seconds, Batches: res.Batches}, nil
+}
+
+// VerifyClaim verifies a single claim of the run's document (it must carry
+// a Truth annotation for the simulated crowd to answer from).
+func (r *Run) VerifyClaim(c *Claim, team *Team) (*Outcome, error) {
+	return r.engine.VerifyClaim(c, team)
+}
+
+// VerifyClaimWith verifies a single claim through a custom Oracle.
+func (r *Run) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
+	return r.engine.VerifyClaimWith(c, oracle)
+}
+
+// Service ---------------------------------------------------------------------
+
+// Service is the multi-tenant registry behind the /v1 REST surface:
+// corpora (each with its own shared QueryCache) and the verifiers trained
+// over them. All methods are safe for concurrent use.
+type Service struct {
+	mu          sync.RWMutex
+	corpora     map[string]*serviceCorpus
+	verifiers   map[string]*Verifier
+	corpusSeq   uint64
+	verifierSeq uint64
+}
+
+// serviceCorpus is one registered corpus plus the caches shared by every
+// verifier and run bound to it.
+type serviceCorpus struct {
+	id      string
+	corpus  *Corpus
+	qcache  *QueryCache
+	created time.Time
+}
+
+// NewService creates an empty registry.
+func NewService() *Service {
+	return &Service{
+		corpora:   make(map[string]*serviceCorpus),
+		verifiers: make(map[string]*Verifier),
+	}
+}
+
+// validID rejects registry identifiers that would not survive a URL path
+// segment.
+func validID(id string) error {
+	if len(id) > 128 {
+		return fmt.Errorf("scrutinizer: id longer than 128 bytes")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("scrutinizer: id %q contains %q (allowed: letters, digits, '-', '_', '.')", id, r)
+		}
+	}
+	return nil
+}
+
+// AddCorpus registers a corpus under id (empty id mints "c1", "c2", ...)
+// and returns the assigned identifier. The corpus gets its own shared
+// QueryCache: every verifier created over it deduplicates tentative
+// execution with every other.
+func (s *Service) AddCorpus(id string, c *Corpus) (string, error) {
+	if c == nil {
+		return "", fmt.Errorf("scrutinizer: nil corpus")
+	}
+	if err := validID(id); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		for {
+			s.corpusSeq++
+			id = fmt.Sprintf("c%d", s.corpusSeq)
+			if _, taken := s.corpora[id]; !taken {
+				break
+			}
+		}
+	} else if _, dup := s.corpora[id]; dup {
+		return "", fmt.Errorf("scrutinizer: corpus %q already registered", id)
+	}
+	s.corpora[id] = &serviceCorpus{id: id, corpus: c, qcache: NewQueryCache(), created: time.Now()}
+	return id, nil
+}
+
+// Corpus returns a registered corpus.
+func (s *Service) Corpus(id string) (*Corpus, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.corpora[id]
+	if !ok {
+		return nil, false
+	}
+	return e.corpus, true
+}
+
+// CorpusQueryCache returns the shared tentative-execution cache of a
+// registered corpus (health reporting).
+func (s *Service) CorpusQueryCache(id string) (*QueryCache, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.corpora[id]
+	if !ok {
+		return nil, false
+	}
+	return e.qcache, true
+}
+
+// RemoveCorpus drops a corpus and every verifier bound to it, reporting
+// whether the corpus was registered. Live runs and sessions keep working
+// on their spawned engines; they just can no longer be recreated.
+func (s *Service) RemoveCorpus(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.corpora[id]; !ok {
+		return false
+	}
+	delete(s.corpora, id)
+	for vid, v := range s.verifiers {
+		if v.corpusID == id {
+			delete(s.verifiers, vid)
+		}
+	}
+	return true
+}
+
+// CreateVerifier trains a verifier over a registered corpus (see
+// NewVerifier) and registers it under a minted "v1", "v2", ... id. The
+// verifier shares the corpus's QueryCache unless opts.QueryCache overrides
+// it.
+func (s *Service) CreateVerifier(corpusID string, training *Document, opts Options) (*Verifier, error) {
+	s.mu.RLock()
+	entry, ok := s.corpora[corpusID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scrutinizer: no corpus %q", corpusID)
+	}
+	if opts.QueryCache == nil {
+		opts.QueryCache = entry.qcache
+	}
+	v, err := NewVerifier(entry.corpus, training, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The corpus may have been removed — or removed and re-created under
+	// the same ID — while training ran; registering against anything but
+	// the exact entry the verifier was trained on would either leak it
+	// past RemoveCorpus's cascade or freeze an unrelated corpus.
+	if cur, still := s.corpora[corpusID]; !still || cur != entry {
+		return nil, fmt.Errorf("scrutinizer: corpus %q was removed during training", corpusID)
+	}
+	s.verifierSeq++
+	v.id = fmt.Sprintf("v%d", s.verifierSeq)
+	v.corpusID = corpusID
+	s.verifiers[v.id] = v
+	return v, nil
+}
+
+// Verifier returns a registered verifier.
+func (s *Service) Verifier(id string) (*Verifier, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.verifiers[id]
+	return v, ok
+}
+
+// RemoveVerifier drops a verifier, reporting whether it was registered.
+func (s *Service) RemoveVerifier(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.verifiers[id]
+	delete(s.verifiers, id)
+	return ok
+}
+
+// CorpusInfo summarises one registered corpus.
+type CorpusInfo struct {
+	ID        string          `json:"id"`
+	Relations int             `json:"relations"`
+	Rows      int             `json:"rows"`
+	Cells     int             `json:"cells"`
+	Verifiers int             `json:"verifiers"`
+	Created   time.Time       `json:"created"`
+	Cache     QueryCacheStats `json:"query_cache"`
+}
+
+// VerifierInfo summarises one registered verifier.
+type VerifierInfo struct {
+	ID         string    `json:"id"`
+	CorpusID   string    `json:"corpus"`
+	TrainedOn  int       `json:"trained_on"`
+	Generation uint64    `json:"model_generation"`
+	Runs       uint64    `json:"runs_started"`
+	FeatureDim int       `json:"feature_dim"`
+	Created    time.Time `json:"created"`
+}
+
+// Info summarises a verifier for listings and GET endpoints.
+func (v *Verifier) Info() VerifierInfo {
+	return VerifierInfo{
+		ID:         v.id,
+		CorpusID:   v.corpusID,
+		TrainedOn:  v.TrainedOn(),
+		Generation: v.Generation(),
+		Runs:       v.Runs(),
+		FeatureDim: v.FeatureDim(),
+		Created:    v.created,
+	}
+}
+
+// corpusInfoLocked summarises one entry; caller holds s.mu (read).
+func (s *Service) corpusInfoLocked(e *serviceCorpus) CorpusInfo {
+	st := e.corpus.Stats()
+	info := CorpusInfo{
+		ID:        e.id,
+		Relations: st.Relations,
+		Rows:      st.Rows,
+		Cells:     st.Cells,
+		Created:   e.created,
+		Cache:     e.qcache.Stats(),
+	}
+	for _, v := range s.verifiers {
+		if v.corpusID == e.id {
+			info.Verifiers++
+		}
+	}
+	return info
+}
+
+// CorpusInfo summarises one registered corpus by ID.
+func (s *Service) CorpusInfo(id string) (CorpusInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.corpora[id]
+	if !ok {
+		return CorpusInfo{}, false
+	}
+	return s.corpusInfoLocked(e), true
+}
+
+// Corpora lists registered corpora sorted by ID.
+func (s *Service) Corpora() []CorpusInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]CorpusInfo, 0, len(s.corpora))
+	for _, e := range s.corpora {
+		out = append(out, s.corpusInfoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Verifiers lists registered verifiers sorted by ID.
+func (s *Service) Verifiers() []VerifierInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]VerifierInfo, 0, len(s.verifiers))
+	for _, v := range s.verifiers {
+		out = append(out, v.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ServiceStats aggregates the registry for health reporting.
+type ServiceStats struct {
+	Corpora   int    `json:"corpora"`
+	Verifiers int    `json:"verifiers"`
+	Runs      uint64 `json:"runs_started"`
+}
+
+// Stats counts the registry's tenants and the runs they have started.
+func (s *Service) Stats() ServiceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := ServiceStats{Corpora: len(s.corpora), Verifiers: len(s.verifiers)}
+	for _, v := range s.verifiers {
+		st.Runs += v.Runs()
+	}
+	return st
+}

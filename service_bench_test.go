@@ -1,0 +1,117 @@
+package scrutinizer
+
+// Service-path benchmarks: the amortization argument of the Verifier/Run
+// split in numbers. The cold pair mirrors what scrutinizerd's legacy
+// /verify does per request — fit embeddings + TF-IDF on the document,
+// train four classifiers, then verify. The warm pair is the /v1 path: one
+// trained Verifier serves every request, and per-request setup collapses
+// to spawning an engine from the model snapshot (classifier deep-copies,
+// no fitting). Setup benches isolate the per-request construction cost;
+// Verify benches measure the full request including the Algorithm 1 loop.
+
+import (
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+// benchServiceWorld generates the shared benchmark world once per run.
+func benchServiceWorld(b *testing.B) *World {
+	b.Helper()
+	w, err := worldgen.Generate(benchWorldCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkServiceSetupCold is the per-request construction cost of the
+// legacy path: New (feature fitting) + Train (classifier bootstrap) per
+// document, the work scrutinizerd used to redo on every POST /verify.
+func BenchmarkServiceSetupCold(b *testing.B) {
+	w := benchServiceWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(w.Corpus, w.Document, Options{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Train(w.Document.Claims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSetupWarm is the per-request construction cost of the
+// service path: StartRun on a shared trained Verifier (snapshot spawn —
+// no feature fitting, no training).
+func BenchmarkServiceSetupWarm(b *testing.B) {
+	w := benchServiceWorld(b)
+	v, err := NewVerifier(w.Corpus, w.Document, Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.StartRun(w.Document); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceVerifyCold is the full legacy request: construct + train
+// + verify per document.
+func BenchmarkServiceVerifyCold(b *testing.B) {
+	w := benchServiceWorld(b)
+	for i := 0; i < b.N; i++ {
+		sys, err := New(w.Corpus, w.Document, Options{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Train(w.Document.Claims); err != nil {
+			b.Fatal(err)
+		}
+		team, err := sys.NewTeam(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) != len(w.Document.Claims) {
+			b.Fatalf("verified %d of %d claims", len(res.Outcomes), len(w.Document.Claims))
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(w.Document.Claims))/b.Elapsed().Seconds(), "claims/s")
+}
+
+// BenchmarkServiceVerifyWarm is the full service request: StartRun +
+// verify against one shared trained Verifier (the tracked headline for
+// the fit-once / verify-many amortization).
+func BenchmarkServiceVerifyWarm(b *testing.B) {
+	w := benchServiceWorld(b)
+	v, err := NewVerifier(w.Corpus, w.Document, Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := v.StartRun(w.Document)
+		if err != nil {
+			b.Fatal(err)
+		}
+		team, err := v.NewTeam(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run.Verify(team, VerifyOptions{BatchSize: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Outcomes) != len(w.Document.Claims) {
+			b.Fatalf("verified %d of %d claims", len(res.Outcomes), len(w.Document.Claims))
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(w.Document.Claims))/b.Elapsed().Seconds(), "claims/s")
+}

@@ -1,0 +1,431 @@
+package scrutinizer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// splitWorldDoc splits a world's document into two documents over the same
+// corpus (both keep the full section range, so Validate passes).
+func splitWorldDoc(w *World) (*Document, *Document) {
+	half := len(w.Document.Claims) / 2
+	a := &Document{Title: w.Document.Title + " (first half)", Sections: w.Document.Sections,
+		Claims: w.Document.Claims[:half]}
+	b := &Document{Title: w.Document.Title + " (second half)", Sections: w.Document.Sections,
+		Claims: w.Document.Claims[half:]}
+	return a, b
+}
+
+// mustEqualResults asserts two results are bit-identical: same crowd
+// seconds, batches and per-claim verdicts/values.
+func mustEqualResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Seconds != b.Seconds || a.Batches != b.Batches {
+		t.Fatalf("%s: seconds/batches %v/%d vs %v/%d", label, a.Seconds, a.Batches, b.Seconds, b.Batches)
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("%s: outcome counts %d vs %d", label, len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		x, y := a.Outcomes[i], b.Outcomes[i]
+		if x.ClaimID != y.ClaimID || x.Verdict != y.Verdict || x.Seconds != y.Seconds ||
+			x.Value != y.Value || x.Suggestion != y.Suggestion || x.HasSuggestion != y.HasSuggestion {
+			t.Fatalf("%s: outcome %d diverged: %+v vs %+v", label, i, x, y)
+		}
+	}
+}
+
+// TestVerifierMatchesSystem pins the shim equivalence: a Verifier trained
+// on a document and run over that document produces verdicts bit-identical
+// to the legacy single-use System constructed from the same inputs and
+// pre-trained on the same claims.
+func TestVerifierMatchesSystem(t *testing.T) {
+	w := testWorld(t)
+	opts := Options{Seed: 5}
+	vopts := VerifyOptions{BatchSize: 10}
+
+	sys, err := New(w.Corpus, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	team, err := sys.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.VerifyDocument(team, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := NewVerifier(w.Corpus, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := v.StartRun(w.Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vteam, err := v.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Verify(vteam, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "verifier vs system", want, got)
+	if want.Accuracy() != got.Accuracy() {
+		t.Fatalf("accuracy %v vs %v", want.Accuracy(), got.Accuracy())
+	}
+}
+
+// TestVerifierServesManyDocumentsWarm is the amortization acceptance
+// criterion: one trained verifier serves two different documents without
+// refitting the feature pipeline, and each run's verdicts are
+// bit-identical to a dedicated fresh verifier trained on the same data.
+func TestVerifierServesManyDocumentsWarm(t *testing.T) {
+	w := testWorld(t)
+	docA, docB := splitWorldDoc(w)
+	opts := Options{Seed: 9}
+	vopts := VerifyOptions{BatchSize: 8}
+
+	shared, err := NewVerifier(w.Corpus, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := shared.Generation()
+	dimBefore := shared.FeatureDim()
+
+	runDoc := func(v *Verifier, doc *Document) *Result {
+		t.Helper()
+		run, err := v.StartRun(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		team, err := v.NewTeam(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := run.Verify(team, vopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	gotA := runDoc(shared, docA)
+	gotB := runDoc(shared, docB)
+
+	// Serving two documents must not have refit features or retrained the
+	// verifier itself: run-level retraining stays on the spawned engines.
+	if shared.Generation() != genBefore || shared.FeatureDim() != dimBefore {
+		t.Fatalf("runs mutated the verifier: gen %d->%d dim %d->%d",
+			genBefore, shared.Generation(), dimBefore, shared.FeatureDim())
+	}
+	if shared.Runs() != 2 {
+		t.Fatalf("Runs() = %d, want 2", shared.Runs())
+	}
+
+	// Per-document reference: a dedicated verifier built from the same
+	// training data gives bit-identical verdicts.
+	wantA := runDoc(mustVerifier(t, w, opts), docA)
+	wantB := runDoc(mustVerifier(t, w, opts), docB)
+	mustEqualResults(t, "docA shared vs dedicated", wantA, gotA)
+	mustEqualResults(t, "docB shared vs dedicated", wantB, gotB)
+
+	// And the runs were warm: the shared verifier's trained state seeded
+	// every spawn, visible as a non-zero starting generation.
+	if genBefore == 0 {
+		t.Fatal("verifier should be trained (generation > 0)")
+	}
+}
+
+func mustVerifier(t *testing.T, w *World, opts Options) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(w.Corpus, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestVerifierConcurrentRuns: concurrent runs on one verifier do not race
+// (the -race build is the assertion) and each matches the sequential
+// result bit for bit.
+func TestVerifierConcurrentRuns(t *testing.T) {
+	w := testWorld(t)
+	docA, docB := splitWorldDoc(w)
+	opts := Options{Seed: 13}
+	vopts := VerifyOptions{BatchSize: 8, Parallelism: 2}
+
+	v := mustVerifier(t, w, opts)
+	run := func(doc *Document) (*Result, error) {
+		r, err := v.StartRun(doc)
+		if err != nil {
+			return nil, err
+		}
+		team, err := v.NewTeam(3)
+		if err != nil {
+			return nil, err
+		}
+		return r.Verify(team, vopts)
+	}
+
+	seqA, err := run(docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := run(docB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 3
+	docs := []*Document{docA, docB}
+	results := make([][]*Result, len(docs))
+	errs := make([]error, len(docs)*workers)
+	var wg sync.WaitGroup
+	for d := range docs {
+		results[d] = make([]*Result, workers)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(d, i int) {
+				defer wg.Done()
+				results[d][i], errs[d*workers+i] = run(docs[d])
+			}(d, i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < workers; i++ {
+		mustEqualResults(t, "concurrent docA", seqA, results[0][i])
+		mustEqualResults(t, "concurrent docB", seqB, results[1][i])
+	}
+}
+
+// TestVerifierSessionPrivateEngines: sessions started from one verifier
+// own private engines — answering in one does not disturb another, and
+// the verifier stays reusable throughout.
+func TestVerifierSessionPrivateEngines(t *testing.T) {
+	w := testWorld(t)
+	v := mustVerifier(t, w, Options{Seed: 3})
+	m := NewSessionManager(0, 0)
+	opts := SessionOptions{Verify: VerifyOptions{BatchSize: 8}, Checkers: 2}
+
+	s1, err := v.StartSession(m, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := v.StartSession(m, w.Document, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Owner() != v.ID() || s2.Owner() != v.ID() {
+		t.Fatalf("session owners %q/%q, want verifier id %q", s1.Owner(), s2.Owner(), v.ID())
+	}
+	q1 := s1.Questions()
+	if len(q1) == 0 {
+		t.Fatal("no questions queued")
+	}
+	// Drive one claim to completion in s1; s2 must be untouched.
+	before2 := s2.Progress()
+	for next := &q1[0]; next != nil; {
+		var err error
+		next, err = s1.Answer(SessionAnswer{ClaimID: next.ClaimID, Value: "suggestion", Seconds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := s2.Progress(); p.Answered != before2.Answered || p.PendingQuestions != before2.PendingQuestions {
+		t.Fatalf("answering s1 changed s2: %+v vs %+v", p, before2)
+	}
+	if s1.Progress().Answered == 0 {
+		t.Fatal("s1 consumed no answers")
+	}
+}
+
+// TestVerifierRetrainIsolation: retraining the verifier swaps the snapshot
+// for future runs but never perturbs runs already started.
+func TestVerifierRetrainIsolation(t *testing.T) {
+	w := testWorld(t)
+	docA, _ := splitWorldDoc(w)
+	v := mustVerifier(t, w, Options{Seed: 21})
+	vopts := VerifyOptions{BatchSize: 8}
+
+	// Reference result from the pre-retrain state.
+	preRun, err := v.StartRun(docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := v.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := preRun.Verify(team, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Start (but do not yet execute) a run, then retrain the verifier.
+	parked, err := v.StartRun(docA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := v.Generation()
+	if err := v.Retrain(w.Document.Claims[:len(w.Document.Claims)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation() <= genBefore {
+		t.Fatal("Retrain did not advance the generation")
+	}
+
+	// The parked run still verifies from the snapshot it spawned under.
+	team2, err := v.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parked.Verify(team2, vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "parked run across retrain", want, got)
+}
+
+// TestServiceRegistry covers the corpus/verifier registry: registration,
+// lookup, listing, cascade removal and ID validation.
+func TestServiceRegistry(t *testing.T) {
+	w := testWorld(t)
+	svc := NewService()
+
+	if _, err := svc.AddCorpus("", nil); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := svc.AddCorpus("bad id!", w.Corpus); err == nil {
+		t.Error("invalid id accepted")
+	}
+	id, err := svc.AddCorpus("iea", w.Corpus)
+	if err != nil || id != "iea" {
+		t.Fatalf("AddCorpus = %q, %v", id, err)
+	}
+	if _, err := svc.AddCorpus("iea", w.Corpus); err == nil {
+		t.Error("duplicate corpus id accepted")
+	}
+	auto, err := svc.AddCorpus("", w.Corpus)
+	if err != nil || !strings.HasPrefix(auto, "c") {
+		t.Fatalf("auto id = %q, %v", auto, err)
+	}
+
+	if _, err := svc.CreateVerifier("nope", w.Document, Options{}); err == nil {
+		t.Error("verifier over unknown corpus accepted")
+	}
+	v, err := svc.CreateVerifier("iea", w.Document, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID() == "" || v.CorpusID() != "iea" {
+		t.Fatalf("verifier ids: %q over %q", v.ID(), v.CorpusID())
+	}
+	if got, ok := svc.Verifier(v.ID()); !ok || got != v {
+		t.Fatal("verifier not registered")
+	}
+	if v.TrainedOn() == 0 || v.Generation() == 0 {
+		t.Fatalf("service verifier should be pre-trained: trained=%d gen=%d", v.TrainedOn(), v.Generation())
+	}
+
+	// The verifier shares the corpus's query cache.
+	qc, ok := svc.CorpusQueryCache("iea")
+	if !ok {
+		t.Fatal("corpus cache missing")
+	}
+	run, err := v.StartRun(w.Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := v.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Verify(team, VerifyOptions{BatchSize: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if st := qc.Stats(); st.Entries == 0 {
+		t.Errorf("run did not populate the corpus query cache: %+v", st)
+	}
+
+	infos := svc.Corpora()
+	if len(infos) != 2 || infos[0].ID != "c1" || infos[1].ID != "iea" || infos[1].Verifiers != 1 {
+		t.Fatalf("Corpora() = %+v", infos)
+	}
+	vinfos := svc.Verifiers()
+	if len(vinfos) != 1 || vinfos[0].ID != v.ID() || vinfos[0].Runs != 1 {
+		t.Fatalf("Verifiers() = %+v", vinfos)
+	}
+	if st := svc.Stats(); st.Corpora != 2 || st.Verifiers != 1 || st.Runs != 1 {
+		t.Fatalf("Stats() = %+v", st)
+	}
+
+	// Removing a corpus cascades to its verifiers.
+	if !svc.RemoveCorpus("iea") {
+		t.Fatal("RemoveCorpus failed")
+	}
+	if _, ok := svc.Verifier(v.ID()); ok {
+		t.Fatal("verifier survived corpus removal")
+	}
+	if svc.RemoveCorpus("iea") {
+		t.Fatal("second RemoveCorpus succeeded")
+	}
+	if svc.RemoveVerifier(v.ID()) {
+		t.Fatal("RemoveVerifier on cascaded verifier succeeded")
+	}
+}
+
+// TestOrderRandomExported: the facade exposes the random-ordering ablation
+// baseline the daemon already parses.
+func TestOrderRandomExported(t *testing.T) {
+	if OrderRandom == OrderILP || OrderRandom == OrderSequential || OrderRandom == OrderGreedy {
+		t.Fatal("OrderRandom collides with another ordering")
+	}
+	w := testWorld(t)
+	v := mustVerifier(t, w, Options{Seed: 1})
+	run, err := v.StartRun(w.Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := v.NewTeam(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Verify(team, VerifyOptions{BatchSize: 10, Ordering: OrderRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(w.Document.Claims) {
+		t.Fatalf("random ordering verified %d of %d claims", len(res.Outcomes), len(w.Document.Claims))
+	}
+}
+
+// TestVerifierCoverage: coverage is full on the training document and
+// degrades on alien text.
+func TestVerifierCoverage(t *testing.T) {
+	w := testWorld(t)
+	v := mustVerifier(t, w, Options{Seed: 1})
+	cov := v.Coverage(w.Document)
+	if cov.TFIDFRatio() != 1 {
+		t.Fatalf("training doc TF-IDF coverage = %g, want 1", cov.TFIDFRatio())
+	}
+	alien := &Document{Title: "alien", Sections: 1, Claims: []*Claim{{
+		ID: 1, Text: "zyx wvu reactors quadrupled", Sentence: "zyx wvu reactors quadrupled overnight", Kind: KindGeneral,
+	}}}
+	acov := v.Coverage(alien)
+	if acov.TFIDFRatio() >= cov.TFIDFRatio() {
+		t.Fatalf("alien coverage %g not below training coverage %g", acov.TFIDFRatio(), cov.TFIDFRatio())
+	}
+}
