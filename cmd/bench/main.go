@@ -7,7 +7,7 @@
 //	go run ./cmd/bench -benchtime 2s      # steadier numbers
 //	go run ./cmd/bench -bench 'Train' -pkg ./internal/classifier
 //	go run ./cmd/bench -out /tmp -date 2026-01-31
-//	go run ./cmd/bench -baseline BENCH_2026-07-29.json -max-ratio 2
+//	go run ./cmd/bench -baseline BENCH_2026-08-08.json -max-ratio 2
 //
 // The default tracked set covers the numeric hot path (classifier training
 // and scoring, sparse-vector ops, TF-IDF transform), the end-to-end
@@ -61,7 +61,7 @@ var defaultTracked = []trackedBench{
 	{Pkg: "./internal/query", Bench: "BenchmarkPlanExecute|BenchmarkExecuteCompiled|BenchmarkExecuteInterpreted"},
 	{Pkg: "./internal/core", Bench: "BenchmarkGenerateQueries$|BenchmarkGenerateQueriesCold|BenchmarkGenerateQueriesInterpreted|BenchmarkVerifyEndToEnd"},
 	{Pkg: "./internal/session", Bench: "BenchmarkSessionCreate|BenchmarkSessionAnswerPump|BenchmarkSessionEvict"},
-	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld|BenchmarkServiceVerifyCold|BenchmarkServiceVerifyWarm|BenchmarkServiceSetupCold|BenchmarkServiceSetupWarm"},
+	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld|BenchmarkServiceVerifyCold|BenchmarkServiceVerifyWarm|BenchmarkServiceSetupCold|BenchmarkServiceSetupWarm|BenchmarkRecoveryBoot"},
 }
 
 // result is one benchmark line, parsed.

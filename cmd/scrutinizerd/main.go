@@ -25,11 +25,27 @@
 // Usage:
 //
 //	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n]
-//	             [-pprof addr] [-session-ttl 30m] [-max-sessions 256]
+//	             [-pprof addr] [-session-ttl 30m] [-max-sessions 256] [-data-dir dir]
 //
 // Without -corpus the daemon generates a synthetic world corpus (the
 // quickest way to try the API: generate a matching document with
 // cmd/datagen or the snippet in the README).
+//
+// # Durability
+//
+// -data-dir (off by default) makes the /v1 registry survive restarts:
+// every accepted mutation — corpus create/delete, relation upload,
+// verifier training, session create/answer/delete — is appended to a
+// write-ahead journal in that directory before the HTTP response
+// acknowledges it, and trained models are parked as snapshot blobs. On
+// boot the daemon replays the journal: corpora are rebuilt from their
+// journaled relations, verifiers are re-materialized from their model
+// snapshots (falling back to a deterministic retrain from the journaled
+// training document), and interactive sessions are re-parked by replaying
+// their answer logs — all bit-identical to the pre-crash state. A torn
+// final record (crash mid-append) is detected by checksum and truncated:
+// it was never acknowledged, so losing it is correct. Without -data-dir
+// the daemon is ephemeral, exactly as before.
 //
 // # Profiling
 //
@@ -122,6 +138,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict interactive sessions idle longer than this (0 = never)")
 	maxSessions := flag.Int("max-sessions", 256, "cap on concurrent interactive sessions (0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "durable state directory: journal /v1 mutations and recover them on boot (empty = ephemeral)")
 	flag.Parse()
 
 	var pprofSrv *http.Server
@@ -152,8 +169,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(corpus, *parallel, *sessionTTL, *maxSessions)
-	stats := corpus.Stats()
+	var st scrutinizer.Store
+	if *dataDir != "" {
+		fs, err := scrutinizer.OpenFileStore(*dataDir)
+		if err != nil {
+			log.Fatalf("scrutinizerd: opening data dir %s: %v", *dataDir, err)
+		}
+		defer fs.Close()
+		st = fs
+	}
+	s, err := newServer(corpus, *parallel, *sessionTTL, *maxSessions, st)
+	if err != nil {
+		log.Fatalf("scrutinizerd: recovering from %s: %v", *dataDir, err)
+	}
+	if st != nil {
+		rec := s.recovered
+		log.Printf("scrutinizerd: recovered %d journal records from %s (%d corpora, %d verifiers [%d from snapshot, %d retrained], %d sessions, %d skipped)",
+			rec.Records, *dataDir, rec.Corpora, rec.Verifiers, rec.VerifiersFromSnapshot, rec.VerifiersRetrained, rec.Sessions, rec.SessionsSkipped)
+	}
+	stats := s.corpus.Stats()
 	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), listening on %s",
 		stats.Relations, stats.Rows, stats.Cells, *addr)
 
@@ -229,6 +263,9 @@ type server struct {
 	sessions *scrutinizer.SessionManager
 	qcache   *scrutinizer.QueryCache // the default corpus's shared cache
 	started  time.Time
+	// recovered summarises the boot-time journal replay; zero when the
+	// daemon runs without -data-dir.
+	recovered scrutinizer.RecoveryStats
 	// corpusLocks serializes /v1 mutations per corpus ID (relation
 	// uploads/removals against each other and against verifier training
 	// over the same corpus) without ever blocking other tenants. Reads
@@ -244,26 +281,40 @@ func (s *server) lockCorpus(id string) *sync.Mutex {
 	return mu.(*sync.Mutex)
 }
 
-func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duration, maxSessions int) *server {
+func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duration, maxSessions int, st scrutinizer.Store) (*server, error) {
 	if parallel <= 0 {
 		parallel = core.DefaultParallelism()
 	}
 	svc := scrutinizer.NewService()
-	if _, err := svc.AddCorpus(defaultCorpusID, corpus); err != nil {
-		// Registering the startup corpus under a fixed valid id into a
-		// fresh registry cannot fail.
-		panic(err)
+	sessions := scrutinizer.NewSessionManager(sessionTTL, maxSessions)
+	var recovered scrutinizer.RecoveryStats
+	if st != nil {
+		var err error
+		recovered, err = svc.Recover(st, sessions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The default corpus backs the legacy routes. A recovered journal may
+	// already hold one — from this boot's own past, where it was journaled
+	// at first startup — and the durable copy wins over the freshly loaded
+	// one so legacy traffic sees the state clients were promised.
+	if existing, ok := svc.Corpus(defaultCorpusID); ok {
+		corpus = existing
+	} else if _, err := svc.AddCorpus(defaultCorpusID, corpus); err != nil {
+		return nil, fmt.Errorf("registering default corpus: %w", err)
 	}
 	qcache, _ := svc.CorpusQueryCache(defaultCorpusID)
 	return &server{
-		svc:      svc,
-		corpus:   corpus,
-		parallel: parallel,
-		maxBody:  maxBodyBytes,
-		sessions: scrutinizer.NewSessionManager(sessionTTL, maxSessions),
-		qcache:   qcache,
-		started:  time.Now(),
-	}
+		svc:       svc,
+		corpus:    corpus,
+		parallel:  parallel,
+		maxBody:   maxBodyBytes,
+		sessions:  sessions,
+		qcache:    qcache,
+		started:   time.Now(),
+		recovered: recovered,
+	}, nil
 }
 
 func (s *server) routes() http.Handler {
@@ -358,7 +409,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"active_sessions":  sess.ByOwner[vi.ID],
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"version": buildVersion(),
 		"corpus": map[string]int{
@@ -398,7 +449,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		},
 		"parallelism":    s.parallel,
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
-	})
+	}
+	// store: durable-state health when the daemon runs with -data-dir —
+	// journal growth plus what the last boot replayed.
+	if storeStats, ok := s.svc.StoreStats(); ok {
+		body["store"] = map[string]any{
+			"backend":   storeStats,
+			"recovered": s.recovered,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // readBody slurps a capped request body, writing the HTTP error itself

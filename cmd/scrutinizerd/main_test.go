@@ -21,7 +21,11 @@ func testServer(t *testing.T) (*server, *scrutinizer.World) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(w.Corpus, 4, time.Hour, 0), w
+	s, err := newServer(w.Corpus, 4, time.Hour, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w
 }
 
 func TestHealthz(t *testing.T) {

@@ -20,6 +20,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -98,11 +99,29 @@ func (s *server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "the default corpus backs the legacy routes and cannot be deleted")
 		return
 	}
-	if !s.svc.RemoveCorpus(id) {
+	ok, err := s.svc.RemoveCorpus(id)
+	if err != nil {
+		httpError(w, journalStatus(err), err.Error())
+		return
+	}
+	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no corpus %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// journalStatus maps a mutation error to its HTTP status: a failed journal
+// append means the service cannot durably accept writes right now (503);
+// anything else is the client's fault.
+func journalStatus(err error) int {
+	if errors.Is(err, scrutinizer.ErrJournal) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, scrutinizer.ErrNoCorpus) {
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // mutableCorpus resolves a corpus for mutation, enforcing the freeze
@@ -134,8 +153,7 @@ func (s *server) handleRelationPut(w http.ResponseWriter, r *http.Request) {
 	mu := s.lockCorpus(r.PathValue("id"))
 	mu.Lock()
 	defer mu.Unlock()
-	corpus, ok := s.mutableCorpus(w, r.PathValue("id"))
-	if !ok {
+	if _, ok := s.mutableCorpus(w, r.PathValue("id")); !ok {
 		return
 	}
 	name := r.PathValue("name")
@@ -148,10 +166,11 @@ func (s *server) handleRelationPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	// PUT semantics: replace an existing relation of the same name.
-	replaced := corpus.Remove(name)
-	if err := corpus.Add(rel); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	// PUT semantics: replace an existing relation of the same name. The
+	// service journals the upload before acknowledging it.
+	replaced, err := s.svc.PutRelation(r.PathValue("id"), rel)
+	if err != nil {
+		httpError(w, journalStatus(err), err.Error())
 		return
 	}
 	status := http.StatusCreated
@@ -170,12 +189,16 @@ func (s *server) handleRelationDelete(w http.ResponseWriter, r *http.Request) {
 	mu := s.lockCorpus(r.PathValue("id"))
 	mu.Lock()
 	defer mu.Unlock()
-	corpus, ok := s.mutableCorpus(w, r.PathValue("id"))
-	if !ok {
+	if _, ok := s.mutableCorpus(w, r.PathValue("id")); !ok {
 		return
 	}
 	name := r.PathValue("name")
-	if !corpus.Remove(name) {
+	existed, err := s.svc.DropRelation(r.PathValue("id"), name)
+	if err != nil {
+		httpError(w, journalStatus(err), err.Error())
+		return
+	}
+	if !existed {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no relation %q", name))
 		return
 	}
@@ -267,7 +290,12 @@ func (s *server) handleVerifierGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleVerifierDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.svc.RemoveVerifier(r.PathValue("id")) {
+	ok, err := s.svc.RemoveVerifier(r.PathValue("id"))
+	if err != nil {
+		httpError(w, journalStatus(err), err.Error())
+		return
+	}
+	if !ok {
 		httpError(w, http.StatusNotFound, "no such verifier")
 		return
 	}

@@ -1,0 +1,80 @@
+package classifier
+
+import "fmt"
+
+// State is the serializable form of a trained classifier: everything Train
+// mutates, with the dense matrices exported as flat slices in the same
+// feature-major layout the model scores from. Round-tripping through State
+// is exact — float64 values survive JSON encoding bit-for-bit in Go — so a
+// restored model scores identically to the original and its next warm-start
+// retrain continues the same deterministic shuffle stream (Rounds seeds it).
+type State struct {
+	Config  Config    `json:"config"`
+	Labels  []string  `json:"labels,omitempty"`
+	Dim     int       `json:"dim"`
+	W       []float64 `json:"w,omitempty"`
+	Gsq     []float64 `json:"gsq,omitempty"`
+	Bias    []float64 `json:"bias,omitempty"`
+	GsqB    []float64 `json:"gsq_b,omitempty"`
+	Trained int       `json:"trained"`
+	Rounds  int       `json:"rounds"`
+	Warm    bool      `json:"warm,omitempty"`
+}
+
+// State exports a deep copy of the model. Like Clone, it must not run
+// concurrently with Train on the same model.
+func (c *Classifier) State() State {
+	return State{
+		Config:  c.cfg,
+		Labels:  append([]string(nil), c.labels...),
+		Dim:     c.dim,
+		W:       append([]float64(nil), c.w...),
+		Gsq:     append([]float64(nil), c.gsq...),
+		Bias:    append([]float64(nil), c.bias...),
+		GsqB:    append([]float64(nil), c.gsqB...),
+		Trained: c.trained,
+		Rounds:  c.rounds,
+		Warm:    c.warm,
+	}
+}
+
+// FromState rebuilds a classifier from an exported State. The stored Config
+// already passed through the defaulting of New, so it is installed verbatim.
+// Matrix shapes are validated against Dim and the label count; a mismatched
+// state (a truncated or hand-edited snapshot) is rejected rather than
+// producing a model that scores out of bounds.
+func FromState(st State) (*Classifier, error) {
+	nL := len(st.Labels)
+	if len(st.W) != st.Dim*nL || len(st.Gsq) != st.Dim*nL {
+		return nil, fmt.Errorf("classifier: state weight matrix is %dx%d values, dim %d x %d labels", len(st.W), len(st.Gsq), st.Dim, nL)
+	}
+	if len(st.Bias) != nL || len(st.GsqB) != nL {
+		return nil, fmt.Errorf("classifier: state bias has %d values for %d labels", len(st.Bias), nL)
+	}
+	if st.Dim < 0 || st.Trained < 0 || st.Rounds < 0 {
+		return nil, fmt.Errorf("classifier: negative state counters")
+	}
+	c := &Classifier{
+		cfg:      st.Config,
+		labels:   append([]string(nil), st.Labels...),
+		labelIdx: make(map[string]int, nL),
+		dim:      st.Dim,
+		w:        append([]float64(nil), st.W...),
+		gsq:      append([]float64(nil), st.Gsq...),
+		bias:     append([]float64(nil), st.Bias...),
+		gsqB:     append([]float64(nil), st.GsqB...),
+		trained:  st.Trained,
+		rounds:   st.Rounds,
+		warm:     st.Warm,
+	}
+	for i, l := range st.Labels {
+		if l == "" {
+			return nil, fmt.Errorf("classifier: empty label at index %d", i)
+		}
+		if _, dup := c.labelIdx[l]; dup {
+			return nil, fmt.Errorf("classifier: duplicate label %q in state", l)
+		}
+		c.labelIdx[l] = i
+	}
+	return c, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/crowd"
+)
+
+// TestRestoreTrainedEquivalence: encoding a trained snapshot and restoring
+// it into a freshly built engine yields bit-identical verification — the
+// property recovery-from-snapshot rests on.
+func TestRestoreTrainedEquivalence(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	data, err := snap.EncodeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh, untrained engine over the same corpus and pipeline.
+	restored, _ := buildEngine(t, tinyWorld())
+	if err := restored.RestoreTrained(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Generation() != snap.Generation() {
+		t.Fatalf("restored generation %d, snapshot %d", restored.Generation(), snap.Generation())
+	}
+
+	run := func(eng *Engine) *Result {
+		team, err := crowd.NewTeam("W", 3, 0.97, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Verify(w.Document, team, VerifyConfig{BatchSize: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(snap.Spawn())
+	got := run(restored.Clone())
+	if want.Seconds != got.Seconds || want.Batches != got.Batches {
+		t.Fatalf("restored run diverged: %v/%d vs %v/%d batches", got.Seconds, got.Batches, want.Seconds, want.Batches)
+	}
+	if len(want.Outcomes) != len(got.Outcomes) {
+		t.Fatalf("outcome counts: %d vs %d", len(got.Outcomes), len(want.Outcomes))
+	}
+	for i := range want.Outcomes {
+		a, b := want.Outcomes[i], got.Outcomes[i]
+		if a.ClaimID != b.ClaimID || a.Verdict != b.Verdict || a.Seconds != b.Seconds || a.Value != b.Value {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, b, a)
+		}
+	}
+}
+
+// TestEncodeModelsDeterministic: encode → restore → encode reproduces the
+// bytes, so snapshot blobs are stable across recovery cycles.
+func TestEncodeModelsDeterministic(t *testing.T) {
+	e, w := buildEngine(t, tinyWorld())
+	if err := e.Train(w.Document.Claims); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.Snapshot().EncodeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := buildEngine(t, tinyWorld())
+	if err := restored.RestoreTrained(data); err != nil {
+		t.Fatal(err)
+	}
+	again, err := restored.Snapshot().EncodeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoded snapshot differs: %d vs %d bytes", len(again), len(data))
+	}
+}
+
+func TestRestoreTrainedRejectsBadBlobs(t *testing.T) {
+	e, _ := buildEngine(t, tinyWorld())
+	for name, blob := range map[string][]byte{
+		"NotJSON":      []byte("not json"),
+		"WrongVersion": []byte(`{"version":99}`),
+		"BadKind":      []byte(`{"version":1,"models":{"nope":{"config":{},"dim":0,"trained":0,"rounds":0}}}`),
+		"TornMatrix":   []byte(`{"version":1,"models":{"relation":{"config":{},"labels":["x"],"dim":3,"w":[1],"gsq":[1,2,3],"bias":[0],"gsq_b":[0],"trained":1,"rounds":1}}}`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := e.RestoreTrained(blob); err == nil {
+				t.Fatal("bad blob accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package formula
+
+import "fmt"
+
+// Export returns the library's state as parallel slices: canonical keys in
+// first-insertion order and their occurrence counts. RestoreLibrary inverts
+// it exactly, so classifier label spaces derived from the library (which
+// depend on insertion order and counts) survive a round trip.
+func (l *Library) Export() (keys []string, counts []int) {
+	keys = append([]string(nil), l.order...)
+	counts = make([]int, len(keys))
+	for i, k := range keys {
+		counts[i] = l.counts[k]
+	}
+	return keys, counts
+}
+
+// RestoreLibrary rebuilds a library from an Export dump: each key is parsed
+// once and inserted in order with its count. Keys that no longer parse (a
+// snapshot from an incompatible version) are rejected.
+func RestoreLibrary(keys []string, counts []int) (*Library, error) {
+	if len(keys) != len(counts) {
+		return nil, fmt.Errorf("formula: %d keys with %d counts", len(keys), len(counts))
+	}
+	l := NewLibrary()
+	for i, key := range keys {
+		if counts[i] < 1 {
+			return nil, fmt.Errorf("formula: key %q has count %d", key, counts[i])
+		}
+		f, err := ParseFormula(key)
+		if err != nil {
+			return nil, fmt.Errorf("formula: restoring %q: %w", key, err)
+		}
+		got := l.Add(f)
+		if got != key {
+			return nil, fmt.Errorf("formula: key %q re-canonicalised to %q", key, got)
+		}
+		l.counts[got] = counts[i]
+	}
+	return l, nil
+}

@@ -126,11 +126,28 @@ type Stats struct {
 	ByOwner map[string]int `json:"by_owner,omitempty"`
 }
 
+// Hooks observe accepted registry mutations; the service layer installs
+// them to journal session activity. Install with SetHooks before the
+// manager is shared — the fields are read without synchronization.
+type Hooks struct {
+	// OnAnswer fires after a session accepts an answer, under the session
+	// lock — so hook invocation order matches apply order even with
+	// concurrent checkers, which is what makes answer-log replay exact. It
+	// does not fire for answers replayed by Restore (they are already
+	// journaled). The hook must not call back into the Manager or Session.
+	OnAnswer func(s *Session, a Answer)
+	// OnEnd fires when a session leaves the registry — an explicit Remove
+	// or a TTL eviction — under the registry lock. It must not call back
+	// into the Manager.
+	OnEnd func(id, owner string, evicted bool)
+}
+
 // Manager is the concurrent session registry. All methods are safe for
 // concurrent use. The manager never spawns goroutines: TTL eviction is
 // swept inline on Create, Get, Remove and Stats.
 type Manager struct {
-	cfg Config
+	cfg   Config
+	hooks Hooks
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -149,6 +166,10 @@ func NewManager(cfg Config) *Manager {
 
 func (m *Manager) now() time.Time { return m.cfg.Clock() }
 
+// SetHooks installs mutation observers. It must be called before the
+// manager handles any traffic.
+func (m *Manager) SetHooks(h Hooks) { m.hooks = h }
+
 // sweep evicts idle sessions; caller holds m.mu.
 func (m *Manager) sweep(now time.Time) {
 	if m.cfg.TTL <= 0 {
@@ -158,6 +179,9 @@ func (m *Manager) sweep(now time.Time) {
 		if now.Sub(s.lastActive()) > m.cfg.TTL {
 			delete(m.sessions, id)
 			m.evicted++
+			if m.hooks.OnEnd != nil {
+				m.hooks.OnEnd(id, s.owner, true)
+			}
 		}
 	}
 }
@@ -227,11 +251,15 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 		if !snap.Created.IsZero() {
 			s.created = snap.Created
 		}
+		// Replayed answers are already journaled; suppress the hook so
+		// recovery does not re-append them.
+		s.replaying = true
 		for i, a := range snap.Answers {
 			if _, err := s.Answer(a); err != nil {
 				return nil, fmt.Errorf("session: replaying answer %d (claim %d): %w", i, a.ClaimID, err)
 			}
 		}
+		s.replaying = false
 	}
 
 	m.mu.Lock()
@@ -265,8 +293,11 @@ func (m *Manager) Remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sweep(m.now())
-	_, ok := m.sessions[id]
+	s, ok := m.sessions[id]
 	delete(m.sessions, id)
+	if ok && m.hooks.OnEnd != nil {
+		m.hooks.OnEnd(id, s.owner, false)
+	}
 	return ok
 }
 
@@ -325,6 +356,9 @@ type Session struct {
 	created time.Time
 	last    time.Time
 	log     []Answer
+	// replaying is true while Restore replays a snapshot's answer log; the
+	// session is not yet shared, so plain reads in Answer are safe.
+	replaying bool
 }
 
 // ID returns the session identifier.
@@ -405,6 +439,9 @@ func (s *Session) Answer(a Answer) (*Question, error) {
 		return nil, err
 	}
 	s.log = append(s.log, a)
+	if !s.replaying && s.mgr.hooks.OnAnswer != nil {
+		s.mgr.hooks.OnAnswer(s, a)
+	}
 	if next == nil {
 		return nil, nil
 	}

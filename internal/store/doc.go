@@ -1,0 +1,42 @@
+// Package store is the pluggable persistence layer behind the durable
+// multi-tenant service: a write-ahead journal of accepted mutations plus a
+// side store of model snapshots, abstracted as the Store interface so the
+// registry can run against an embedded single-node backend (File), an
+// in-memory backend for tests (Memory), or a fault-injecting wrapper for
+// crash-recovery tests (Faulty).
+//
+// # Journal
+//
+// The journal is an ordered log of Records. Each record names one accepted
+// mutation of the service registry — a corpus created with its relation
+// dump, a relation uploaded or dropped, a verifier trained from a journaled
+// training document, a session created with its document, or one session
+// answer — with an op-specific JSON payload. The service appends a record
+// after the mutation is applied and before the request is acknowledged, so
+// on restart, replaying the journal in order rebuilds exactly the
+// acknowledged state: corpora are reconstructed from their relation CSV,
+// verifiers are re-materialized from their latest model snapshot (or
+// deterministically retrained from the journaled training document when no
+// snapshot survives), and live sessions are re-parked by answer-log replay.
+//
+// # Record framing
+//
+// On disk each record is framed as a little-endian uint32 payload length,
+// a CRC32-C checksum of the payload, and the JSON payload itself. The
+// framing makes torn writes detectable: a crash mid-append leaves a tail
+// that fails the length or checksum test, and opening the store truncates
+// the journal back to the last intact record — the torn record was never
+// acknowledged, so dropping it is exactly the write-ahead contract. The
+// codec never half-applies: DecodeRecord either returns a fully decoded
+// record or an error (io.EOF at a clean end, ErrTorn for a truncated tail,
+// ErrCorrupt for checksum/format damage), and it never panics on arbitrary
+// input (pinned by FuzzJournalDecode).
+//
+// # Snapshots
+//
+// SaveSnapshot/LoadSnapshot store opaque blobs keyed by (kind, id) — the
+// service uses them for encoded verifier model snapshots so recovery can
+// skip retraining. Snapshots are an optimization, not the source of truth:
+// deleting them only makes the next recovery fall back to deterministic
+// retraining from the journal.
+package store

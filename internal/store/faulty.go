@@ -1,0 +1,102 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the failure surfaced by a Faulty store once its write
+// budget is exhausted. Crash-recovery tests match it to know the cut was
+// the injected one and not a real bug.
+var ErrInjected = errors.New("store: injected fault")
+
+// Faulty wraps a Store and fails every write once a configured number of
+// journal appends has succeeded, simulating a crash. With torn-write mode
+// on, the cut append first writes a deliberately truncated frame to the
+// underlying journal — the on-disk shape of a process dying mid-write — so
+// recovery also has to exercise tail truncation.
+type Faulty struct {
+	inner Store
+
+	mu        sync.Mutex
+	remaining int
+	torn      bool
+	tripped   bool
+}
+
+// tornWriter is implemented by stores that can persist a torn journal tail
+// on demand (File does; Memory has no disk to tear).
+type tornWriter interface {
+	appendTorn(rec *Record) error
+}
+
+// NewFaulty wraps inner so the first failAfter journal appends succeed and
+// every write after that fails with ErrInjected. If torn is true, the
+// failing append leaves a truncated frame in the underlying journal before
+// reporting the fault.
+func NewFaulty(inner Store, failAfter int, torn bool) *Faulty {
+	return &Faulty{inner: inner, remaining: failAfter, torn: torn}
+}
+
+// Tripped reports whether the injected fault has fired.
+func (s *Faulty) Tripped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tripped
+}
+
+func (s *Faulty) Append(rec *Record) error {
+	s.mu.Lock()
+	if s.remaining > 0 {
+		s.remaining--
+		s.mu.Unlock()
+		return s.inner.Append(rec)
+	}
+	first := !s.tripped
+	s.tripped = true
+	torn := s.torn && first
+	s.mu.Unlock()
+	if torn {
+		if tw, ok := s.inner.(tornWriter); ok {
+			if err := tw.appendTorn(rec); err != nil {
+				return fmt.Errorf("%w (torn-write injection failed: %v)", ErrInjected, err)
+			}
+		}
+	}
+	return fmt.Errorf("%w: journal append", ErrInjected)
+}
+
+func (s *Faulty) Replay(fn func(*Record) error) error { return s.inner.Replay(fn) }
+
+func (s *Faulty) SaveSnapshot(kind, id string, data []byte) error {
+	s.mu.Lock()
+	tripped := s.tripped || s.remaining <= 0
+	s.mu.Unlock()
+	if tripped {
+		return fmt.Errorf("%w: snapshot save", ErrInjected)
+	}
+	return s.inner.SaveSnapshot(kind, id, data)
+}
+
+func (s *Faulty) LoadSnapshot(kind, id string) ([]byte, error) {
+	return s.inner.LoadSnapshot(kind, id)
+}
+
+func (s *Faulty) DeleteSnapshot(kind, id string) error {
+	s.mu.Lock()
+	tripped := s.tripped || s.remaining <= 0
+	s.mu.Unlock()
+	if tripped {
+		return fmt.Errorf("%w: snapshot delete", ErrInjected)
+	}
+	return s.inner.DeleteSnapshot(kind, id)
+}
+
+func (s *Faulty) Stats() Stats {
+	st := s.inner.Stats()
+	st.Backend = "faulty(" + st.Backend + ")"
+	return st
+}
+
+func (s *Faulty) Close() error { return s.inner.Close() }

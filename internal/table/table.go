@@ -128,6 +128,20 @@ func (r *Relation) SetMeta(k, v string) { r.metadata[k] = v }
 // Meta returns metadata value for k, or "".
 func (r *Relation) Meta(k string) string { return r.metadata[k] }
 
+// Metadata returns a copy of the relation's metadata map (nil when empty),
+// in support of persisting relations losslessly — CSV carries the cells but
+// not the metadata.
+func (r *Relation) Metadata() map[string]string {
+	if len(r.metadata) == 0 {
+		return nil
+	}
+	cp := make(map[string]string, len(r.metadata))
+	for k, v := range r.metadata {
+		cp[k] = v
+	}
+	return cp
+}
+
 // AddRow appends a row with the given key and values (one per attribute, in
 // attribute order). It fails on duplicate keys or arity mismatch.
 func (r *Relation) AddRow(key string, values []float64) error {

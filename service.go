@@ -23,6 +23,8 @@ package scrutinizer
 // legacy System facade survives as a thin shim over these types.
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +36,7 @@ import (
 	"github.com/repro/scrutinizer/internal/embed"
 	"github.com/repro/scrutinizer/internal/feature"
 	"github.com/repro/scrutinizer/internal/session"
+	"github.com/repro/scrutinizer/internal/store"
 )
 
 // FeatureCoverage reports how much of a document's text a verifier's
@@ -51,6 +54,7 @@ type FeatureCoverage = feature.Coverage
 type Verifier struct {
 	id       string // assigned by Service; "" for standalone verifiers
 	corpusID string
+	svc      *Service // owning registry; nil for standalone verifiers
 	corpus   *Corpus
 	pipe     *feature.Pipeline
 	opts     Options
@@ -215,6 +219,9 @@ func (v *Verifier) StartRun(doc *Document) (*Run, error) {
 // registered with m, executing against a private engine spawned from the
 // verifier's current snapshot (the interactive counterpart of StartRun).
 // The session is tagged with the verifier's ID for registry statistics.
+// When the verifier's service has a store attached, the session (document
+// plus options) is journaled before the handle is returned — and every
+// accepted answer after it — so a crash re-parks the session by replay.
 func (v *Verifier) StartSession(m *SessionManager, doc *Document, opts SessionOptions) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
@@ -223,7 +230,20 @@ func (v *Verifier) StartSession(m *SessionManager, doc *Document, opts SessionOp
 	if err != nil {
 		return nil, err
 	}
-	return m.Create(r.engine, doc, v.sessionOptions(opts))
+	sess, err := m.Create(r.engine, doc, v.sessionOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	if v.svc != nil && v.svc.store != nil {
+		if err := v.svc.journalSessionCreate(v.id, sess.ID(), doc, opts); err != nil {
+			// Not durable, not acknowledged: take the session back out.
+			// The removal's own journal hook fails against the same dead
+			// store, which is fine — the journal then holds neither.
+			m.Remove(sess.ID())
+			return nil, err
+		}
+	}
+	return sess, nil
 }
 
 // RestoreSession rebuilds a session from a snapshot by replaying its
@@ -360,6 +380,12 @@ func (r *Run) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
 // corpora (each with its own shared QueryCache) and the verifiers trained
 // over them. All methods are safe for concurrent use.
 type Service struct {
+	// store, when non-nil, journals every accepted mutation before the
+	// call acknowledges it (see persist.go). Attached by Recover before
+	// the service starts handling traffic; nil keeps the registry
+	// ephemeral, the pre-durability behavior.
+	store Store
+
 	mu          sync.RWMutex
 	corpora     map[string]*serviceCorpus
 	verifiers   map[string]*Verifier
@@ -425,8 +451,37 @@ func (s *Service) AddCorpus(id string, c *Corpus) (string, error) {
 	} else if _, dup := s.corpora[id]; dup {
 		return "", fmt.Errorf("scrutinizer: corpus %q already registered", id)
 	}
+	rec, err := corpusCreateRecord(id, c)
+	if err != nil {
+		return "", err
+	}
 	s.corpora[id] = &serviceCorpus{id: id, corpus: c, qcache: NewQueryCache(), created: time.Now()}
+	if err := s.journal(rec); err != nil {
+		delete(s.corpora, id) // not durable, not acknowledged
+		return "", err
+	}
 	return id, nil
+}
+
+// corpusCreateRecord dumps a corpus's relations into its journal record.
+func corpusCreateRecord(id string, c *Corpus) (*store.Record, error) {
+	var p store.CorpusPayload
+	for _, name := range c.Names() {
+		rel, err := c.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := relationPayload(rel)
+		if err != nil {
+			return nil, err
+		}
+		p.Relations = append(p.Relations, rp)
+	}
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return &store.Record{Op: store.OpCorpusCreate, Corpus: id, Payload: payload}, nil
 }
 
 // Corpus returns a registered corpus.
@@ -438,6 +493,79 @@ func (s *Service) Corpus(id string) (*Corpus, bool) {
 		return nil, false
 	}
 	return e.corpus, true
+}
+
+// ErrNoCorpus reports a relation mutation against an unregistered corpus.
+var ErrNoCorpus = errors.New("scrutinizer: no such corpus")
+
+// PutRelation uploads (or replaces) one relation of a registered corpus,
+// reporting whether an existing relation was replaced. The mutation is
+// journaled before it is acknowledged; a failed append restores the prior
+// relation and surfaces as ErrJournal. Callers are responsible for the
+// freeze discipline (no verifier may be bound to the corpus) and for
+// serializing mutations of one corpus — the HTTP layer holds a per-corpus
+// lock around this.
+func (s *Service) PutRelation(corpusID string, rel *Relation) (bool, error) {
+	if rel == nil {
+		return false, fmt.Errorf("scrutinizer: nil relation")
+	}
+	entry, ok := s.corpusEntry(corpusID)
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrNoCorpus, corpusID)
+	}
+	rp, err := relationPayload(rel)
+	if err != nil {
+		return false, err
+	}
+	payload, err := json.Marshal(rp)
+	if err != nil {
+		return false, err
+	}
+	var prior *Relation
+	if entry.corpus.Has(rel.Name()) {
+		prior, _ = entry.corpus.Relation(rel.Name())
+	}
+	entry.corpus.Remove(rel.Name())
+	if err := entry.corpus.Add(rel); err != nil {
+		if prior != nil {
+			_ = entry.corpus.Add(prior)
+		}
+		return false, err
+	}
+	if err := s.journal(&store.Record{
+		Op: store.OpRelationPut, Corpus: corpusID, Relation: rel.Name(), Payload: payload,
+	}); err != nil {
+		entry.corpus.Remove(rel.Name())
+		if prior != nil {
+			_ = entry.corpus.Add(prior)
+		}
+		return false, err
+	}
+	return prior != nil, nil
+}
+
+// DropRelation deletes one relation of a registered corpus, reporting
+// whether it existed. Journaled like PutRelation, with the same caller
+// obligations.
+func (s *Service) DropRelation(corpusID, name string) (bool, error) {
+	entry, ok := s.corpusEntry(corpusID)
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrNoCorpus, corpusID)
+	}
+	if !entry.corpus.Has(name) {
+		return false, nil
+	}
+	prior, _ := entry.corpus.Relation(name)
+	entry.corpus.Remove(name)
+	if err := s.journal(&store.Record{
+		Op: store.OpRelationDelete, Corpus: corpusID, Relation: name,
+	}); err != nil {
+		if prior != nil {
+			_ = entry.corpus.Add(prior)
+		}
+		return false, err
+	}
+	return true, nil
 }
 
 // CorpusQueryCache returns the shared tentative-execution cache of a
@@ -454,20 +582,42 @@ func (s *Service) CorpusQueryCache(id string) (*QueryCache, bool) {
 
 // RemoveCorpus drops a corpus and every verifier bound to it, reporting
 // whether the corpus was registered. Live runs and sessions keep working
-// on their spawned engines; they just can no longer be recreated.
-func (s *Service) RemoveCorpus(id string) bool {
+// on their spawned engines; they just can no longer be recreated. With a
+// store attached the cascade is journaled — and the dropped verifiers'
+// model snapshots deleted — before the call returns, so recovery never
+// resurrects any of it; a failed journal append rolls the removal back and
+// surfaces as ErrJournal.
+func (s *Service) RemoveCorpus(id string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.corpora[id]; !ok {
-		return false
+	entry, ok := s.corpora[id]
+	if !ok {
+		return false, nil
 	}
 	delete(s.corpora, id)
+	var dropped []*Verifier
 	for vid, v := range s.verifiers {
 		if v.corpusID == id {
 			delete(s.verifiers, vid)
+			dropped = append(dropped, v)
 		}
 	}
-	return true
+	if err := s.journal(&store.Record{Op: store.OpCorpusDelete, Corpus: id}); err != nil {
+		// Not durable: reinstate so the registry matches the journal.
+		s.corpora[id] = entry
+		for _, v := range dropped {
+			s.verifiers[v.id] = v
+		}
+		return false, err
+	}
+	if s.store != nil {
+		for _, v := range dropped {
+			// Best-effort: a surviving snapshot is unreachable garbage,
+			// not a correctness problem — replay has no verifier for it.
+			_ = s.store.DeleteSnapshot(snapshotKind, v.id)
+		}
+	}
+	return true, nil
 }
 
 // CreateVerifier trains a verifier over a registered corpus (see
@@ -488,19 +638,47 @@ func (s *Service) CreateVerifier(corpusID string, training *Document, opts Optio
 	if err != nil {
 		return nil, err
 	}
+	// The journal record carries the training document and options — the
+	// deterministic-retrain fallback when no model snapshot survives.
+	trainingJSON, err := encodeDocument(training)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(verifierPayload{
+		Training: trainingJSON,
+		Options: optionsPayload{
+			Cost: opts.Cost, Tolerance: opts.Tolerance, TopK: opts.TopK,
+			EmbeddingDim: opts.EmbeddingDim, Seed: opts.Seed,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// The corpus may have been removed — or removed and re-created under
 	// the same ID — while training ran; registering against anything but
 	// the exact entry the verifier was trained on would either leak it
 	// past RemoveCorpus's cascade or freeze an unrelated corpus.
 	if cur, still := s.corpora[corpusID]; !still || cur != entry {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("scrutinizer: corpus %q was removed during training", corpusID)
 	}
 	s.verifierSeq++
 	v.id = fmt.Sprintf("v%d", s.verifierSeq)
 	v.corpusID = corpusID
+	v.svc = s
 	s.verifiers[v.id] = v
+	if err := s.journal(&store.Record{
+		Op: store.OpVerifierCreate, Verifier: v.id, Corpus: corpusID, Payload: payload,
+	}); err != nil {
+		delete(s.verifiers, v.id) // not durable, not acknowledged
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+	// Park the trained model as a boot-time optimization. Best-effort:
+	// the journaled training document already guarantees recovery.
+	_ = s.saveVerifierSnapshot(v)
 	return v, nil
 }
 
@@ -513,12 +691,25 @@ func (s *Service) Verifier(id string) (*Verifier, bool) {
 }
 
 // RemoveVerifier drops a verifier, reporting whether it was registered.
-func (s *Service) RemoveVerifier(id string) bool {
+// With a store attached the delete is journaled (rolled back on append
+// failure, surfaced as ErrJournal) and the verifier's model snapshot is
+// deleted, so recovery leaves no orphaned state behind.
+func (s *Service) RemoveVerifier(id string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.verifiers[id]
+	v, ok := s.verifiers[id]
+	if !ok {
+		return false, nil
+	}
 	delete(s.verifiers, id)
-	return ok
+	if err := s.journal(&store.Record{Op: store.OpVerifierDelete, Verifier: id, Corpus: v.corpusID}); err != nil {
+		s.verifiers[id] = v
+		return false, err
+	}
+	if s.store != nil {
+		_ = s.store.DeleteSnapshot(snapshotKind, id)
+	}
+	return true, nil
 }
 
 // CorpusInfo summarises one registered corpus.

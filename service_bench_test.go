@@ -86,6 +86,60 @@ func BenchmarkServiceVerifyCold(b *testing.B) {
 	b.ReportMetric(float64(b.N)*float64(len(w.Document.Claims))/b.Elapsed().Seconds(), "claims/s")
 }
 
+// BenchmarkRecoveryBoot is the boot-time cost of Recover over a populated
+// store (one corpus, one trained verifier, one live session with a short
+// answer log): the restart latency a -data-dir deployment pays. Snapshot
+// re-materializes the verifier from its stored model blob; Retrain is the
+// fallback when only the journal survives (snapshot blobs lost), which
+// re-fits features and classifiers from the journaled training document.
+func BenchmarkRecoveryBoot(b *testing.B) {
+	w := benchServiceWorld(b)
+	st := NewMemoryStore()
+	mgr := NewSessionManager(0, 0)
+	svc := NewService()
+	if _, err := svc.Recover(st, mgr); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.AddCorpus("world", w.Corpus); err != nil {
+		b.Fatal(err)
+	}
+	v, err := svc.CreateVerifier("world", w.Document, Options{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := v.StartSession(mgr, w.Document, SessionOptions{Verify: VerifyOptions{BatchSize: 100}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		qs := sess.Questions()
+		if len(qs) == 0 {
+			b.Fatal("no pending questions")
+		}
+		if _, err := sess.Answer(SessionAnswer{ClaimID: qs[0].ClaimID, Value: "suggestion", Seconds: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Journal-only copy: recovery from it must retrain the verifier.
+	bare := st.CloneWithPrefix(int(st.Stats().Records))
+
+	boot := func(b *testing.B, from Store) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			svc2 := NewService()
+			stats, err := svc2.Recover(from, NewSessionManager(0, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Verifiers != 1 || stats.Sessions != 1 {
+				b.Fatalf("unexpected recovery: %+v", stats)
+			}
+		}
+	}
+	b.Run("Snapshot", func(b *testing.B) { boot(b, st) })
+	b.Run("Retrain", func(b *testing.B) { boot(b, bare) })
+}
+
 // BenchmarkServiceVerifyWarm is the full service request: StartRun +
 // verify against one shared trained Verifier (the tracked headline for
 // the fit-once / verify-many amortization).

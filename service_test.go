@@ -373,17 +373,17 @@ func TestServiceRegistry(t *testing.T) {
 	}
 
 	// Removing a corpus cascades to its verifiers.
-	if !svc.RemoveCorpus("iea") {
-		t.Fatal("RemoveCorpus failed")
+	if ok, err := svc.RemoveCorpus("iea"); err != nil || !ok {
+		t.Fatalf("RemoveCorpus failed: ok=%v err=%v", ok, err)
 	}
 	if _, ok := svc.Verifier(v.ID()); ok {
 		t.Fatal("verifier survived corpus removal")
 	}
-	if svc.RemoveCorpus("iea") {
-		t.Fatal("second RemoveCorpus succeeded")
+	if ok, err := svc.RemoveCorpus("iea"); err != nil || ok {
+		t.Fatalf("second RemoveCorpus: ok=%v err=%v", ok, err)
 	}
-	if svc.RemoveVerifier(v.ID()) {
-		t.Fatal("RemoveVerifier on cascaded verifier succeeded")
+	if ok, err := svc.RemoveVerifier(v.ID()); err != nil || ok {
+		t.Fatalf("RemoveVerifier on cascaded verifier: ok=%v err=%v", ok, err)
 	}
 }
 
