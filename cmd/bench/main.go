@@ -8,6 +8,7 @@
 //	go run ./cmd/bench -bench 'Train' -pkg ./internal/classifier
 //	go run ./cmd/bench -out /tmp -date 2026-01-31
 //	go run ./cmd/bench -baseline BENCH_2026-08-08.json -max-ratio 2
+//	go run ./cmd/bench -cpu 2          # multi-core pass -> BENCH_<date>.cpu2.json
 //
 // The default tracked set covers the numeric hot path (classifier training
 // and scoring, sparse-vector ops, TF-IDF transform), the end-to-end
@@ -20,11 +21,19 @@
 // With -baseline the run is also a regression gate: each fresh ns/op is
 // compared against the same-named benchmark in the given BENCH_*.json and
 // the process exits non-zero when any tracked benchmark slowed down by
-// more than -max-ratio (default 2x). Benchmarks missing from the baseline
-// are reported but do not fail the gate, so new benchmarks can land before
-// the baseline is refreshed. Ratios, not absolute numbers, keep the gate
-// meaningful across machines of similar class; the wide 2x threshold
-// absorbs the remaining machine-to-machine spread.
+// more than -max-ratio (default 2x). allocs/op is gated the same way under
+// its own -max-alloc-ratio (default 1.5x — allocation counts are nearly
+// deterministic, so the threshold can be much tighter than the timing
+// one). Benchmarks missing from the baseline are reported but do not fail
+// the gate, so new benchmarks can land before the baseline is refreshed.
+// Ratios, not absolute numbers, keep the gate meaningful across machines
+// of similar class; the wide 2x timing threshold absorbs the remaining
+// machine-to-machine spread.
+//
+// -cpu N reruns the whole suite under `go test -cpu N` (GOMAXPROCS=N) and
+// writes BENCH_<date>.cpuN.json instead, with gomaxprocs recorded as N —
+// the committed multi-core baseline that keeps the parallel paths honest
+// next to the single-core one.
 package main
 
 import (
@@ -98,6 +107,8 @@ func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
 	baseline := flag.String("baseline", "", "BENCH_*.json to gate against; exit non-zero on regressions")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when fresh ns/op exceeds baseline ns/op by this factor (with -baseline)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.5, "fail when fresh allocs/op exceeds baseline allocs/op by this factor (with -baseline; 0 disables)")
+	cpuN := flag.Int("cpu", 0, "run the suite under `go test -cpu N` and write BENCH_<date>.cpuN.json (0: current GOMAXPROCS)")
 	flag.Parse()
 
 	tracked := defaultTracked
@@ -117,8 +128,11 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		BenchTime:  *benchtime,
 	}
+	if *cpuN > 0 {
+		rep.GOMAXPROCS = *cpuN
+	}
 	for _, t := range tracked {
-		results, cpu, err := runBench(t, *benchtime)
+		results, cpu, err := runBench(t, *benchtime, *cpuN)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", t.Pkg, err)
 			os.Exit(1)
@@ -133,7 +147,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	path := filepath.Join(*out, "BENCH_"+*date+".json")
+	name := "BENCH_" + *date + ".json"
+	if *cpuN > 0 {
+		name = fmt.Sprintf("BENCH_%s.cpu%d.json", *date, *cpuN)
+	}
+	path := filepath.Join(*out, name)
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -156,33 +174,36 @@ func main() {
 	}
 
 	if *baseline != "" {
-		if err := gateAgainstBaseline(*baseline, tracked, rep.Benchmarks, *benchtime, *maxRatio); err != nil {
+		if err := gateAgainstBaseline(*baseline, tracked, rep.Benchmarks, *benchtime, *cpuN, *maxRatio, *maxAllocRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// regression is one benchmark that came in slower than the baseline
-// allows.
+// regression is one benchmark measurement (timing or allocation count)
+// that came in worse than the baseline allows.
 type regression struct {
-	res    result
-	baseNs float64
+	res   result
+	unit  string // "ns/op" or "allocs/op"
+	fresh float64
+	base  float64
 }
 
 func (r regression) String() string {
-	return fmt.Sprintf("%-45s %.2fx slower (%.0f ns/op vs %.0f ns/op baseline)",
-		r.res.Name, r.res.NsPerOp/r.baseNs, r.res.NsPerOp, r.baseNs)
+	return fmt.Sprintf("%-45s %.2fx worse (%.0f %s vs %.0f %s baseline)",
+		r.res.Name, r.fresh/r.base, r.fresh, r.unit, r.base, r.unit)
 }
 
-// gateAgainstBaseline fails (returns an error) when any fresh benchmark
-// is more than maxRatio slower than its committed baseline entry.
-// Suspected regressions are re-measured once before failing: on shared
-// CI runners a noisy neighbour can slow a microbenchmark past 2x, but a
-// genuine regression reproduces; only benchmarks slow in both passes
-// fail the gate. Benchmarks absent from the baseline are reported and
-// skipped (they are new; the next baseline refresh covers them).
-func gateAgainstBaseline(path string, tracked []trackedBench, fresh []result, benchtime string, maxRatio float64) error {
+// gateAgainstBaseline fails (returns an error) when any fresh benchmark is
+// more than maxRatio slower — or allocates more than maxAllocRatio times
+// as often — as its committed baseline entry. Suspected regressions are
+// re-measured once before failing: on shared CI runners a noisy neighbour
+// can slow a microbenchmark past 2x, but a genuine regression reproduces;
+// only benchmarks bad in both passes fail the gate. Benchmarks absent from
+// the baseline are reported and skipped (they are new; the next baseline
+// refresh covers them).
+func gateAgainstBaseline(path string, tracked []trackedBench, fresh []result, benchtime string, cpuN int, maxRatio, maxAllocRatio float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w", err)
@@ -191,11 +212,11 @@ func gateAgainstBaseline(path string, tracked []trackedBench, fresh []result, be
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	baseNs := make(map[string]float64, len(base.Benchmarks))
+	baseBy := make(map[string]result, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseNs[b.Name] = b.NsPerOp
+		baseBy[b.Name] = b
 	}
-	regressions := findRegressions(fresh, baseNs, maxRatio)
+	regressions := findRegressions(fresh, baseBy, maxRatio, maxAllocRatio)
 	if len(regressions) > 0 {
 		fmt.Printf("re-measuring %d suspected regression(s) to rule out runner noise\n", len(regressions))
 		pkgs := map[string]bool{}
@@ -207,61 +228,83 @@ func gateAgainstBaseline(path string, tracked []trackedBench, fresh []result, be
 			if !pkgs[t.Pkg] {
 				continue
 			}
-			results, _, err := runBench(t, benchtime)
+			results, _, err := runBench(t, benchtime, cpuN)
 			if err != nil {
 				return err
 			}
 			retried = append(retried, results...)
 		}
-		// Keep the faster of the two measurements per benchmark: the
-		// gate cares about the best the code can do, not the worst the
-		// runner did.
-		bestNs := make(map[string]result, len(retried))
+		// Keep the better of the two measurements per benchmark and
+		// metric: the gate cares about the best the code can do, not the
+		// worst the runner did.
+		best := make(map[string]result, len(regressions))
 		for _, r := range regressions {
-			bestNs[r.res.Name] = r.res
+			best[r.res.Name] = r.res
 		}
 		for _, b := range retried {
-			if prev, ok := bestNs[b.Name]; ok && b.NsPerOp < prev.NsPerOp {
-				bestNs[b.Name] = b
+			prev, ok := best[b.Name]
+			if !ok {
+				continue
+			}
+			if b.NsPerOp < prev.NsPerOp {
+				prev.NsPerOp = b.NsPerOp
+			}
+			if b.AllocsPerOp < prev.AllocsPerOp {
+				prev.AllocsPerOp = b.AllocsPerOp
+			}
+			best[b.Name] = prev
+		}
+		confirmed := make([]result, 0, len(best))
+		seen := map[string]bool{}
+		for _, r := range regressions {
+			if !seen[r.res.Name] {
+				seen[r.res.Name] = true
+				confirmed = append(confirmed, best[r.res.Name])
 			}
 		}
-		var confirmed []result
-		for _, r := range regressions {
-			confirmed = append(confirmed, bestNs[r.res.Name])
-		}
-		regressions = findRegressions(confirmed, baseNs, maxRatio)
+		regressions = findRegressions(confirmed, baseBy, maxRatio, maxAllocRatio)
 	}
 	if len(regressions) > 0 {
-		msg := fmt.Sprintf("%d benchmark(s) regressed more than %.1fx vs %s:", len(regressions), maxRatio, path)
+		msg := fmt.Sprintf("%d measurement(s) regressed vs %s (limits: %.1fx ns/op, %.1fx allocs/op):",
+			len(regressions), path, maxRatio, maxAllocRatio)
 		for _, r := range regressions {
 			msg += "\n  " + r.String()
 		}
 		return errors.New(msg)
 	}
-	fmt.Printf("baseline gate passed: no benchmark regressed more than %.1fx vs %s\n", maxRatio, path)
+	fmt.Printf("baseline gate passed: within %.1fx ns/op and %.1fx allocs/op of %s\n", maxRatio, maxAllocRatio, path)
 	return nil
 }
 
-// findRegressions compares fresh results against baseline ns/op.
-func findRegressions(fresh []result, baseNs map[string]float64, maxRatio float64) []regression {
+// findRegressions compares fresh results against the baseline on ns/op and
+// (when maxAllocRatio > 0) allocs/op.
+func findRegressions(fresh []result, baseBy map[string]result, maxRatio, maxAllocRatio float64) []regression {
 	var out []regression
 	for _, b := range fresh {
-		old, ok := baseNs[b.Name]
-		if !ok || old <= 0 {
+		old, ok := baseBy[b.Name]
+		if !ok {
 			fmt.Printf("  (no baseline for %s; skipped by the gate)\n", b.Name)
 			continue
 		}
-		if b.NsPerOp/old > maxRatio {
-			out = append(out, regression{res: b, baseNs: old})
+		if old.NsPerOp > 0 && b.NsPerOp/old.NsPerOp > maxRatio {
+			out = append(out, regression{res: b, unit: "ns/op", fresh: b.NsPerOp, base: old.NsPerOp})
+		}
+		if maxAllocRatio > 0 && old.AllocsPerOp > 0 && b.AllocsPerOp/old.AllocsPerOp > maxAllocRatio {
+			out = append(out, regression{res: b, unit: "allocs/op", fresh: b.AllocsPerOp, base: old.AllocsPerOp})
 		}
 	}
 	return out
 }
 
 // runBench executes one `go test -bench` invocation and parses its output.
-func runBench(t trackedBench, benchtime string) ([]result, string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", t.Bench, "-benchmem", "-benchtime", benchtime, t.Pkg)
+// cpuN > 0 adds -cpu N, running every benchmark at GOMAXPROCS=N.
+func runBench(t trackedBench, benchtime string, cpuN int) ([]result, string, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", t.Bench, "-benchmem", "-benchtime", benchtime}
+	if cpuN > 0 {
+		args = append(args, "-cpu", strconv.Itoa(cpuN))
+	}
+	cmd := exec.Command("go", append(args, t.Pkg)...)
 	cmd.Stderr = os.Stderr
 	outPipe, err := cmd.StdoutPipe()
 	if err != nil {

@@ -413,6 +413,9 @@ func (s *server) handleRunCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, err := run.Verify(crowd, vopts)
+		// Batch runs are request-scoped: hand the engine back to the
+		// verifier's spare pool so the next request re-primes it in place.
+		run.Close()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return

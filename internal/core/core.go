@@ -1,8 +1,3 @@
-// Package core implements the Scrutinizer engine itself: the four property
-// classifiers glued to the feature pipeline (§3.1), query generation from
-// classifier candidates (Algorithm 2), single-claim verification through
-// planned question screens answered by a crowd (§5.1), and the main
-// batch-verification loop with claim ordering (Algorithm 1, §5.2).
 package core
 
 import (
@@ -124,6 +119,13 @@ type Config struct {
 	// sessions deduplicate Algorithm 2 work). Nil gives the engine a
 	// private cache.
 	QueryCache *QueryCache
+	// FormulaParallelism bounds the fan-out of Algorithm 2 enumeration
+	// across formulas within one claim: cache-missing formulas are
+	// enumerated concurrently, each at the full assignment budget, before
+	// the sequential serve pass (bit-identical outputs; see
+	// GenerateQueries). <= 1 keeps enumeration sequential. 0 defaults to
+	// min(4, GOMAXPROCS).
+	FormulaParallelism int
 }
 
 // DefaultConfig mirrors the experimental setup of §6.
@@ -135,6 +137,8 @@ func DefaultConfig() Config {
 		TopK:           10,
 		MaxAssignments: 20000,
 		MaxAlternates:  5,
+
+		FormulaParallelism: defaultFormulaParallelism(),
 	}
 }
 
@@ -155,6 +159,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAlternates <= 0 {
 		c.MaxAlternates = d.MaxAlternates
 	}
+	if c.FormulaParallelism <= 0 {
+		c.FormulaParallelism = d.FormulaParallelism
+	}
 	return c
 }
 
@@ -168,11 +175,12 @@ type Engine struct {
 	lib    *formula.Library
 
 	// qcache memoizes tentative execution per corpus generation (see
-	// QueryCache); progs caches compiled formula programs by canonical
-	// formula string (programs are corpus-independent, so the cache is
-	// shared across every engine spawned from one snapshot lineage).
+	// QueryCache); fc caches everything derivable from a formula string
+	// alone — the parse, the canonical rendering, the alias list and the
+	// compiled program (all corpus- and training-independent, so the cache
+	// is shared across every engine spawned from one snapshot lineage).
 	qcache *QueryCache
-	progs  *progCache
+	fc     *formulaCache
 
 	// genOverride, when set, replaces GenerateQueries' compiled engine —
 	// the benchmark/equivalence hook that lets the reference interpreter
@@ -197,6 +205,17 @@ type Engine struct {
 	assessMu sync.RWMutex
 	gen      uint64
 	assessed map[int]*assessment // claim ID -> cached assessment
+
+	// seqAssess forces assessAll onto the legacy per-claim scoring path —
+	// the reference implementation the batch path is pinned against in
+	// the equivalence tests. Never set outside tests.
+	seqAssess bool
+
+	// origin is the snapshot this engine was spawned from, when it came
+	// through ModelSnapshot.Spawn; Release returns the engine to the
+	// snapshot's spare pool so its caches and model buffers are recycled
+	// by the next Spawn.
+	origin *ModelSnapshot
 }
 
 // assessment is everything one scoring pass over the four models yields for
@@ -231,7 +250,7 @@ func NewEngine(corpus *table.Corpus, pipe *feature.Pipeline, cfg Config) (*Engin
 		featCache: make(map[int]textproc.Sparse),
 		assessed:  make(map[int]*assessment),
 		qcache:    cfg.QueryCache,
-		progs:     newProgCache(),
+		fc:        newFormulaCache(),
 	}
 	if e.qcache == nil {
 		e.qcache = NewQueryCache()
@@ -248,22 +267,163 @@ func (e *Engine) Corpus() *table.Corpus { return e.corpus }
 // QueryCacheStats reports the engine's tentative-execution cache state.
 func (e *Engine) QueryCacheStats() QueryCacheStats { return e.qcache.Stats() }
 
-// progCacheCap bounds the compiled-formula cache; the formula vocabulary is
-// small in practice, the cap only guards against adversarial checker input.
-const progCacheCap = 1024
+// formulaCacheCap bounds the distinct formula strings the cache retains;
+// the formula vocabulary is small in practice, the cap only guards against
+// adversarial checker input (formula strings ultimately arrive through
+// crowd answers and HTTP sessions).
+const formulaCacheCap = 4096
 
-// progCache is the compiled-formula program cache: canonical formula
-// string -> compiled program (nil marks a formula the compiler rejects).
-// Programs are corpus-independent and immutable once compiled, so one
-// cache is shared by an engine and every engine spawned from its
-// snapshots. All methods are safe for concurrent use.
-type progCache struct {
-	mu sync.RWMutex
-	m  map[string]*expr.Program
+// fcEntry is everything the engine ever derives from one formula string:
+// the parse result (or its error), the canonical rendering, the alias list
+// of the expression, and the compiled program. All of it is corpus- and
+// training-independent, so entries never invalidate.
+type fcEntry struct {
+	f       *formula.Formula // nil when the source does not parse
+	err     error            // the parse error when f is nil
+	canon   string           // f.String(); the source verbatim when unparseable
+	aliases []string         // expr.Aliases(f.Expr); computed lazily
+	prog    *expr.Program    // compiled program; nil marks compiler-rejected
+	progSet bool             // whether prog was resolved yet
 }
 
-func newProgCache() *progCache {
-	return &progCache{m: make(map[string]*expr.Program)}
+// formulaCache memoizes formula derivations keyed both by source string
+// (classifier labels, crowd answers, annotations) and by parsed pointer
+// (formulas flowing from buildFinal into query generation), so the
+// per-claim hot path — parse the top-k formula options, render their
+// canonical keys, walk their alias lists, compile — degenerates to map
+// hits after the first claim of a vocabulary. One cache is shared by an
+// engine and every engine spawned from its snapshots. All methods are
+// safe for concurrent use.
+type formulaCache struct {
+	mu    sync.RWMutex
+	bySrc map[string]*fcEntry
+	byPtr map[*formula.Formula]*fcEntry
+}
+
+func newFormulaCache() *formulaCache {
+	return &formulaCache{
+		bySrc: make(map[string]*fcEntry),
+		byPtr: make(map[*formula.Formula]*fcEntry),
+	}
+}
+
+// intern returns the cache entry for a source string, parsing on first
+// use. Successful parses are registered under the source, the canonical
+// rendering and the parsed pointer, so later lookups through any of the
+// three converge on one entry.
+func (fc *formulaCache) intern(src string) *fcEntry {
+	fc.mu.RLock()
+	ent, ok := fc.bySrc[src]
+	fc.mu.RUnlock()
+	if ok {
+		return ent
+	}
+	f, err := formula.ParseFormula(src)
+	if err != nil {
+		ent = &fcEntry{err: err, canon: src}
+	} else {
+		ent = &fcEntry{f: f, canon: f.String()}
+	}
+	fc.mu.Lock()
+	if prev, ok := fc.bySrc[src]; ok {
+		ent = prev // racing duplicate parse: first writer wins
+	} else if len(fc.bySrc) < formulaCacheCap {
+		fc.bySrc[src] = ent
+		if ent.f != nil {
+			if _, ok := fc.bySrc[ent.canon]; !ok {
+				fc.bySrc[ent.canon] = ent
+			}
+			fc.byPtr[ent.f] = ent
+		}
+	}
+	fc.mu.Unlock()
+	return ent
+}
+
+// ofFormula returns the cache entry for an already-parsed formula,
+// rendering and registering it on first sight (formulas born outside the
+// cache, e.g. from Generalize or direct library loads).
+func (fc *formulaCache) ofFormula(f *formula.Formula) *fcEntry {
+	fc.mu.RLock()
+	ent, ok := fc.byPtr[f]
+	fc.mu.RUnlock()
+	if ok {
+		return ent
+	}
+	ent = &fcEntry{f: f, canon: f.String()}
+	fc.mu.Lock()
+	if prev, ok := fc.byPtr[f]; ok {
+		ent = prev
+	} else if len(fc.byPtr) < formulaCacheCap {
+		fc.byPtr[f] = ent
+		if _, ok := fc.bySrc[ent.canon]; !ok {
+			fc.bySrc[ent.canon] = ent
+		}
+	}
+	fc.mu.Unlock()
+	return ent
+}
+
+// aliasesOf returns the entry's alias list, computing it once. The slice
+// is shared read-only by all callers.
+func (fc *formulaCache) aliasesOf(ent *fcEntry) []string {
+	fc.mu.RLock()
+	aliases := ent.aliases
+	fc.mu.RUnlock()
+	if aliases != nil || ent.f == nil {
+		return aliases
+	}
+	aliases = expr.Aliases(ent.f.Expr)
+	fc.mu.Lock()
+	if ent.aliases == nil {
+		ent.aliases = aliases
+	} else {
+		aliases = ent.aliases
+	}
+	fc.mu.Unlock()
+	return aliases
+}
+
+// parseFormula parses a formula string through the engine's formula cache:
+// the cached equivalent of formula.ParseFormula. The returned formula is
+// shared and must be treated as immutable.
+func (e *Engine) parseFormula(src string) (*formula.Formula, error) {
+	ent := e.fc.intern(src)
+	return ent.f, ent.err
+}
+
+// canonicalFormula is the cached equivalent of CanonicalFormula.
+func (e *Engine) canonicalFormula(src string) string {
+	if src == "" {
+		return ""
+	}
+	return e.fc.intern(src).canon
+}
+
+// truthLabel is the cached equivalent of TruthLabel: formula labels
+// canonicalise through the formula cache instead of re-parsing per call
+// (the simulated oracle asks for the truth label once per screen, training
+// once per annotated claim per round).
+func (e *Engine) truthLabel(t *claims.GroundTruth, kind PropertyKind) string {
+	if t == nil {
+		return ""
+	}
+	if kind == PropFormula {
+		return e.canonicalFormula(t.Formula)
+	}
+	return TruthLabel(t, kind)
+}
+
+// formulaKey returns the canonical rendering of a parsed formula, cached
+// by pointer — GenerateQueries needs it per formula per claim, and the
+// formulas it sees almost always came out of the same cache.
+func (e *Engine) formulaKey(f *formula.Formula) string {
+	return e.fc.ofFormula(f).canon
+}
+
+// formulaAliases returns the cached alias list of a parsed formula.
+func (e *Engine) formulaAliases(f *formula.Formula) []string {
+	return e.fc.aliasesOf(e.fc.ofFormula(f))
 }
 
 // compiledProgram returns the compiled program for a canonical formula
@@ -271,10 +431,11 @@ func newProgCache() *progCache {
 // value is cached too, so rejected formulas fall back to the interpreter
 // without recompiling per claim).
 func (e *Engine) compiledProgram(fkey string, n expr.Node) *expr.Program {
-	pc := e.progs
-	pc.mu.RLock()
-	prog, ok := pc.m[fkey]
-	pc.mu.RUnlock()
+	fc := e.fc
+	ent := fc.intern(fkey)
+	fc.mu.RLock()
+	prog, ok := ent.prog, ent.progSet
+	fc.mu.RUnlock()
 	if ok {
 		return prog
 	}
@@ -282,11 +443,14 @@ func (e *Engine) compiledProgram(fkey string, n expr.Node) *expr.Program {
 	if err != nil {
 		prog = nil
 	}
-	pc.mu.Lock()
-	if len(pc.m) < progCacheCap {
-		pc.m[fkey] = prog
+	fc.mu.Lock()
+	if ent.progSet {
+		prog = ent.prog
+	} else {
+		ent.prog = prog
+		ent.progSet = true
 	}
-	pc.mu.Unlock()
+	fc.mu.Unlock()
 	return prog
 }
 
@@ -355,16 +519,21 @@ func (e *Engine) train(annotated []*claims.Claim, parallelism int) error {
 		}
 		f := e.Featurize(c)
 		for _, k := range PropertyKinds() {
-			label := TruthLabel(c.Truth, k)
+			label := e.truthLabel(c.Truth, k)
 			if label == "" {
 				continue
 			}
 			sets[k] = append(sets[k], classifier.Example{Features: f, Label: label})
 		}
 		if c.Truth.Formula != "" {
-			if _, err := e.lib.AddString(c.Truth.Formula); err != nil {
-				return fmt.Errorf("core: claim %d has malformed formula %q: %w", c.ID, c.Truth.Formula, err)
+			// The cached equivalent of lib.AddString: the same annotation
+			// formula re-enters training every round, so parse and render
+			// it once.
+			ent := e.fc.intern(c.Truth.Formula)
+			if ent.err != nil {
+				return fmt.Errorf("core: claim %d has malformed formula %q: %w", c.ID, c.Truth.Formula, ent.err)
 			}
+			e.lib.AddKeyed(ent.canon, ent.f)
 		}
 	}
 	kinds := PropertyKinds()
@@ -446,6 +615,92 @@ func (e *Engine) assess(c *claims.Claim) *assessment {
 	e.assessed[c.ID] = a
 	e.assessMu.Unlock()
 	return a
+}
+
+// assessMany fills the assessment cache for every listed claim that lacks
+// a current-generation entry — the batch-scored scheduler round. Instead
+// of assess's per-claim, per-kind scoring calls, all stale claims are
+// featurized once, each property kind scores the whole set in one
+// AnalyzeBatch pass over a dense feature matrix, and the per-claim
+// options/properties are assembled into shared arenas (one allocation per
+// round instead of per claim). Re-scoring is incremental across rounds: a
+// retrain bumps the generation and every claim goes stale; rounds without
+// a retrain reuse every cached assessment and score only never-seen
+// claims. The assembled assessments are bit-identical to assess's (same
+// accumulation order for the utility sum, same option values, same
+// BuildPlan inputs), pinned by the batch-vs-sequential equivalence tests.
+func (e *Engine) assessMany(cs []*claims.Claim, parallelism int) {
+	e.assessMu.RLock()
+	gen := e.gen
+	stale := make([]*claims.Claim, 0, len(cs))
+	for _, c := range cs {
+		if a, ok := e.assessed[c.ID]; !ok || a.gen != gen {
+			stale = append(stale, c)
+		}
+	}
+	e.assessMu.RUnlock()
+	if len(stale) == 0 {
+		return
+	}
+	n := len(stale)
+	feats := make([]textproc.Sparse, n)
+	runPool(n, parallelism, func(i int) { feats[i] = e.Featurize(stale[i]) })
+
+	kinds := PropertyKinds()
+	preds := make([][][]classifier.Prediction, len(kinds))
+	ents := make([][]float64, len(kinds))
+	runPool(len(kinds), parallelism, func(ki int) {
+		preds[ki], ents[ki] = e.models[kinds[ki]].AnalyzeBatch(feats, e.cfg.TopK)
+	})
+
+	totalOpts := 0
+	for ki := range kinds {
+		for _, ps := range preds[ki] {
+			totalOpts += len(ps)
+		}
+	}
+	// Arena assembly: both appends stay within the precomputed capacity,
+	// so the per-claim subslices remain valid.
+	optArena := make([]planner.Option, 0, totalOpts)
+	propArena := make([]planner.Property, 0, n*len(kinds))
+	as := make([]*assessment, n)
+	for i := range stale {
+		a := &assessment{gen: gen}
+		propStart := len(propArena)
+		for ki, k := range kinds {
+			a.utility += ents[ki][i]
+			var opts []planner.Option
+			if ps := preds[ki][i]; len(ps) > 0 {
+				optStart := len(optArena)
+				for _, p := range ps {
+					optArena = append(optArena, planner.Option{Value: p.Label, Prob: p.Prob})
+				}
+				opts = optArena[optStart:len(optArena):len(optArena)]
+			}
+			propArena = append(propArena, planner.Property{
+				Name:     k.String(),
+				Options:  opts,
+				Required: k != PropFormula, // see assess
+			})
+		}
+		a.props = propArena[propStart:len(propArena):len(propArena)]
+		as[i] = a
+	}
+	runPool(n, parallelism, func(i int) {
+		a := as[i]
+		a.plan, a.planErr = planner.BuildPlan(planner.NewCandidateSpace(a.props), e.cfg.Cost)
+		if a.planErr != nil {
+			a.plan = nil
+			a.cost = e.cfg.Cost.ManualCost()
+		} else {
+			a.cost = a.plan.ExpectedCost
+		}
+	})
+	e.assessMu.Lock()
+	for i, c := range stale {
+		e.assessed[c.ID] = as[i]
+	}
+	e.assessMu.Unlock()
 }
 
 // Candidates returns, for each property, the classifier's top-k options with

@@ -1,0 +1,57 @@
+// Package core implements the Scrutinizer engine itself: the four property
+// classifiers glued to the feature pipeline (§3.1), query generation from
+// classifier candidates (Algorithm 2), single-claim verification through
+// planned question screens answered by a crowd (§5.1), and the main
+// batch-verification loop with claim ordering (Algorithm 1, §5.2).
+//
+// # Generation-scoped batch assessment
+//
+// Algorithm 1's scheduler needs the expected cost v(c) and training utility
+// u(c) of every remaining claim before every batch. Assessments are cached
+// per claim and stamped with the engine's model generation — a counter
+// bumped by every retrain — so a round that did not retrain re-reads them
+// for free, and a retrain invalidates all of them at once without touching
+// the cache.
+//
+// Stale claims are not re-scored one at a time. Before the per-claim reads,
+// assessMany collects every claim whose cached assessment is missing or
+// from an older generation, featurises them across the verify worker pool,
+// and scores all of them per property kind through a single
+// classifier.AnalyzeBatch call — one dense matrix pass per kind per round
+// instead of four scoring passes per claim. Candidate options and property
+// lists for the whole round are carved from shared arenas, and question
+// plans are built across the same pool. The filled cache entries are
+// indistinguishable from the legacy per-claim path (pinned by equivalence
+// tests; the seqAssess hook preserves that path as the reference
+// implementation).
+//
+// # Formula cache
+//
+// Formula strings recur relentlessly: every claim's ground truth is
+// consulted each batch, every generated query renders its formula, every
+// enumeration compiles it. The engine routes all of that through one
+// internal cache keyed by both source string and parsed node, memoizing the
+// parse, the canonical rendering, the alias list and the compiled program.
+// Snapshots and spawned engines share the cache across a verifier's whole
+// lineage — it holds derived, immutable data only.
+//
+// # Pooled run engines
+//
+// A ModelSnapshot freezes an engine's trained state; Spawn turns it back
+// into a private engine that a verification run may retrain freely. Released
+// engines (Engine.Release) return to the snapshot's pool, and the next
+// Spawn re-primes one in place — classifier weights copy into the existing
+// buffers, per-run caches keep their capacity — so a service handling many
+// short runs allocates the engine machinery once, not per request.
+//
+// # Parallelism
+//
+// One claim batch is verified across VerifyConfig.Parallelism goroutines,
+// and within a claim, Algorithm 2 enumeration fans out across candidate
+// formulas under Config.FormulaParallelism (misses are pre-enumerated into
+// the query cache at full budget, which serves any smaller budget
+// identically). Per-claim crowd random streams and deterministic merge
+// order make every result bit-identical to a sequential run, whatever the
+// fan-out — the repository's standing determinism contract, pinned by the
+// equivalence tests in this package.
+package core

@@ -43,7 +43,9 @@ func (e *Engine) NewTeamOracle(team *crowd.Team) (Oracle, error) {
 }
 
 func (o *teamOracle) AnswerProperty(c *claims.Claim, kind PropertyKind, options []planner.Option) (string, float64) {
-	truth := TruthLabel(c.Truth, kind)
+	// Formula truth labels canonicalise through the engine's formula
+	// cache — the oracle asks once per screen, every batch.
+	truth := o.engine.truthLabel(c.Truth, kind)
 	return o.team.AskScreen(options, truth, o.engine.cfg.Cost)
 }
 

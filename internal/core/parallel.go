@@ -8,17 +8,35 @@ import (
 )
 
 // DefaultParallelism is the fan-out Verify uses when callers ask for
-// "as parallel as the hardware allows".
-func DefaultParallelism() int { return runtime.NumCPU() }
+// "as parallel as the hardware allows". It follows GOMAXPROCS rather than
+// the physical CPU count so runtime-limited environments (container
+// quotas, `go test -cpu N`) get the fan-out they actually scheduled.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// defaultFormulaParallelism bounds the per-claim Algorithm 2 formula
+// fan-out: formula lists are short (top-k predictions), so a small cap
+// avoids spawning workers that would idle immediately.
+func defaultFormulaParallelism() int {
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		return p
+	}
+	return 4
+}
 
 // runPool invokes fn(0..n-1) across at most parallelism goroutines and
-// waits for completion. With parallelism <= 1 it degenerates to a plain
-// loop on the caller's goroutine. fn must write results into its own index
-// of a pre-sized slice, which keeps output ordering independent of
-// goroutine interleaving.
+// waits for completion. Workers are capped at the job count — idle
+// goroutines are never spawned — and a single job (or parallelism <= 1)
+// runs as a plain call on the caller's goroutine with no channel
+// round-trip. fn must write results into its own index of a pre-sized
+// slice, which keeps output ordering independent of goroutine
+// interleaving.
 func runPool(n, parallelism int, fn func(i int)) {
 	if parallelism > n {
 		parallelism = n
+	}
+	if n == 1 {
+		fn(0)
+		return
 	}
 	if parallelism <= 1 {
 		for i := 0; i < n; i++ {
@@ -44,11 +62,20 @@ func runPool(n, parallelism int, fn func(i int)) {
 	wg.Wait()
 }
 
-// assessAll scores cost and utility for every claim (the scheduler inputs),
-// fanning the per-claim scoring passes out across goroutines. Assess only
-// reads model state, so the fan-out is ordering-free; results come back
-// indexed like ids.
+// assessAll scores cost and utility for every claim (the scheduler inputs).
+// The batch path (assessMany) fills the assessment cache for the whole
+// round first — one dense scoring pass per property kind over every stale
+// claim — so the per-claim reads below are cache hits; the seqAssess test
+// hook skips the batch fill, leaving the legacy per-claim scoring as the
+// reference implementation. Results come back indexed like ids.
 func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism int) ([]float64, []float64) {
+	if !e.seqAssess {
+		cs := make([]*claims.Claim, len(ids))
+		for i, id := range ids {
+			cs[i] = pool[id]
+		}
+		e.assessMany(cs, parallelism)
+	}
 	costs := make([]float64, len(ids))
 	utilities := make([]float64, len(ids))
 	runPool(len(ids), parallelism, func(i int) {
@@ -56,4 +83,3 @@ func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism in
 	})
 	return costs, utilities
 }
-

@@ -178,6 +178,19 @@ func (qc *QueryCache) get(c *table.Corpus, gen uint64, key string, budget int) (
 	return nil, false
 }
 
+// peek reports whether a usable entry exists without counting a hit or a
+// miss — the probe the parallel enumeration prefetch uses to find work
+// (the serve pass afterwards does the stats-counting get).
+func (qc *QueryCache) peek(c *table.Corpus, gen uint64, key string, budget int) bool {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.owner != c || qc.gen != gen {
+		qc.flushLocked(c, gen)
+	}
+	t, ok := qc.entries[key]
+	return ok && t.usable(budget)
+}
+
 // size approximates an entry's retained bytes (slices only; struct and map
 // overhead are noise at these sizes).
 func (t *tentEntry) size() int {

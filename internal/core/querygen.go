@@ -62,13 +62,19 @@ func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p flo
 
 	gen := e.corpus.Generation()
 	env := newGenEnv(e.corpus.Index(), ctx)
+	if e.cfg.FormulaParallelism > 1 {
+		e.prefetchFormulas(env, gen, formulas)
+	}
 	budget := e.cfg.MaxAssignments
 	for _, f := range formulas {
 		if f == nil || f.Expr == nil {
 			continue
 		}
-		fkey := f.String()
+		fkey := e.formulaKey(f)
 		fid := gs.fid(fkey, f)
+		if gs.formAliases[fid] == nil {
+			gs.formAliases[fid] = e.formulaAliases(f)
+		}
 		used := e.generateForFormula(gs, env, gen, f, fid, fkey, p, hasParam, budget)
 		budget -= used
 		if budget <= 0 {
@@ -95,6 +101,53 @@ func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p flo
 		})
 	}
 	return gs.materialize(env, sols, len(sols)), gs.materialize(env, alts, e.cfg.MaxAlternates)
+}
+
+// prefetchFormulas enumerates one claim's cache-missing formulas
+// concurrently, each at the full assignment budget, before the sequential
+// serve pass of GenerateQueries. An entry enumerated at the full budget
+// serves any smaller remaining budget with exact legacy accounting
+// (tentEntry.served), so the serve pass produces bit-identical output —
+// the fan-out only changes when (and on which goroutine) the enumeration
+// work happens. Pinned by the FormulaParallelism equivalence test.
+func (e *Engine) prefetchFormulas(env *genEnv, gen uint64, formulas []*formula.Formula) {
+	if len(env.ctx.Relations) == 0 || len(env.ctx.Keys) == 0 || len(env.pairs) == 0 {
+		return
+	}
+	budget := e.cfg.MaxAssignments
+	var miss []*formula.Formula
+	var missKeys []string
+	seen := make(map[string]bool, len(formulas))
+	for _, f := range formulas {
+		if f == nil || f.Expr == nil {
+			continue
+		}
+		if len(f.AttrVars) > 0 && len(env.ctx.Attrs) == 0 {
+			continue
+		}
+		key := tentKey(e.formulaKey(f), env.ctx)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if e.qcache.peek(e.corpus, gen, key, budget) {
+			continue
+		}
+		miss = append(miss, f)
+		missKeys = append(missKeys, key)
+	}
+	if len(miss) < 2 {
+		return // a lone miss gains nothing from a worker hand-off
+	}
+	// env's execution tables build lazily and are not goroutine-safe;
+	// resolve them once here so the workers only read env.
+	env.ensureExec()
+	runPool(len(miss), e.cfg.FormulaParallelism, func(i int) {
+		wgs := getGenScratch()
+		entry := e.enumerate(wgs, env, miss[i], e.formulaKey(miss[i]), budget)
+		putGenScratch(wgs)
+		e.qcache.put(e.corpus, gen, missKeys[i], entry)
+	})
 }
 
 // generateForFormula runs (or serves from cache) the tentative execution of
@@ -146,7 +199,7 @@ func (e *Engine) generateForFormula(gs *genScratch, env *genEnv, gen uint64, f *
 // execution with identical pruning semantics.
 func (e *Engine) enumerate(gs *genScratch, env *genEnv, f *formula.Formula, fkey string, budget int) *tentEntry {
 	attrVars := f.AttrVars
-	aliases := expr.Aliases(f.Expr)
+	aliases := e.formulaAliases(f)
 	attrAssigns := injectiveIdx(len(env.ctx.Attrs), len(attrVars))
 	if len(attrAssigns) == 0 && len(attrVars) > 0 {
 		attrAssigns = repeatedIdx(len(env.ctx.Attrs), len(attrVars))
@@ -444,7 +497,8 @@ type genScratch struct {
 	sols, alts  []candRec
 	slots       []int32
 	forms       []*formula.Formula
-	formAliases [][]string // per fid, lazily filled by materialize
+	fkeys       []string   // per fid, the canonical rendering (dedupe key)
+	formAliases [][]string // per fid, pre-filled from the formula cache
 	fidOf       map[string]int32
 	seen        map[string]struct{}
 	key         []byte
@@ -470,6 +524,10 @@ func putGenScratch(gs *genScratch) {
 		gs.forms[i] = nil // drop formula references while pooled
 	}
 	gs.forms = gs.forms[:0]
+	for i := range gs.fkeys {
+		gs.fkeys[i] = ""
+	}
+	gs.fkeys = gs.fkeys[:0]
 	for i := range gs.formAliases {
 		gs.formAliases[i] = nil
 	}
@@ -488,6 +546,7 @@ func (gs *genScratch) fid(fkey string, f *formula.Formula) int32 {
 	id := int32(len(gs.forms))
 	gs.fidOf[fkey] = id
 	gs.forms = append(gs.forms, f)
+	gs.fkeys = append(gs.fkeys, fkey)
 	gs.formAliases = append(gs.formAliases, nil)
 	return id
 }
@@ -560,7 +619,7 @@ func (gs *genScratch) materialize(env *genEnv, recs []candRec, limit int) []Gene
 			continue
 		}
 		seenSQL[sql] = true
-		out = append(out, GeneratedQuery{Query: q, Value: r.value, Formula: f.String()})
+		out = append(out, GeneratedQuery{Query: q, Value: r.value, Formula: gs.fkeys[r.fid]})
 	}
 	return out
 }
@@ -671,11 +730,11 @@ func (e *Engine) TruthQuery(c *claims.Claim) (*query.Query, error) {
 	if c == nil || c.Truth == nil {
 		return nil, fmt.Errorf("core: claim has no ground-truth annotation")
 	}
-	f, err := formula.ParseFormula(c.Truth.Formula)
+	f, err := e.parseFormula(c.Truth.Formula)
 	if err != nil {
 		return nil, fmt.Errorf("core: claim %d: %w", c.ID, err)
 	}
-	aliases := expr.Aliases(f.Expr)
+	aliases := e.formulaAliases(f)
 	if len(c.Truth.Relations) == 0 || len(c.Truth.Keys) == 0 {
 		return nil, fmt.Errorf("core: claim %d annotation lacks relations or keys", c.ID)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/repro/scrutinizer/internal/classifier"
 	"github.com/repro/scrutinizer/internal/feature"
 	"github.com/repro/scrutinizer/internal/formula"
@@ -15,15 +17,22 @@ import (
 // a deep copy of everything training mutates (the four classifiers, the
 // formula library pointer, the generation counter) plus shared references
 // to everything training does not touch (corpus, feature pipeline, query
-// and program caches). Spawning turns a snapshot back into a private
+// and formula caches). Spawning turns a snapshot back into a private
 // engine, so any number of concurrent runs can start from one trained
 // state without racing each other's batch-boundary retraining.
+//
+// Spawned engines are pooled: Release returns a finished run's engine to
+// its snapshot, and the next Spawn re-primes it from the snapshot's model
+// state in place (classifier.CloneInto reuses the weight buffers, the
+// feature/assessment maps keep their capacity), so a service handling many
+// short runs against one trained verifier allocates the engine machinery
+// once instead of per request.
 
 // ModelSnapshot is an immutable copy of an engine's trained model state.
 // It is safe for concurrent use: every Spawn derives an independent engine
 // and nothing ever trains the snapshot's own model copies. Snapshots share
 // the source engine's corpus, feature pipeline, tentative-execution cache
-// and compiled-formula cache — all of them either immutable or internally
+// and formula cache — all of them either immutable or internally
 // synchronized.
 type ModelSnapshot struct {
 	corpus *table.Corpus
@@ -35,8 +44,11 @@ type ModelSnapshot struct {
 	gen    uint64
 
 	qcache      *QueryCache
-	progs       *progCache
+	fc          *formulaCache
 	genOverride func(Context, []*formula.Formula, float64, bool) ([]GeneratedQuery, []GeneratedQuery)
+
+	// spares pools engines returned by Release for reuse by Spawn.
+	spares sync.Pool
 }
 
 // Snapshot deep-copies the engine's trained state into an immutable
@@ -51,7 +63,7 @@ func (e *Engine) Snapshot() *ModelSnapshot {
 		models:      make(map[PropertyKind]*classifier.Classifier, len(e.models)),
 		lib:         e.lib,
 		qcache:      e.qcache,
-		progs:       e.progs,
+		fc:          e.fc,
 		genOverride: e.genOverride,
 	}
 	for k, m := range e.models {
@@ -72,7 +84,17 @@ func (s *ModelSnapshot) Generation() uint64 { return s.gen }
 // retrain replaces it, and the feature / assessment caches start empty —
 // they are per-run state, keyed by claim ID, and distinct runs may verify
 // distinct documents whose claim IDs collide.
+//
+// Spawn prefers recycling an engine a previous run returned via Release,
+// re-priming it from the snapshot in place; the result is indistinguishable
+// from a fresh spawn (pinned by test), even when the released run had
+// retrained its models.
 func (s *ModelSnapshot) Spawn() *Engine {
+	if v := s.spares.Get(); v != nil {
+		e := v.(*Engine)
+		e.reprime(s)
+		return e
+	}
 	e := &Engine{
 		corpus:      s.corpus,
 		pipe:        s.pipe,
@@ -80,16 +102,62 @@ func (s *ModelSnapshot) Spawn() *Engine {
 		models:      make(map[PropertyKind]*classifier.Classifier, len(s.models)),
 		lib:         s.lib,
 		qcache:      s.qcache,
-		progs:       s.progs,
+		fc:          s.fc,
 		genOverride: s.genOverride,
 		featCache:   make(map[int]textproc.Sparse),
 		assessed:    make(map[int]*assessment),
 		gen:         s.gen,
+		origin:      s,
 	}
 	for k, m := range s.models {
 		e.models[k] = m.Clone()
 	}
 	return e
+}
+
+// reprime restores a pooled engine to the snapshot's trained state in
+// place: classifier weights copy into the engine's existing buffers, the
+// shared references (corpus, pipeline, caches, library) reset to the
+// snapshot's, and the per-run caches — cleared at Release time — keep
+// their map capacity for the next document.
+func (e *Engine) reprime(s *ModelSnapshot) {
+	e.corpus = s.corpus
+	e.pipe = s.pipe
+	e.cfg = s.cfg
+	e.lib = s.lib
+	e.qcache = s.qcache
+	e.fc = s.fc
+	e.genOverride = s.genOverride
+	for k, m := range s.models {
+		if dst, ok := e.models[k]; ok {
+			m.CloneInto(dst)
+		} else {
+			e.models[k] = m.Clone()
+		}
+	}
+	e.gen = s.gen
+	e.seqAssess = false
+	e.origin = s
+}
+
+// Release returns an engine obtained from Spawn to its snapshot's spare
+// pool for reuse by a later Spawn. The caller must be completely done with
+// the engine: no goroutine may touch it (or anything read through it, such
+// as cached assessments) after Release. Engines not created by Spawn, and
+// engines already released, are left alone — Release is then a no-op, so
+// callers may release unconditionally on their shutdown path.
+func (e *Engine) Release() {
+	if e == nil || e.origin == nil {
+		return
+	}
+	s := e.origin
+	e.origin = nil // double-release guard: second call no-ops
+	// Drop per-run state now (claim IDs collide across documents, and the
+	// features/assessments of a finished run are dead weight while pooled);
+	// the maps keep their buckets for the next run.
+	clear(e.featCache)
+	clear(e.assessed)
+	s.spares.Put(e)
 }
 
 // Clone returns an independent engine with the same trained state:

@@ -195,7 +195,7 @@ func (r *ClaimRun) Answer(value string, seconds float64) error {
 		r.buildFinal()
 	case StepFormula:
 		r.out.Screens++
-		if f, err := formula.ParseFormula(value); err == nil {
+		if f, err := r.e.parseFormula(value); err == nil {
 			r.formulas = append(r.formulas, f)
 		}
 		r.buildFinal()
@@ -218,7 +218,9 @@ func (r *ClaimRun) buildFinal() {
 			continue
 		}
 		for _, opt := range prop.Options {
-			if f, err := formula.ParseFormula(opt.Value); err == nil {
+			// Cached parse: the same canonical labels recur across every
+			// claim of a generation.
+			if f, err := r.e.parseFormula(opt.Value); err == nil {
 				r.formulas = append(r.formulas, f)
 			}
 		}

@@ -20,6 +20,7 @@ package feature
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/repro/scrutinizer/internal/embed"
 	"github.com/repro/scrutinizer/internal/textproc"
@@ -39,7 +40,25 @@ type Pipeline struct {
 	emb   *embed.Model
 	tfidf *textproc.Vectorizer
 	dim   int
+
+	// memo caches Vector results. A fitted pipeline is immutable, so the
+	// vector is a pure function of the text pair — and the service re-reads
+	// the same claims every run, batch after batch, making tokenisation one
+	// of the heaviest allocation sites of the verification loop. Bounded;
+	// safe for concurrent use.
+	mu   sync.Mutex
+	memo map[vecKey]textproc.Sparse
 }
+
+// vecKey is the memo key: the exact (sentence, claim) input pair.
+type vecKey struct {
+	sentence, claim string
+}
+
+// vecMemoCap bounds the memo; past it new pairs are computed uncached. At
+// ~1-2 KB per vector this caps worst-case memo memory in the tens of MB,
+// far above any real document's distinct claim count.
+const vecMemoCap = 8192
 
 // Fit builds the pipeline from a training document's sentences and claims.
 // Neither the embedding nor the TF-IDF vocabulary depends on verification
@@ -83,10 +102,32 @@ func (p *Pipeline) EmbeddingDim() int { return p.emb.Dim() }
 // a slice-backed sorted sparse vector: the dense embedding prefix and the
 // offset TF-IDF block occupy disjoint index ranges, so the concatenation is
 // a single right-sized append — no map, no merge.
+//
+// Results are memoized per (sentence, claim) pair: repeat featurisation of
+// the same text (every run over a served document, every engine spawned
+// from a trained verifier) costs a lookup instead of a tokenisation pass.
+// The returned vector is shared — callers must treat it as read-only, which
+// every consumer of textproc.Sparse already does.
 func (p *Pipeline) Vector(sentence, claim string) textproc.Sparse {
+	key := vecKey{sentence: sentence, claim: claim}
+	p.mu.Lock()
+	v, ok := p.memo[key]
+	p.mu.Unlock()
+	if ok {
+		return v
+	}
 	emb := textproc.SparseFromDense(p.emb.SentenceVector(sentence))
 	tf := p.tfidf.Transform(textproc.ClaimTokens(claim))
-	return emb.AddInto(tf, p.emb.Dim())
+	v = emb.AddInto(tf, p.emb.Dim())
+	p.mu.Lock()
+	if p.memo == nil {
+		p.memo = make(map[vecKey]textproc.Sparse)
+	}
+	if len(p.memo) < vecMemoCap {
+		p.memo[key] = v
+	}
+	p.mu.Unlock()
+	return v
 }
 
 // Model exposes the underlying embedding model (used by diagnostics and the

@@ -302,7 +302,13 @@ func NewLibrary() *Library {
 
 // Add inserts (or counts) a formula and returns its canonical key.
 func (l *Library) Add(f *Formula) string {
-	key := f.String()
+	return l.AddKeyed(f.String(), f)
+}
+
+// AddKeyed is Add with the canonical key precomputed — for callers that
+// already hold f.String() (e.g. a formula cache) and would otherwise pay
+// the render per insertion. key must be f's canonical rendering.
+func (l *Library) AddKeyed(key string, f *Formula) string {
 	if _, ok := l.byKey[key]; !ok {
 		l.byKey[key] = f
 		l.order = append(l.order, key)

@@ -3,7 +3,8 @@ package planner
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // CostModel carries the crowd-time constants of §5.1. All values are in
@@ -97,14 +98,19 @@ type Property struct {
 }
 
 // SortOptions returns the options in decreasing probability order (ties by
-// value, deterministic) — Corollary 2 — without mutating the input.
+// value, deterministic) — Corollary 2 — without mutating the input. The
+// (prob, value) key is a total order over any sane option list, so the
+// result does not depend on the sort algorithm.
 func SortOptions(opts []Option) []Option {
 	out := append([]Option(nil), opts...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
+	slices.SortFunc(out, func(a, b Option) int {
+		if a.Prob != b.Prob {
+			if a.Prob > b.Prob {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Value < out[j].Value
+		return strings.Compare(a.Value, b.Value)
 	})
 	return out
 }
@@ -226,17 +232,16 @@ func normalised(opts []Option) []float64 {
 //
 // PruningPower = Size - E[|survivors|].
 func (cs *CandidateSpace) PruningPower(sel []int) float64 {
-	selected := make(map[int]bool, len(sel))
-	for _, i := range sel {
-		selected[i] = true
-	}
+	// sel is at most a handful of indexes (the nsc screen budget), and this
+	// runs once per candidate property per greedy round — a linear contains
+	// scan beats building a set every call.
 	survivors := 1.0
 	for i, p := range cs.props {
 		m := len(p.Options)
 		if m == 0 {
 			continue
 		}
-		if selected[i] {
+		if slices.Contains(sel, i) {
 			// The answer keeps exactly the candidates that agree with
 			// it on this property: 1 out of m values survives,
 			// regardless of which answer is drawn (probabilities sum
@@ -259,8 +264,11 @@ func (cs *CandidateSpace) ExpectedSurvivors(sel []int) float64 {
 // pick order. Properties that add no pruning power (single-option or empty)
 // are skipped.
 func (cs *CandidateSpace) GreedySelect(nsc int) []int {
-	var sel []int
-	chosen := make(map[int]bool)
+	// Reserve one spare slot so the probe append below never reallocates:
+	// appending the candidate index writes into the backing array past
+	// len(sel), which the next round either commits or overwrites.
+	sel := make([]int, 0, min(nsc, len(cs.props))+1)
+	chosen := make([]bool, len(cs.props))
 	for len(sel) < nsc {
 		bestIdx, bestGain := -1, 0.0
 		base := cs.PruningPower(sel)
@@ -294,7 +302,7 @@ func BuildPlan(cs *CandidateSpace, cm CostModel) (*Plan, error) {
 
 	// Greedy pruning-power selection fills the screen budget...
 	sel := cs.GreedySelect(nsc)
-	selected := make(map[int]bool, len(sel))
+	selected := make([]bool, len(cs.props))
 	for _, i := range sel {
 		selected[i] = true
 	}
@@ -354,14 +362,22 @@ func BuildPlan(cs *CandidateSpace, cm CostModel) (*Plan, error) {
 	return plan, nil
 }
 
-// shownMass sums the top-k option probabilities, clamped to [0, 1].
+// shownMass sums the top-k option probabilities, clamped to [0, 1]. Only
+// the sum matters, not which tied option makes the cut, so when every
+// option fits in the budget (the common case: option lists come from
+// bounded classifier top-k) no ordering — and no copy — is needed.
 func shownMass(opts []Option, k int) float64 {
-	ordered := SortOptions(opts)
-	if len(ordered) > k {
-		ordered = ordered[:k]
-	}
 	var mass float64
-	for _, o := range ordered {
+	if len(opts) <= k {
+		for _, o := range opts {
+			if o.Prob > 0 {
+				mass += o.Prob
+			}
+		}
+		return math.Min(mass, 1)
+	}
+	ordered := SortOptions(opts)
+	for _, o := range ordered[:k] {
 		if o.Prob > 0 {
 			mass += o.Prob
 		}

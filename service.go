@@ -374,6 +374,20 @@ func (r *Run) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
 	return r.engine.VerifyClaimWith(c, oracle)
 }
 
+// Close releases the run's private engine back to the verifier's snapshot
+// pool, where the next StartRun against the same trained state re-primes
+// it in place instead of allocating a fresh engine. Optional (a run that
+// is never closed is simply collected), safe to call more than once, and
+// terminal: the Run must not be used afterwards. Results and Outcomes
+// already returned stay valid.
+func (r *Run) Close() {
+	if r == nil || r.engine == nil {
+		return
+	}
+	r.engine.Release()
+	r.engine = nil
+}
+
 // Service ---------------------------------------------------------------------
 
 // Service is the multi-tenant registry behind the /v1 REST surface:

@@ -141,8 +141,11 @@ func BenchmarkRecoveryBoot(b *testing.B) {
 }
 
 // BenchmarkServiceVerifyWarm is the full service request: StartRun +
-// verify against one shared trained Verifier (the tracked headline for
-// the fit-once / verify-many amortization).
+// verify + Close against one shared trained Verifier (the tracked
+// headline for the fit-once / verify-many amortization). Closing the run
+// returns its engine to the verifier's pool, so steady-state requests
+// re-prime a pooled engine instead of allocating one — exactly what the
+// /v1 batch-run handler does.
 func BenchmarkServiceVerifyWarm(b *testing.B) {
 	w := benchServiceWorld(b)
 	v, err := NewVerifier(w.Corpus, w.Document, Options{Seed: 11})
@@ -166,6 +169,7 @@ func BenchmarkServiceVerifyWarm(b *testing.B) {
 		if len(res.Outcomes) != len(w.Document.Claims) {
 			b.Fatalf("verified %d of %d claims", len(res.Outcomes), len(w.Document.Claims))
 		}
+		run.Close()
 	}
 	b.ReportMetric(float64(b.N)*float64(len(w.Document.Claims))/b.Elapsed().Seconds(), "claims/s")
 }

@@ -429,3 +429,90 @@ func TestVerifierCoverage(t *testing.T) {
 		t.Fatalf("alien coverage %g not below training coverage %g", acov.TFIDFRatio(), cov.TFIDFRatio())
 	}
 }
+
+// TestRunCloseRecyclesEngine: closing a finished run returns its engine to
+// the verifier's pool, and a later run that recycles it — even though the
+// first run retrained the engine at every batch barrier — is bit-identical
+// to the first. Close is idempotent.
+func TestRunCloseRecyclesEngine(t *testing.T) {
+	w := testWorld(t)
+	vopts := VerifyOptions{BatchSize: 10}
+	v := mustVerifier(t, w, Options{Seed: 5})
+
+	runOnce := func() *Result {
+		t.Helper()
+		run, err := v.StartRun(w.Document)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer run.Close()
+		team, err := v.NewTeam(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := run.Verify(team, vopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := runOnce()
+	for i := 0; i < 3; i++ {
+		mustEqualResults(t, "recycled run", first, runOnce())
+	}
+
+	// Close twice (and on a nil run) is a no-op.
+	run, err := v.StartRun(w.Document)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Close()
+	run.Close()
+	var nilRun *Run
+	nilRun.Close()
+}
+
+// TestRunCloseConcurrent: concurrent StartRun / Verify / Close cycles
+// against one verifier recycle engines safely (the -race run is the real
+// assertion) and deterministically.
+func TestRunCloseConcurrent(t *testing.T) {
+	w := testWorld(t)
+	vopts := VerifyOptions{BatchSize: 10, Parallelism: 2}
+	v := mustVerifier(t, w, Options{Seed: 5})
+
+	const workers, rounds = 3, 2
+	results := make([]*Result, workers*rounds)
+	errs := make([]error, workers*rounds)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := g*rounds + r
+				run, err := v.StartRun(w.Document)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				team, err := v.NewTeam(3)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i], errs[i] = run.Verify(team, vopts)
+				run.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		mustEqualResults(t, "concurrent recycled run", results[0], results[i])
+	}
+}
