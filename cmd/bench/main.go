@@ -50,6 +50,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/repro/scrutinizer/internal/core"
 )
 
 // trackedBench names one benchmark selection: a package and a -bench regex.
@@ -70,7 +72,7 @@ var defaultTracked = []trackedBench{
 	{Pkg: "./internal/query", Bench: "BenchmarkPlanExecute|BenchmarkExecuteCompiled|BenchmarkExecuteInterpreted"},
 	{Pkg: "./internal/core", Bench: "BenchmarkGenerateQueries$|BenchmarkGenerateQueriesCold|BenchmarkGenerateQueriesInterpreted|BenchmarkVerifyEndToEnd"},
 	{Pkg: "./internal/session", Bench: "BenchmarkSessionCreate|BenchmarkSessionAnswerPump|BenchmarkSessionEvict"},
-	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld|BenchmarkServiceVerifyCold|BenchmarkServiceVerifyWarm|BenchmarkServiceSetupCold|BenchmarkServiceSetupWarm|BenchmarkRecoveryBoot"},
+	{Pkg: ".", Bench: "BenchmarkVerifySequential/SmallWorld|BenchmarkVerifyParallel/SmallWorld|BenchmarkServiceVerifyCold|BenchmarkServiceVerifyWarm|BenchmarkServiceSetupCold|BenchmarkServiceSetupWarm|BenchmarkRecoveryBoot|BenchmarkConcurrentRunsSharedCorpus|BenchmarkServiceManyTenants"},
 }
 
 // result is one benchmark line, parsed.
@@ -86,14 +88,19 @@ type result struct {
 
 // report is the BENCH_<date>.json document.
 type report struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	CPU        string   `json:"cpu,omitempty"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	BenchTime  string   `json:"benchtime"`
-	Benchmarks []result `json:"benchmarks"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// QueryCacheShards records the striping width of the shared
+	// tentative-execution cache — the knob the concurrent benchmarks are
+	// most sensitive to, so cross-commit comparisons can tell a code
+	// change from a topology change.
+	QueryCacheShards int      `json:"query_cache_shards"`
+	BenchTime        string   `json:"benchtime"`
+	Benchmarks       []result `json:"benchmarks"`
 }
 
 // benchLine matches "BenchmarkName-8  123  456 ns/op  <metrics...>".
@@ -121,12 +128,13 @@ func main() {
 	}
 
 	rep := report{
-		Date:       *date,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		BenchTime:  *benchtime,
+		Date:             *date,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		QueryCacheShards: core.QueryCacheShards,
+		BenchTime:        *benchtime,
 	}
 	if *cpuN > 0 {
 		rep.GOMAXPROCS = *cpuN

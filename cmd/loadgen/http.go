@@ -1,0 +1,259 @@
+package main
+
+// The HTTP drive path: loadgen as a real /v1 client of a live scrutinizerd.
+// Setup registers each tenant's corpus (relations inlined as CSV) and
+// trains its verifier; operations then go through exactly the routes a
+// production checker frontend would use, so the measured latency includes
+// the daemon's full request path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/repro/scrutinizer"
+)
+
+type httpRunner struct {
+	base   string
+	cfg    config
+	client *http.Client
+	crowds *crowdCache
+}
+
+// relationJSON is one inline CSV relation of the corpus-create body.
+type relationJSON struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv"`
+}
+
+// runBody is the POST /v1/verifiers/{id}/runs envelope.
+type runBody struct {
+	Document    json.RawMessage `json:"document"`
+	Team        int             `json:"team,omitempty"`
+	Batch       int             `json:"batch,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
+	Seed        int64           `json:"seed,omitempty"`
+	Mode        string          `json:"mode"`
+}
+
+func (hr *httpRunner) setup(tenants []*tenant) error {
+	created := make(map[string]bool)
+	for _, t := range tenants {
+		if !created[t.corpusID] {
+			var rels []relationJSON
+			for _, name := range t.world.Corpus.Names() {
+				rel, err := t.world.Corpus.Relation(name)
+				if err != nil {
+					return err
+				}
+				var csv bytes.Buffer
+				if err := rel.WriteCSV(&csv); err != nil {
+					return err
+				}
+				rels = append(rels, relationJSON{Name: name, CSV: csv.String()})
+			}
+			body, err := json.Marshal(map[string]any{"id": t.corpusID, "relations": rels})
+			if err != nil {
+				return err
+			}
+			// 409 means a previous loadgen run against this (durable) daemon
+			// already registered the corpus; worldgen is deterministic in
+			// the seed baked into the ID, so the existing one is identical.
+			if status, err := hr.post("/v1/corpora", body, nil); err != nil && status != http.StatusConflict {
+				return fmt.Errorf("creating corpus %s: %w", t.corpusID, err)
+			}
+			created[t.corpusID] = true
+		}
+		body, err := json.Marshal(map[string]any{
+			"training": json.RawMessage(t.docJSON),
+			"seed":     hr.cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		var vr struct {
+			ID string `json:"id"`
+		}
+		if _, err := hr.post("/v1/corpora/"+t.corpusID+"/verifiers", body, &vr); err != nil {
+			return fmt.Errorf("training verifier on %s: %w", t.corpusID, err)
+		}
+		t.verifierID = vr.ID
+	}
+	return nil
+}
+
+func (hr *httpRunner) oneOp(worker int, t *tenant, mode string) (opResult, error) {
+	if mode == "session" {
+		return hr.sessionOp(worker, t)
+	}
+	return hr.batchOp(t)
+}
+
+// batchOp runs one mode=batch verification; the simulated crowd answers
+// server-side and the report comes back inline. One latency sample: the
+// whole request.
+func (hr *httpRunner) batchOp(t *tenant) (opResult, error) {
+	body, err := json.Marshal(runBody{
+		Document:    t.docJSON,
+		Team:        hr.cfg.team,
+		Batch:       hr.cfg.batch,
+		Parallelism: 1,
+		Seed:        hr.cfg.seed,
+		Mode:        "batch",
+	})
+	if err != nil {
+		return opResult{}, err
+	}
+	var resp struct {
+		Claims int `json:"claims"`
+	}
+	start := time.Now()
+	if _, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &resp); err != nil {
+		return opResult{}, err
+	}
+	return opResult{
+		claims:    resp.Claims,
+		latencies: []float64{float64(time.Since(start).Microseconds()) / 1000},
+	}, nil
+}
+
+// sessionOp creates one mode=session run and pumps it to completion:
+// every question screen is answered by the local simulated crowd through
+// POST answers, one answer per request so each sample is one checker
+// round trip. Follow-up questions ride back on the answer response; the
+// questions endpoint is polled only across batch boundaries.
+func (hr *httpRunner) sessionOp(worker int, t *tenant) (opResult, error) {
+	lc, err := hr.crowds.forWorker(worker, t)
+	if err != nil {
+		return opResult{}, err
+	}
+	body, err := json.Marshal(runBody{
+		Document:    t.docJSON,
+		Batch:       hr.cfg.batch,
+		Parallelism: 1,
+		Seed:        hr.cfg.seed,
+		Mode:        "session",
+	})
+	if err != nil {
+		return opResult{}, err
+	}
+	var sess struct {
+		ID        string                        `json:"id"`
+		Questions []scrutinizer.SessionQuestion `json:"questions"`
+		Progress  scrutinizer.SessionProgress   `json:"progress"`
+	}
+	if _, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &sess); err != nil {
+		return opResult{}, err
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, hr.base+"/v1/runs/"+sess.ID, nil)
+		if resp, err := hr.client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	var res opResult
+	queue := sess.Questions
+	done := sess.Progress.Done
+	verified := sess.Progress.Verified
+	emptyPolls := 0
+	for !done {
+		if len(queue) == 0 {
+			var qs struct {
+				Questions []scrutinizer.SessionQuestion `json:"questions"`
+				Done      bool                          `json:"done"`
+			}
+			if _, err := hr.get("/v1/runs/"+sess.ID+"/questions", &qs); err != nil {
+				return res, err
+			}
+			queue, done = qs.Questions, qs.Done
+			if done {
+				break
+			}
+			if len(queue) == 0 {
+				if emptyPolls++; emptyPolls > 3 {
+					return res, fmt.Errorf("session %s stalled: not done, no pending questions", sess.ID)
+				}
+				continue
+			}
+			emptyPolls = 0
+		}
+		q := queue[0]
+		queue = queue[1:]
+		ans, err := lc.answer(q)
+		if err != nil {
+			return res, err
+		}
+		ansBody, err := json.Marshal(ans)
+		if err != nil {
+			return res, err
+		}
+		var ar struct {
+			Accepted  int                           `json:"accepted"`
+			Questions []scrutinizer.SessionQuestion `json:"questions"`
+			Progress  scrutinizer.SessionProgress   `json:"progress"`
+		}
+		start := time.Now()
+		status, err := hr.post("/v1/runs/"+sess.ID+"/answers", ansBody, &ar)
+		if status == http.StatusConflict {
+			// The question went stale (its claim already finished); drop it
+			// and keep pumping.
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		res.latencies = append(res.latencies, float64(time.Since(start).Microseconds())/1000)
+		res.questions += ar.Accepted
+		queue = append(queue, ar.Questions...)
+		done = ar.Progress.Done
+		verified = ar.Progress.Verified
+	}
+	res.claims = verified
+	return res, nil
+}
+
+// post sends a JSON body and decodes the JSON response into out (when
+// non-nil). Non-2xx statuses come back as (status, error) — 409 is the
+// one status oneOp handles rather than fails on.
+func (hr *httpRunner) post(path string, body []byte, out any) (int, error) {
+	resp, err := hr.client.Post(hr.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	return decodeResponse(resp, out)
+}
+
+func (hr *httpRunner) get(path string, out any) (int, error) {
+	resp, err := hr.client.Get(hr.base + path)
+	if err != nil {
+		return 0, err
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) (int, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg := string(raw)
+		if len(msg) > 200 {
+			msg = msg[:200] + "..."
+		}
+		return resp.StatusCode, fmt.Errorf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, msg)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s: %w", resp.Request.URL.Path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

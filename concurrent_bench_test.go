@@ -1,0 +1,176 @@
+package scrutinizer
+
+// Multi-core, multi-tenant throughput benchmarks: what the service can do
+// when N clients hit it at once, not just how fast one request runs. Both
+// benchmarks fan b.N document verifications out over C worker goroutines
+// and report aggregate claims/s — the headline serving number — so the
+// interesting comparison is C=1 vs C=8 on the same code and GOMAXPROCS:
+// shared-structure contention (the corpus QueryCache, the feature memo,
+// the session and service registries) shows up as C=8 failing to keep up
+// with C=1, and the sharded/atomic hot paths are gated on closing exactly
+// that gap. Per-run parallelism is pinned to 1 so cross-run concurrency is
+// the only fan-out being measured.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/worldgen"
+)
+
+// benchTenantWorldCfg is a smaller world than the single-run benchmarks
+// use: many-tenant benchmarks pay the per-op cost C times over, and the
+// contention under measurement lives in shared caches, not document size.
+func benchTenantWorldCfg(seed int64) worldgen.Config {
+	cfg := worldgen.SmallScale()
+	cfg.NumClaims = 40
+	cfg.NumSections = 5
+	cfg.Seed = seed
+	return cfg
+}
+
+// runConcurrent fans jobs out over c workers and waits for them.
+func runConcurrent(b *testing.B, c int, job func(worker int)) {
+	b.Helper()
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for range jobs {
+				job(worker)
+			}
+		}(w)
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// BenchmarkConcurrentRunsSharedCorpus is the contention headline: C
+// concurrent batch runs against ONE trained verifier over ONE corpus, so
+// every run hits the same shared QueryCache, feature memo, formula cache
+// and corpus index. Each op is one full document verification
+// (StartRun + Verify + Close), exactly what the /v1 batch handler does.
+func BenchmarkConcurrentRunsSharedCorpus(b *testing.B) {
+	for _, c := range []int{1, 8} {
+		b.Run(fmt.Sprintf("C%d", c), func(b *testing.B) {
+			w, err := worldgen.Generate(benchTenantWorldCfg(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc := NewService()
+			if _, err := svc.AddCorpus("world", w.Corpus); err != nil {
+				b.Fatal(err)
+			}
+			v, err := svc.CreateVerifier("world", w.Document, Options{Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			teams := make([]*Team, c)
+			for i := range teams {
+				if teams[i], err = v.NewTeam(3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			claims := len(w.Document.Claims)
+			b.ResetTimer()
+			runConcurrent(b, c, func(worker int) {
+				// Resolve through the registry like the HTTP path does.
+				vv, ok := svc.Verifier(v.ID())
+				if !ok {
+					b.Error("verifier vanished")
+					return
+				}
+				run, err := vv.StartRun(w.Document)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				res, err := run.Verify(teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
+				run.Close()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(res.Outcomes) != claims {
+					b.Errorf("verified %d of %d claims", len(res.Outcomes), claims)
+				}
+			})
+			b.ReportMetric(float64(b.N)*float64(claims)/b.Elapsed().Seconds(), "claims/s")
+		})
+	}
+}
+
+// BenchmarkServiceManyTenants is the isolation headline: 4 tenants (4
+// corpora, one trained verifier each), 8 concurrent clients spread across
+// them, plus the registry reads every real request performs (verifier
+// lookup, service stats — the healthz poll). Tenants share no model state,
+// so any C=8 shortfall against ConcurrentRunsSharedCorpus C=8 is registry
+// and session-manager contention, not cache contention.
+func BenchmarkServiceManyTenants(b *testing.B) {
+	const tenants = 4
+	const c = 8
+	svc := NewService()
+	verifiers := make([]*Verifier, tenants)
+	docs := make([]*Document, tenants)
+	claims := 0
+	for i := 0; i < tenants; i++ {
+		w, err := worldgen.Generate(benchTenantWorldCfg(int64(100 + i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := svc.AddCorpus(fmt.Sprintf("t%d", i), w.Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := svc.CreateVerifier(id, w.Document, Options{Seed: int64(11 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		verifiers[i] = v
+		// Each tenant verifies its own training document — the warm
+		// fit-once / verify-many steady state the service optimizes for.
+		docs[i] = w.Document
+		claims = len(w.Document.Claims)
+	}
+	teams := make([]*Team, c)
+	for i := range teams {
+		var err error
+		if teams[i], err = verifiers[i%tenants].NewTeam(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	runConcurrent(b, c, func(worker int) {
+		tenant := worker % tenants
+		vv, ok := svc.Verifier(verifiers[tenant].ID())
+		if !ok {
+			b.Error("verifier vanished")
+			return
+		}
+		run, err := vv.StartRun(docs[tenant])
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		res, err := run.Verify(teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
+		run.Close()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if len(res.Outcomes) != claims {
+			b.Errorf("verified %d of %d claims", len(res.Outcomes), claims)
+		}
+		// The healthz-style registry poll every fleet runs alongside load.
+		if st := svc.Stats(); st.Verifiers != tenants {
+			b.Errorf("stats report %d verifiers, want %d", st.Verifiers, tenants)
+		}
+	})
+	b.ReportMetric(float64(b.N)*float64(claims)/b.Elapsed().Seconds(), "claims/s")
+}

@@ -54,4 +54,34 @@
 // order make every result bit-identical to a sequential run, whatever the
 // fan-out — the repository's standing determinism contract, pinned by the
 // equivalence tests in this package.
+//
+// # Lock domains
+//
+// Concurrent runs (many engines spawned from one verifier, many verifiers
+// over one corpus) share exactly three mutable structures, each with its
+// own isolated lock domain so the serving hot path never funnels through
+// a single mutex:
+//
+//   - QueryCache: striped QueryCacheShards ways by key hash. Each shard
+//     owns a mutex, an entry map and a FIFO eviction budget; hit/miss
+//     counters are atomics. A top-level RWMutex guards only the
+//     (corpus, generation) epoch — lookups share it read-side and then
+//     touch one shard, while an epoch transition (corpus mutation) takes
+//     it write-side to flush every shard atomically.
+//   - feature.Pipeline memo: a sync.Map of write-once (sentence, claim)
+//     vectors — steady-state reads are lock-free, and concurrent first
+//     computes of the same key converge on one shared vector.
+//   - table.Corpus index: an atomic.Pointer snapshot validated by a
+//     generation compare; readers never block, and a mutex serialises
+//     rebuilds only.
+//
+// Everything else an engine touches is either private to its run (claim
+// state, assessment cache, scratch buffers) or immutable after
+// construction (ModelSnapshot weights, the fitted pipeline, corpus
+// relations under the service's freeze-on-first-verifier rule), which is
+// what makes the sharing above sufficient. The same discipline continues
+// one layer up: session.Manager splits its registry RWMutex from the
+// per-session locks and serves activity stamps and stats from per-session
+// atomics, and Verifier counts runs atomically so StartRun never contends
+// with Retrain.
 package core

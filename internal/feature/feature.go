@@ -21,6 +21,7 @@ package feature
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/repro/scrutinizer/internal/embed"
 	"github.com/repro/scrutinizer/internal/textproc"
@@ -44,10 +45,14 @@ type Pipeline struct {
 	// memo caches Vector results. A fitted pipeline is immutable, so the
 	// vector is a pure function of the text pair — and the service re-reads
 	// the same claims every run, batch after batch, making tokenisation one
-	// of the heaviest allocation sites of the verification loop. Bounded;
-	// safe for concurrent use.
-	mu   sync.Mutex
-	memo map[vecKey]textproc.Sparse
+	// of the heaviest allocation sites of the verification loop. A sync.Map
+	// because the workload is the one it is built for: write-once keys read
+	// by every concurrent run over the document, with no mutex for the
+	// steady-state read path to contend on. memoLen bounds it (approximate
+	// under concurrent insertion — duplicate computes race benignly, the
+	// loser's identical vector wins).
+	memo    sync.Map // vecKey -> textproc.Sparse
+	memoLen atomic.Int64
 }
 
 // vecKey is the memo key: the exact (sentence, claim) input pair.
@@ -110,23 +115,18 @@ func (p *Pipeline) EmbeddingDim() int { return p.emb.Dim() }
 // every consumer of textproc.Sparse already does.
 func (p *Pipeline) Vector(sentence, claim string) textproc.Sparse {
 	key := vecKey{sentence: sentence, claim: claim}
-	p.mu.Lock()
-	v, ok := p.memo[key]
-	p.mu.Unlock()
-	if ok {
-		return v
+	if v, ok := p.memo.Load(key); ok {
+		return v.(textproc.Sparse)
 	}
 	emb := textproc.SparseFromDense(p.emb.SentenceVector(sentence))
 	tf := p.tfidf.Transform(textproc.ClaimTokens(claim))
-	v = emb.AddInto(tf, p.emb.Dim())
-	p.mu.Lock()
-	if p.memo == nil {
-		p.memo = make(map[vecKey]textproc.Sparse)
+	v := emb.AddInto(tf, p.emb.Dim())
+	if p.memoLen.Load() < vecMemoCap {
+		if prev, loaded := p.memo.LoadOrStore(key, v); loaded {
+			return prev.(textproc.Sparse)
+		}
+		p.memoLen.Add(1)
 	}
-	if len(p.memo) < vecMemoCap {
-		p.memo[key] = v
-	}
-	p.mu.Unlock()
 	return v
 }
 

@@ -2,9 +2,11 @@ package feature
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/embed"
+	"github.com/repro/scrutinizer/internal/textproc"
 )
 
 func fitPipeline(t *testing.T) *Pipeline {
@@ -169,5 +171,60 @@ func TestCoverage(t *testing.T) {
 	if sum.EmbedTokens != full.EmbedTokens+none.EmbedTokens ||
 		sum.KnownClaimTokens != full.KnownClaimTokens {
 		t.Errorf("Add = %+v", sum)
+	}
+}
+
+// TestVectorConcurrent hammers the memo from many goroutines over a small
+// key set, under -race: concurrent first-computes of the same pair must
+// converge on one shared vector (LoadOrStore), every goroutine must see a
+// vector identical to the single-threaded result, and the memo bound must
+// hold.
+func TestVectorConcurrent(t *testing.T) {
+	p := fitPipeline(t)
+	type pair struct{ sentence, claim string }
+	pairs := make([]pair, 16)
+	for i := range pairs {
+		pairs[i] = pair{
+			sentence: fmt.Sprintf("global coal demand grew by %d%% in 2017", i%7),
+			claim:    fmt.Sprintf("coal demand grew by %d%%", i%7),
+		}
+	}
+	want := make([]textproc.Sparse, len(pairs))
+	for i, pr := range pairs {
+		want[i] = p.Vector(pr.sentence, pr.claim)
+	}
+	sameVec := func(a, b textproc.Sparse) bool {
+		if a.NNZ() != b.NNZ() {
+			return false
+		}
+		for k := 0; k < a.NNZ(); k++ {
+			if a.Index(k) != b.Index(k) || a.Value(k) != b.Value(k) {
+				return false
+			}
+		}
+		return true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (w + i) % len(pairs)
+				got := p.Vector(pairs[k].sentence, pairs[k].claim)
+				if !sameVec(got, want[k]) {
+					t.Errorf("pair %d: concurrent vector differs from single-threaded result", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	distinct := make(map[pair]bool)
+	for _, pr := range pairs {
+		distinct[pr] = true
+	}
+	if n := p.memoLen.Load(); n != int64(len(distinct)) {
+		t.Fatalf("memoLen = %d, want %d (duplicate inserts counted?)", n, len(distinct))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/scrutinizer/internal/claims"
@@ -145,11 +146,19 @@ type Hooks struct {
 // Manager is the concurrent session registry. All methods are safe for
 // concurrent use. The manager never spawns goroutines: TTL eviction is
 // swept inline on Create, Get, Remove and Stats.
+//
+// The registry lock is split from the per-session locks: lookups and stats
+// take the registry read lock and touch only per-session atomics (last
+// activity, pending count, model generation), so answer routing on one
+// session — which can hold that session's lock through a batch-boundary
+// retrain — never blocks another session's question poll, a lookup, or a
+// health check. The write lock is taken only to mutate the registry map:
+// insert, remove, and the TTL sweep (which a lock-free scan arms first).
 type Manager struct {
 	cfg   Config
 	hooks Hooks
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	sessions map[string]*Session
 	seq      uint64
 	created  uint64
@@ -170,7 +179,7 @@ func (m *Manager) now() time.Time { return m.cfg.Clock() }
 // manager handles any traffic.
 func (m *Manager) SetHooks(h Hooks) { m.hooks = h }
 
-// sweep evicts idle sessions; caller holds m.mu.
+// sweep evicts idle sessions; caller holds m.mu for writing.
 func (m *Manager) sweep(now time.Time) {
 	if m.cfg.TTL <= 0 {
 		return
@@ -184,6 +193,32 @@ func (m *Manager) sweep(now time.Time) {
 			}
 		}
 	}
+}
+
+// maybeSweep arms the TTL sweep: a read-locked scan over the sessions'
+// atomic activity stamps decides whether anything expired, and only then
+// is the write lock taken. The common case — nothing expired — costs
+// read-path locking only, so eviction checks on Get/Stats never serialize
+// concurrent lookups.
+func (m *Manager) maybeSweep(now time.Time) {
+	if m.cfg.TTL <= 0 {
+		return
+	}
+	expired := false
+	m.mu.RLock()
+	for _, s := range m.sessions {
+		if now.Sub(s.lastActive()) > m.cfg.TTL {
+			expired = true
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if !expired {
+		return
+	}
+	m.mu.Lock()
+	m.sweep(now)
+	m.mu.Unlock()
 }
 
 // Create starts a verification session for a document on a dedicated
@@ -239,8 +274,9 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 		byID:    make(map[int]*claims.Claim, len(doc.Claims)),
 		run:     run,
 		created: now,
-		last:    now,
 	}
+	s.last.Store(now.UnixNano())
+	s.refreshStatsCache()
 	for _, c := range doc.Claims {
 		s.byID[c.ID] = c
 	}
@@ -279,10 +315,12 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 }
 
 // Get returns a live session by ID (expired sessions are swept first).
+// The lookup itself runs under the registry read lock and touches no
+// session lock, so it proceeds even while every live session is mid-answer.
 func (m *Manager) Get(id string) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sweep(m.now())
+	m.maybeSweep(m.now())
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s, ok := m.sessions[id]
 	return s, ok
 }
@@ -301,11 +339,15 @@ func (m *Manager) Remove(id string) bool {
 	return ok
 }
 
-// Stats aggregates the live registry.
+// Stats aggregates the live registry. Per-session figures come from each
+// session's atomically maintained stats cache (pending questions, model
+// generation, refreshed on every accepted answer), so a health poll reads
+// a consistent registry snapshot without stalling on — or being stalled
+// by — sessions that are mid-answer.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sweep(m.now())
+	m.maybeSweep(m.now())
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	st := Stats{
 		Active:       len(m.sessions),
 		CreatedTotal: m.created,
@@ -342,7 +384,9 @@ func newID(seq uint64) string {
 // Session is one parked verification run. All methods are safe for
 // concurrent use; a single lock serializes answers, which keeps the
 // underlying run's per-claim machines race-free however many checkers
-// post concurrently.
+// post concurrently. The activity stamp and the stats cache live outside
+// that lock, as atomics, so the Manager's sweep and Stats never wait on a
+// session that is mid-answer.
 type Session struct {
 	id     string
 	owner  string // immutable after creation
@@ -351,10 +395,18 @@ type Session struct {
 	doc    *claims.Document
 	byID   map[int]*claims.Claim
 
+	// last is the idle-eviction stamp (UnixNano), written by every
+	// checker-facing call and read lock-free by the registry sweep.
+	last atomic.Int64
+	// pendingN / genN cache Progress().Pending and the engine generation,
+	// refreshed after every accepted answer; Manager.Stats reads them
+	// without taking the session or run lock.
+	pendingN atomic.Int64
+	genN     atomic.Uint64
+
 	mu      sync.Mutex
 	run     *core.DocumentRun
 	created time.Time
-	last    time.Time
 	log     []Answer
 	// replaying is true while Restore replays a snapshot's answer log; the
 	// session is not yet shared, so plain reads in Answer are safe.
@@ -368,13 +420,17 @@ func (s *Session) ID() string { return s.id }
 // untagged sessions).
 func (s *Session) Owner() string { return s.owner }
 
-func (s *Session) lastActive() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.last
-}
+func (s *Session) lastActive() time.Time { return time.Unix(0, s.last.Load()) }
 
-func (s *Session) touch() { s.last = s.mgr.now() }
+func (s *Session) touch() { s.last.Store(s.mgr.now().UnixNano()) }
+
+// refreshStatsCache re-publishes the pending-question count and model
+// generation for lock-free Stats aggregation. Called at creation and after
+// every accepted answer (the only events that change either figure).
+func (s *Session) refreshStatsCache() {
+	s.pendingN.Store(int64(s.run.Progress().Pending))
+	s.genN.Store(s.engine.Generation())
+}
 
 // questionID names the (claim, seq) slot of a pending question.
 func questionID(claimID, seq int) string { return fmt.Sprintf("c%d.%d", claimID, seq) }
@@ -438,6 +494,7 @@ func (s *Session) Answer(a Answer) (*Question, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.refreshStatsCache()
 	s.log = append(s.log, a)
 	if !s.replaying && s.mgr.hooks.OnAnswer != nil {
 		s.mgr.hooks.OnAnswer(s, a)
@@ -456,13 +513,12 @@ func (s *Session) Done() bool {
 	return s.run.Done()
 }
 
-// statsView reports the queue length and model generation without
+// statsView reports the cached queue length and model generation without
 // counting as checker activity (Manager.Stats would otherwise keep every
-// session alive through health polling).
+// session alive through health polling) and without locking (Manager.Stats
+// would otherwise stall behind a batch-boundary retrain).
 func (s *Session) statsView() (pending int, generation uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.run.Progress().Pending, s.engine.Generation()
+	return int(s.pendingN.Load()), s.genN.Load()
 }
 
 // Progress reports the session's position in the Algorithm 1 loop. Like
@@ -483,7 +539,7 @@ func (s *Session) Progress() Progress {
 		CrowdSeconds:     p.Seconds,
 		ModelGeneration:  s.engine.Generation(),
 		Created:          s.created,
-		LastActive:       s.last,
+		LastActive:       s.lastActive(),
 	}
 }
 

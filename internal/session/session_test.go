@@ -473,3 +473,172 @@ func TestOwnerTagging(t *testing.T) {
 		t.Fatalf("ByOwner after remove = %v", st.ByOwner)
 	}
 }
+
+// TestManagerConcurrentChurn exercises the registry under multi-tenant
+// churn, under -race: N workers concurrently create sessions (tagged with
+// per-tenant owners), answer a few questions through the simulated crowd,
+// and remove their sessions, while the fake clock advances so TTL eviction
+// fires mid-traffic and pollers hammer Get/Stats. Asserts (1) lifecycle
+// accounting stays consistent — every session ends exactly once, via
+// Remove or eviction, under its creation owner; (2) no cross-session
+// answer leakage — each session's final answer log is exactly what its own
+// worker posted, even though all sessions share claim IDs.
+func TestManagerConcurrentChurn(t *testing.T) {
+	w := testWorld(t, 8)
+	clock := &fakeClock{now: time.Unix(5000, 0)}
+	m := NewManager(Config{TTL: time.Minute, Clock: clock.Now})
+
+	type ending struct {
+		owner   string
+		evicted bool
+	}
+	var endMu sync.Mutex
+	ended := map[string][]ending{}
+	m.SetHooks(Hooks{OnEnd: func(id, owner string, evicted bool) {
+		endMu.Lock()
+		ended[id] = append(ended[id], ending{owner, evicted})
+		endMu.Unlock()
+	}})
+
+	owners := []string{"tenant-a", "tenant-b", "tenant-c"}
+	const workers = 4
+	const rounds = 3
+
+	var createdMu sync.Mutex
+	createdOwner := map[string]string{} // session id -> owner at creation
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	// Stats/Get pollers and a clock ticker run alongside the churn.
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := m.Stats()
+			if st.Active < 0 || st.CreatedTotal < uint64(st.Active) {
+				t.Errorf("inconsistent stats: %+v", st)
+				return
+			}
+			tagged := 0
+			for _, n := range st.ByOwner {
+				tagged += n
+			}
+			if tagged > st.Active {
+				t.Errorf("ByOwner sums to %d > Active %d", tagged, st.Active)
+				return
+			}
+			m.Get("nope")
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			clock.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			engine := testEngine(t, w)
+			team, err := crowd.NewTeam("W", 3, 0.97, int64(testSeed+wk))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			oracles := map[int]core.Oracle{}
+			owner := owners[wk%len(owners)]
+			for r := 0; r < rounds; r++ {
+				s, err := m.Create(engine, w.Document, Options{
+					Verify: core.VerifyConfig{BatchSize: 4},
+					Owner:  owner,
+				})
+				if err != nil {
+					t.Errorf("worker %d round %d create: %v", wk, r, err)
+					return
+				}
+				createdMu.Lock()
+				createdOwner[s.ID()] = owner
+				createdMu.Unlock()
+
+				var posted []Answer
+				qs := s.Questions()
+				if len(qs) == 0 {
+					t.Errorf("worker %d round %d: no questions", wk, r)
+					return
+				}
+				for _, q := range qs[:min(3, len(qs))] {
+					a := crowdAnswer(t, engine, w, oracles, team, q)
+					if _, err := s.Answer(a); err != nil {
+						t.Errorf("worker %d answer: %v", wk, err)
+						return
+					}
+					posted = append(posted, a)
+				}
+
+				// Leakage check: the log holds exactly this worker's answers.
+				got := s.Snapshot().Answers
+				if len(got) != len(posted) {
+					t.Errorf("worker %d round %d: log has %d answers, posted %d", wk, r, len(got), len(posted))
+					return
+				}
+				for i := range got {
+					if got[i] != posted[i] {
+						t.Errorf("worker %d round %d: log[%d] = %+v, posted %+v", wk, r, i, got[i], posted[i])
+						return
+					}
+				}
+				// Remove races against TTL eviction (the clock ticks
+				// concurrently); either ending is legal, but it must be
+				// exactly one — checked against the hook log below.
+				m.Remove(s.ID())
+			}
+		}(wk)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	// Flush the stragglers, then audit the lifecycle accounting.
+	clock.Advance(time.Hour)
+	st := m.Stats()
+	if st.Active != 0 {
+		t.Fatalf("Active = %d after final sweep, want 0", st.Active)
+	}
+	if want := uint64(workers * rounds); st.CreatedTotal != want {
+		t.Fatalf("CreatedTotal = %d, want %d", st.CreatedTotal, want)
+	}
+	endMu.Lock()
+	defer endMu.Unlock()
+	if len(ended) != workers*rounds {
+		t.Fatalf("%d sessions ended, want %d", len(ended), workers*rounds)
+	}
+	evictions := uint64(0)
+	for id, ends := range ended {
+		if len(ends) != 1 {
+			t.Fatalf("session %s ended %d times: %+v", id, len(ends), ends)
+		}
+		if want := createdOwner[id]; ends[0].owner != want {
+			t.Fatalf("session %s ended under owner %q, created under %q", id, ends[0].owner, want)
+		}
+		if ends[0].evicted {
+			evictions++
+		}
+	}
+	if st.EvictedTotal != evictions {
+		t.Fatalf("Stats.EvictedTotal = %d, hook saw %d", st.EvictedTotal, evictions)
+	}
+}

@@ -1,6 +1,9 @@
 package table
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file implements the interned, columnar view of a corpus that the
 // compiled query engine executes against. The string-keyed Relation / Corpus
@@ -166,10 +169,13 @@ func (ix *Index) Stats() IndexStats {
 	return s
 }
 
-// indexCache is the lazily built Index attached to a Corpus.
+// indexCache is the lazily built Index attached to a Corpus. The current
+// snapshot hangs off an atomic pointer so concurrent readers validate and
+// fetch it without a lock; the mutex serializes rebuilds only (so a
+// generation change triggers one BuildIndex, not a thundering herd).
 type indexCache struct {
-	mu sync.Mutex
-	ix *Index
+	mu   sync.Mutex
+	snap atomic.Pointer[Index]
 }
 
 // Generation reports the corpus mutation generation: it advances whenever a
@@ -190,12 +196,22 @@ func (c *Corpus) Generation() uint64 {
 // returned Index is immutable and safe for concurrent readers; Index itself
 // must not race with corpus mutation, mirroring the existing contract that
 // relations are loaded before verification starts.
+//
+// The steady-state path — every query-generation call from every
+// concurrent run over the corpus — is a lock-free atomic load plus a
+// generation compare; the rebuild mutex is touched only when the snapshot
+// is missing or stale, so readers never serialize on it.
 func (c *Corpus) Index() *Index {
 	gen := c.Generation()
+	if ix := c.idx.snap.Load(); ix != nil && ix.gen == gen {
+		return ix
+	}
 	c.idx.mu.Lock()
 	defer c.idx.mu.Unlock()
-	if c.idx.ix == nil || c.idx.ix.gen != gen {
-		c.idx.ix = BuildIndex(c)
+	if ix := c.idx.snap.Load(); ix != nil && ix.gen == gen {
+		return ix
 	}
-	return c.idx.ix
+	ix := BuildIndex(c)
+	c.idx.snap.Store(ix)
+	return ix
 }

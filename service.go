@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/scrutinizer/internal/claims"
@@ -64,7 +65,11 @@ type Verifier struct {
 	base    *core.Engine        // training home; mutated only by Retrain
 	snap    *core.ModelSnapshot // lazily derived from base, reset by Retrain
 	trained int                 // annotated claims in the last (re)train
-	runs    uint64              // runs + sessions started
+
+	// runs counts runs + sessions started. An atomic, not mu-guarded:
+	// StartRun is on the per-request hot path, and bumping a counter must
+	// not contend with Retrain holding the model lock.
+	runs atomic.Uint64
 }
 
 // NewVerifier builds a verifier over a corpus from a training document:
@@ -209,9 +214,7 @@ func (v *Verifier) StartRun(doc *Document) (*Run, error) {
 		return nil, fmt.Errorf("scrutinizer: document has no claims")
 	}
 	engine := v.snapshot().Spawn()
-	v.mu.Lock()
-	v.runs++
-	v.mu.Unlock()
+	v.runs.Add(1)
 	return &Run{verifier: v, engine: engine, doc: doc}, nil
 }
 
@@ -307,11 +310,7 @@ func (v *Verifier) TrainedOn() int {
 }
 
 // Runs returns how many runs and sessions the verifier has started.
-func (v *Verifier) Runs() uint64 {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	return v.runs
-}
+func (v *Verifier) Runs() uint64 { return v.runs.Load() }
 
 // Created returns the verifier's construction time.
 func (v *Verifier) Created() time.Time { return v.created }
