@@ -6,6 +6,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -257,7 +258,7 @@ func benchVerify(b *testing.B, cfg worldgen.Config, parallelism int) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res, err := sys.VerifyDocument(team, VerifyOptions{
+		res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{
 			BatchSize:   100,
 			Parallelism: parallelism,
 		})
@@ -312,7 +313,7 @@ func verifyWeeks(b *testing.B, ordering core.Ordering, seed int64) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := engine.Verify(w.Document, team, core.VerifyConfig{
+	res, err := engine.Verify(context.Background(), w.Document, team, core.VerifyConfig{
 		BatchSize:       20,
 		SectionReadCost: 60,
 		Ordering:        ordering,
@@ -406,7 +407,7 @@ func BenchmarkAblationTentativeExecution(b *testing.B) {
 					formulas = append(formulas, f)
 				}
 			}
-			sols, alts := engine.GenerateQueries(ctx, formulas, c.Param, c.HasParam)
+			sols, alts, _ := engine.GenerateQueries(context.Background(), ctx, formulas, c.Param, c.HasParam)
 			kept += float64(len(sols))
 			total += float64(len(sols) + len(alts))
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -365,7 +366,7 @@ func (r *runner) ablations() error {
 		if ord == core.OrderILP {
 			vc.UtilityWeight = 60
 		}
-		res, err := engine.Verify(w.Document, team, vc)
+		res, err := engine.Verify(context.Background(), w.Document, team, vc)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/scrutinizer"
@@ -22,6 +23,9 @@ type httpRunner struct {
 	cfg    config
 	client *http.Client
 	crowds *crowdCache
+	// abandons alternates which overload-mode sessions are walked away
+	// from mid-pump (every other one, across all workers).
+	abandons atomic.Int64
 }
 
 // relationJSON is one inline CSV relation of the corpus-create body.
@@ -93,6 +97,24 @@ func (hr *httpRunner) oneOp(worker int, t *tenant, mode string) (opResult, error
 	return hr.batchOp(t)
 }
 
+// classifyShed folds a rejection status into the result's overload
+// accounting. It reports whether the status was a shed (429/503) — in
+// overload mode those are outcomes, not errors, and the worker immediately
+// retries (no backoff: that is the point of a hostile tenant).
+func classifyShed(res *opResult, status int) bool {
+	switch {
+	case status == http.StatusTooManyRequests:
+		res.shed429++
+		return true
+	case status == http.StatusServiceUnavailable:
+		res.shed503++
+		return true
+	case status >= 500:
+		res.other5xx++
+	}
+	return false
+}
+
 // batchOp runs one mode=batch verification; the simulated crowd answers
 // server-side and the report comes back inline. One latency sample: the
 // whole request.
@@ -111,14 +133,17 @@ func (hr *httpRunner) batchOp(t *tenant) (opResult, error) {
 	var resp struct {
 		Claims int `json:"claims"`
 	}
+	var res opResult
 	start := time.Now()
-	if _, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &resp); err != nil {
-		return opResult{}, err
+	if status, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &resp); err != nil {
+		if hr.cfg.overload && classifyShed(&res, status) {
+			return res, nil
+		}
+		return res, err
 	}
-	return opResult{
-		claims:    resp.Claims,
-		latencies: []float64{float64(time.Since(start).Microseconds()) / 1000},
-	}, nil
+	res.claims = resp.Claims
+	res.latencies = []float64{float64(time.Since(start).Microseconds()) / 1000}
+	return res, nil
 }
 
 // sessionOp creates one mode=session run and pumps it to completion:
@@ -141,28 +166,43 @@ func (hr *httpRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 	if err != nil {
 		return opResult{}, err
 	}
+	var res opResult
 	var sess struct {
 		ID        string                        `json:"id"`
 		Questions []scrutinizer.SessionQuestion `json:"questions"`
 		Progress  scrutinizer.SessionProgress   `json:"progress"`
 	}
-	if _, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &sess); err != nil {
-		return opResult{}, err
-	}
-	defer func() {
-		req, _ := http.NewRequest(http.MethodDelete, hr.base+"/v1/runs/"+sess.ID, nil)
-		if resp, err := hr.client.Do(req); err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+	if status, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &sess); err != nil {
+		if hr.cfg.overload && classifyShed(&res, status) {
+			return res, nil
 		}
-	}()
+		return res, err
+	}
+	// Overload mode kills every other client mid-session: answer part of
+	// the document, then vanish without the DELETE — the abandoned session
+	// keeps holding the tenant's registry slot until the TTL sweep, which
+	// is exactly the pressure a crashed or hostile client applies.
+	abandon := hr.cfg.overload && hr.abandons.Add(1)%2 == 0
+	abandonAfter := len(sess.Questions)/2 + 1
+	if !abandon {
+		defer func() {
+			req, _ := http.NewRequest(http.MethodDelete, hr.base+"/v1/runs/"+sess.ID, nil)
+			if resp, err := hr.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
 
-	var res opResult
 	queue := sess.Questions
 	done := sess.Progress.Done
 	verified := sess.Progress.Verified
 	emptyPolls := 0
 	for !done {
+		if abandon && res.questions >= abandonAfter {
+			res.abandoned++
+			return res, nil
+		}
 		if len(queue) == 0 {
 			var qs struct {
 				Questions []scrutinizer.SessionQuestion `json:"questions"`
@@ -206,6 +246,12 @@ func (hr *httpRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 			continue
 		}
 		if err != nil {
+			if hr.cfg.overload && classifyShed(&res, status) {
+				// Rate-limited mid-session: give up on this one (the defer
+				// deletes it unless we are in an abandon run) and move on —
+				// a hostile client would just hammer the next request.
+				return res, nil
+			}
 			return res, err
 		}
 		res.latencies = append(res.latencies, float64(time.Since(start).Microseconds())/1000)

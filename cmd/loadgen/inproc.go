@@ -8,6 +8,7 @@ package main
 // behaviour shows up here without network noise on top.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -85,11 +86,11 @@ func (ir *inprocRunner) batchOp(t *tenant) (opResult, error) {
 		return opResult{}, err
 	}
 	start := time.Now()
-	run, err := v.StartRun(t.world.Document)
+	run, err := v.StartRun(context.Background(), t.world.Document)
 	if err != nil {
 		return opResult{}, err
 	}
-	res, err := run.Verify(team, ir.verifyOptions())
+	res, err := run.Verify(context.Background(), team, ir.verifyOptions())
 	run.Close()
 	if err != nil {
 		return opResult{}, err
@@ -109,7 +110,7 @@ func (ir *inprocRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 	if err != nil {
 		return opResult{}, err
 	}
-	sess, err := v.StartSession(ir.mgr, t.world.Document, scrutinizer.SessionOptions{Verify: ir.verifyOptions()})
+	sess, err := v.StartSession(context.Background(), ir.mgr, t.world.Document, scrutinizer.SessionOptions{Verify: ir.verifyOptions()})
 	if err != nil {
 		return opResult{}, err
 	}
@@ -141,7 +142,7 @@ func (ir *inprocRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 			return res, err
 		}
 		start := time.Now()
-		next, err := sess.Answer(ans)
+		next, err := sess.Answer(context.Background(), ans)
 		if err != nil {
 			// Stale question (the claim already finished); drop it.
 			continue

@@ -67,6 +67,7 @@ type config struct {
 	date        string
 	baseline    string
 	maxRatio    float64
+	overload    bool
 }
 
 // loadReport is the LOAD_<date>.json document.
@@ -96,6 +97,15 @@ type loadReport struct {
 	P50Ms       float64 `json:"p50_ms"`
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+	// Overload-mode accounting: requests the daemon shed (429 rate/quota
+	// rejections, 503 load shedding) and sessions deliberately walked away
+	// from mid-pump. A shed request is the protection working, not an
+	// error; Other5xx is what would indicate the daemon buckling.
+	Overload  bool `json:"overload,omitempty"`
+	Shed429   int  `json:"shed_429,omitempty"`
+	Shed503   int  `json:"shed_503,omitempty"`
+	Other5xx  int  `json:"other_5xx,omitempty"`
+	Abandoned int  `json:"abandoned_sessions,omitempty"`
 }
 
 // tenant is one (corpus, verifier) pair under load, with the generated
@@ -113,6 +123,13 @@ type opResult struct {
 	claims    int
 	questions int
 	latencies []float64 // milliseconds; per-answer (session) or per-run (batch)
+	// Overload-mode outcomes: shed counts rejections the daemon's guards
+	// issued (429/503), other5xx counts genuine server failures, abandoned
+	// marks a session deliberately left un-deleted mid-pump.
+	shed429   int
+	shed503   int
+	other5xx  int
+	abandoned int
 }
 
 // runner abstracts the two drive paths (HTTP daemon, in-process Service).
@@ -141,10 +158,15 @@ func main() {
 	flag.StringVar(&cfg.date, "date", time.Now().Format("2006-01-02"), "date stamp for the output file")
 	flag.StringVar(&cfg.baseline, "baseline", "", "LOAD_*.json to gate against; exit non-zero when claims/s regresses")
 	flag.Float64Var(&cfg.maxRatio, "max-ratio", 2.0, "fail when baseline claims/s exceeds fresh claims/s by this factor (with -baseline)")
+	flag.BoolVar(&cfg.overload, "overload", false, "hostile mode: never back off on 429/503 (count them as shed), abandon half the sessions mid-pump without deleting them; fails unless the daemon stays live with no non-shed 5xx")
 	flag.Parse()
 
 	if cfg.mode != "batch" && cfg.mode != "session" {
 		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (batch or session)\n", cfg.mode)
+		os.Exit(2)
+	}
+	if cfg.overload && cfg.addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -overload needs a live daemon (-addr); the guards under test live in scrutinizerd")
 		os.Exit(2)
 	}
 	if cfg.out == "" {
@@ -191,6 +213,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: %d runs, %.0f claims/s, %.0f questions/s, p50/p95/p99 = %.1f/%.1f/%.1f ms (%s) -> %s\n",
 		rep.Runs, rep.ClaimsPerS, rep.QuestionsPerS, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.LatencyKind, cfg.out)
 
+	if cfg.overload {
+		// Overload pass criteria: the daemon survived (liveness green), it
+		// actually shed something (the limits were exercised), and nothing
+		// failed with a non-shed 5xx — a 500 storm under load is a bug the
+		// protection layer exists to prevent.
+		fmt.Fprintf(os.Stderr, "loadgen: overload: %d shed as 429, %d shed as 503, %d abandoned sessions, %d other 5xx\n",
+			rep.Shed429, rep.Shed503, rep.Abandoned, rep.Other5xx)
+		if rep.Other5xx > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d non-shed 5xx responses under overload\n", rep.Other5xx)
+			os.Exit(1)
+		}
+		if rep.Shed429+rep.Shed503 == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL: overload run shed nothing (limits not exercised; raise -concurrency or lower the daemon's quotas)")
+			os.Exit(1)
+		}
+		if err := checkAlive(cfg.addr); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: daemon liveness after overload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: overload gate passed (daemon live, shedding clean)")
+		return
+	}
 	if rep.Runs == 0 || rep.Claims == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL: no operations completed")
 		os.Exit(1)
@@ -207,6 +251,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 	os.Exit(1)
+}
+
+// checkAlive asserts the daemon's liveness probe still answers 200 — the
+// post-overload invariant: shedding protected the process, not killed it.
+func checkAlive(addr string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimRight(addr, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz returned %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // buildTenants generates the worlds and serializes each training document
@@ -259,9 +318,22 @@ func drive(cfg config, r runner, tenants []*tenant) loadReport {
 			for op := 0; time.Now().Before(deadline); op++ {
 				t := tenants[(w+op)%len(tenants)]
 				res, err := r.oneOp(w, t, cfg.mode)
+				tt.res.shed429 += res.shed429
+				tt.res.shed503 += res.shed503
+				tt.res.other5xx += res.other5xx
+				tt.res.abandoned += res.abandoned
 				if err != nil {
 					tt.errs++
-					fmt.Fprintf(os.Stderr, "loadgen: worker %d: %v\n", w, err)
+					// Under deliberate overload a wall of shed errors is the
+					// expected outcome, not news worth a line each.
+					if !cfg.overload {
+						fmt.Fprintf(os.Stderr, "loadgen: worker %d: %v\n", w, err)
+					}
+					continue
+				}
+				if res.shed429+res.shed503 > 0 && res.claims == 0 && res.questions == 0 {
+					// The whole operation was shed at admission: not a run,
+					// not an error — the guard doing its job.
 					continue
 				}
 				tt.runs++
@@ -287,6 +359,7 @@ func drive(cfg config, r runner, tenants []*tenant) loadReport {
 		Concurrency:      cfg.concurrency,
 		DurationS:        elapsed,
 		LatencyKind:      "run",
+		Overload:         cfg.overload,
 	}
 	if cfg.mode == "session" {
 		rep.LatencyKind = "answer"
@@ -297,6 +370,10 @@ func drive(cfg config, r runner, tenants []*tenant) loadReport {
 		rep.Claims += totals[i].res.claims
 		rep.Questions += totals[i].res.questions
 		rep.Errors += totals[i].errs
+		rep.Shed429 += totals[i].res.shed429
+		rep.Shed503 += totals[i].res.shed503
+		rep.Other5xx += totals[i].res.other5xx
+		rep.Abandoned += totals[i].res.abandoned
 		lats = append(lats, totals[i].res.latencies...)
 	}
 	if elapsed > 0 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -92,7 +93,7 @@ func runInteractive(in io.Reader, out io.Writer, numClaims int, seed int64) erro
 		numClaims = len(world.Document.Claims)
 	}
 	for _, c := range world.Document.Claims[:numClaims] {
-		res, err := sys.VerifyClaimWith(c, oracle)
+		res, err := sys.VerifyClaimWith(context.Background(), c, oracle)
 		if err != nil {
 			return err
 		}

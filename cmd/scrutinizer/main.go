@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +82,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, scrutinizer.VerifyOptions{
+	res, err := sys.VerifyDocument(context.Background(), team, scrutinizer.VerifyOptions{
 		BatchSize:       *batch,
 		SectionReadCost: 60,
 		Ordering:        ordering,

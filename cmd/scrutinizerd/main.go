@@ -130,6 +130,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only when -pprof is set)
 	"os"
@@ -137,11 +138,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/repro/scrutinizer"
 	"github.com/repro/scrutinizer/internal/core"
+	"github.com/repro/scrutinizer/internal/guard"
 	"github.com/repro/scrutinizer/internal/table"
 )
 
@@ -157,6 +160,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: journal /v1 mutations and recover them on boot (empty = ephemeral)")
 	mutexProfile := flag.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off; 1 = every event)")
 	blockProfile := flag.Int("blockprofile", 0, "sample blocking events >= N ns for /debug/pprof/block (0 = off; 1 = every event)")
+	requestTimeout := flag.Duration("request-timeout", 0, "server-enforced deadline per verification request (0 = none)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-tenant request rate on expensive routes, requests/second (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 10, "per-tenant token-bucket burst for -rate-limit")
+	maxRunsPerTenant := flag.Int("max-runs-per-tenant", 0, "concurrent runs (batch + interactive) per tenant (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "global bound on in-flight expensive requests; beyond it requests are shed with 503 (0 = unlimited)")
 	flag.Parse()
 
 	// Contention profiling is off by default (both profiles cost on every
@@ -201,30 +209,38 @@ func main() {
 		log.Fatal(err)
 	}
 	var st scrutinizer.Store
+	var closeStore func() error
 	if *dataDir != "" {
 		fs, err := scrutinizer.OpenFileStore(*dataDir)
 		if err != nil {
 			log.Fatalf("scrutinizerd: opening data dir %s: %v", *dataDir, err)
 		}
-		defer fs.Close()
+		// Closed explicitly at the end of the shutdown sequence (after
+		// in-flight handlers drain), not deferred: log.Fatal skips defers,
+		// and a defer would race handlers still appending to the journal.
+		closeStore = fs.Close
 		st = fs
 	}
-	s, err := newServer(corpus, *parallel, *sessionTTL, *maxSessions, st)
-	if err != nil {
-		log.Fatalf("scrutinizerd: recovering from %s: %v", *dataDir, err)
-	}
-	if st != nil {
-		rec := s.recovered
-		log.Printf("scrutinizerd: recovered %d journal records from %s (%d corpora, %d verifiers [%d from snapshot, %d retrained], %d sessions, %d skipped)",
-			rec.Records, *dataDir, rec.Corpora, rec.Verifiers, rec.VerifiersFromSnapshot, rec.VerifiersRetrained, rec.Sessions, rec.SessionsSkipped)
-	}
-	stats := s.corpus.Stats()
-	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), listening on %s",
-		stats.Relations, stats.Rows, stats.Cells, *addr)
+	s := newServerShell(serverConfig{
+		parallel:         *parallel,
+		sessionTTL:       *sessionTTL,
+		maxSessions:      *maxSessions,
+		requestTimeout:   *requestTimeout,
+		rateLimit:        *rateLimit,
+		rateBurst:        *rateBurst,
+		maxRunsPerTenant: *maxRunsPerTenant,
+		maxInflight:      *maxInflight,
+	}, st)
 
+	// Every request context descends from baseCtx, so cancelling it after
+	// the HTTP listener stops cancels whatever verification work is still
+	// in flight — the core's checkpoints observe it between rounds.
+	baseCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 5 * time.Second,
 		// Reading a request body tops out at the 64 MB document cap;
 		// five minutes covers that even on slow links.
@@ -235,16 +251,44 @@ func main() {
 		WriteTimeout: 30 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
+	// Listen before replaying the journal: during recovery the probes
+	// answer (liveness green, readiness 503) while API routes refuse with
+	// 503 until boot finishes, instead of the whole port being dark.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("scrutinizerd: listening on %s", *addr)
+
+	if err := s.boot(corpus); err != nil {
+		if closeStore != nil {
+			closeStore()
+		}
+		log.Fatalf("scrutinizerd: recovering from %s: %v", *dataDir, err)
+	}
+	if st != nil {
+		rec := s.recovered
+		log.Printf("scrutinizerd: recovered %d journal records from %s (%d corpora, %d verifiers [%d from snapshot, %d retrained], %d sessions, %d skipped)",
+			rec.Records, *dataDir, rec.Corpora, rec.Verifiers, rec.VerifiersFromSnapshot, rec.VerifiersRetrained, rec.Sessions, rec.SessionsSkipped)
+	}
+	stats := s.corpus.Stats()
+	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), serving",
+		stats.Relations, stats.Rows, stats.Cells)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		if closeStore != nil {
+			closeStore()
+		}
 		log.Fatal(err)
 	case sig := <-stop:
+		// Shutdown ordering matters: stop admitting (readiness goes red,
+		// new conns refused), let in-flight handlers finish or time out,
+		// cancel whatever is still running, wait for the admission gate to
+		// empty, and only then close the store — a handler can never be
+		// mid-journal-append when the journal closes.
 		log.Printf("scrutinizerd: %v, draining", sig)
+		s.ready.Store(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -255,6 +299,16 @@ func main() {
 				log.Printf("scrutinizerd: pprof shutdown: %v", err)
 			}
 		}
+		cancelRuns()
+		if !s.gate.Drain(10 * time.Second) {
+			log.Printf("scrutinizerd: handlers still in flight after drain timeout")
+		}
+		if closeStore != nil {
+			if err := closeStore(); err != nil {
+				log.Printf("scrutinizerd: closing store: %v", err)
+			}
+		}
+		log.Printf("scrutinizerd: drained, exiting")
 	}
 }
 
@@ -282,18 +336,46 @@ const maxBodyBytes = 64 << 20
 // the legacy /verify and /sessions routes alias onto it.
 const defaultCorpusID = "default"
 
+// serverConfig bundles the daemon's tuning knobs; the zero value means
+// "no protection limits, all CPUs, sessions never expire".
+type serverConfig struct {
+	parallel         int
+	sessionTTL       time.Duration
+	maxSessions      int
+	requestTimeout   time.Duration // server-enforced verification deadline (0 = none)
+	rateLimit        float64       // per-tenant requests/second (0 = unlimited)
+	rateBurst        float64
+	maxRunsPerTenant int // concurrent runs per tenant (0 = unlimited)
+	maxInflight      int // global in-flight bound (0 = unlimited)
+}
+
 // server holds the shared state of the daemon: the multi-tenant resource
 // registry (corpora + verifiers), the interactive session registry shared
-// by /v1 runs and legacy sessions, and — for the legacy routes — the
-// default corpus with its corpus-wide query cache.
+// by /v1 runs and legacy sessions, the tenant-protection guards, and —
+// for the legacy routes — the default corpus with its query cache.
 type server struct {
 	svc      *scrutinizer.Service
 	corpus   *scrutinizer.Corpus // the default corpus (legacy routes)
+	cfg      serverConfig
 	parallel int
 	maxBody  int64
 	sessions *scrutinizer.SessionManager
 	qcache   *scrutinizer.QueryCache // the default corpus's shared cache
 	started  time.Time
+	store    scrutinizer.Store // nil when ephemeral
+	// Tenant protection (see guard.go): global admission gate, per-tenant
+	// rate limiter and per-tenant run quota. The gate is never nil — it
+	// counts in-flight work for shutdown draining even when unbounded.
+	gate     *guard.Gate
+	rates    *guard.RateLimiter // nil = unlimited
+	runQuota *guard.Quota       // nil = unlimited
+	// ready flips once boot-time journal replay finishes; until then the
+	// API surface answers 503 and /readyz reports not-ready. Flipping it
+	// back off is the first step of shutdown.
+	ready atomic.Bool
+	// panicHook, when set by tests, runs inside the answers handler after
+	// the session is resolved — the seam for injecting handler panics.
+	panicHook func(*http.Request)
 	// recovered summarises the boot-time journal replay; zero when the
 	// daemon runs without -data-dir.
 	recovered scrutinizer.RecoveryStats
@@ -312,45 +394,67 @@ func (s *server) lockCorpus(id string) *sync.Mutex {
 	return mu.(*sync.Mutex)
 }
 
-func newServer(corpus *scrutinizer.Corpus, parallel int, sessionTTL time.Duration, maxSessions int, st scrutinizer.Store) (*server, error) {
-	if parallel <= 0 {
-		parallel = core.DefaultParallelism()
+// newServerShell builds the daemon's registries and guards but replays no
+// journal: the HTTP listener can start on the shell (probes answer, API
+// routes 503) while boot runs the replay.
+func newServerShell(cfg serverConfig, st scrutinizer.Store) *server {
+	if cfg.parallel <= 0 {
+		cfg.parallel = core.DefaultParallelism()
 	}
-	svc := scrutinizer.NewService()
-	sessions := scrutinizer.NewSessionManager(sessionTTL, maxSessions)
-	var recovered scrutinizer.RecoveryStats
-	if st != nil {
-		var err error
-		recovered, err = svc.Recover(st, sessions)
+	return &server{
+		svc:      scrutinizer.NewService(),
+		cfg:      cfg,
+		parallel: cfg.parallel,
+		maxBody:  maxBodyBytes,
+		sessions: scrutinizer.NewSessionManager(cfg.sessionTTL, cfg.maxSessions),
+		started:  time.Now(),
+		store:    st,
+		gate:     guard.NewGate(cfg.maxInflight),
+		rates:    guard.NewRateLimiter(cfg.rateLimit, cfg.rateBurst, nil),
+		runQuota: guard.NewQuota(cfg.maxRunsPerTenant),
+	}
+}
+
+// boot replays the journal (when durable), registers the default corpus
+// and flips the server ready. Handlers only read the fields boot writes
+// after observing ready, so the atomic flip publishes them safely.
+func (s *server) boot(corpus *scrutinizer.Corpus) error {
+	if s.store != nil {
+		recovered, err := s.svc.Recover(s.store, s.sessions)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		s.recovered = recovered
 	}
 	// The default corpus backs the legacy routes. A recovered journal may
 	// already hold one — from this boot's own past, where it was journaled
 	// at first startup — and the durable copy wins over the freshly loaded
 	// one so legacy traffic sees the state clients were promised.
-	if existing, ok := svc.Corpus(defaultCorpusID); ok {
+	if existing, ok := s.svc.Corpus(defaultCorpusID); ok {
 		corpus = existing
-	} else if _, err := svc.AddCorpus(defaultCorpusID, corpus); err != nil {
-		return nil, fmt.Errorf("registering default corpus: %w", err)
+	} else if _, err := s.svc.AddCorpus(defaultCorpusID, corpus); err != nil {
+		return fmt.Errorf("registering default corpus: %w", err)
 	}
-	qcache, _ := svc.CorpusQueryCache(defaultCorpusID)
-	return &server{
-		svc:       svc,
-		corpus:    corpus,
-		parallel:  parallel,
-		maxBody:   maxBodyBytes,
-		sessions:  sessions,
-		qcache:    qcache,
-		started:   time.Now(),
-		recovered: recovered,
-	}, nil
+	s.qcache, _ = s.svc.CorpusQueryCache(defaultCorpusID)
+	s.corpus = corpus
+	s.ready.Store(true)
+	return nil
+}
+
+// newServer is the one-shot constructor (shell + boot): what tests and
+// embedders want when there is no listener racing the replay.
+func newServer(corpus *scrutinizer.Corpus, cfg serverConfig, st scrutinizer.Store) (*server, error) {
+	s := newServerShell(cfg, st)
+	if err := s.boot(corpus); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 
 	// Legacy surface: single-corpus, per-request model fitting. Preserved
 	// unchanged as an alias onto the default corpus.
@@ -383,7 +487,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/questions", s.handleSessionQuestions)
 	mux.HandleFunc("POST /v1/runs/{id}/answers", s.handleSessionAnswers)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleSessionReport)
-	return mux
+	// Outermost: panics become logged 500s; then the readiness wall that
+	// keeps the API dark (503) until journal replay finishes.
+	return s.withRecover(s.withReady(mux))
 }
 
 // buildVersion resolves the daemon's version from the embedded build info
@@ -415,6 +521,17 @@ func buildVersion() string {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness during boot: the process is healthy while journal replay
+	// runs, but the registries are still mutating under the replay — so
+	// report alive with a minimal body and let /readyz carry the rest.
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "starting",
+			"version":        buildVersion(),
+			"uptime_seconds": int(time.Since(s.started).Seconds()),
+		})
+		return
+	}
 	stats := s.corpus.Stats()
 	sess := s.sessions.Stats()
 	qc := s.qcache.Stats()
@@ -480,6 +597,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		},
 		"parallelism":    s.parallel,
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
+		// admission: the global in-flight gate — shedding means the daemon
+		// is at -max-inflight and rejecting expensive requests with 503.
+		"admission": s.gate.Stats(),
 	}
 	// store: durable-state health when the daemon runs with -data-dir —
 	// journal growth plus what the last boot replayed.
@@ -604,6 +724,15 @@ func toVerifyOutcome(o *scrutinizer.Outcome) verifyOutcome {
 }
 
 func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer leave()
+	// Legacy routes are single-corpus: the default corpus is the tenant.
+	if !s.rateLimit(w, defaultCorpusID) {
+		return
+	}
 	raw, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -635,6 +764,14 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		parallelism = s.parallel
 	}
 
+	release, ok := s.acquireRun(w, defaultCorpusID)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+
 	start := time.Now()
 	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed, QueryCache: s.qcache})
 	if err != nil {
@@ -646,7 +783,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := sys.VerifyDocument(crowd, scrutinizer.VerifyOptions{
+	res, err := sys.VerifyDocument(ctx, crowd, scrutinizer.VerifyOptions{
 		BatchSize:       req.Batch,
 		SectionReadCost: req.SectionReadCost,
 		Ordering:        ordering,
@@ -654,7 +791,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		Seed:            req.Seed,
 	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpError(w, verifyErrStatus(err), err.Error())
 		return
 	}
 
@@ -693,6 +830,14 @@ type sessionCreateResponse struct {
 }
 
 func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer leave()
+	if !s.rateLimit(w, defaultCorpusID) {
+		return
+	}
 	raw, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -711,12 +856,14 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if parallelism <= 0 {
 		parallelism = s.parallel
 	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
 	sys, err := scrutinizer.New(s.corpus, doc, scrutinizer.Options{Seed: req.Seed, QueryCache: s.qcache})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	sess, err := sys.StartSession(s.sessions, scrutinizer.SessionOptions{
+	sess, err := sys.StartSession(ctx, s.sessions, scrutinizer.SessionOptions{
 		Verify: scrutinizer.VerifyOptions{
 			BatchSize:       req.Batch,
 			SectionReadCost: req.SectionReadCost,
@@ -727,7 +874,11 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Checkers: req.Checkers,
 	})
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = verifyErrStatus(err)
+		}
+		httpError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, sessionCreateResponse{
@@ -794,9 +945,36 @@ type answersResponse struct {
 }
 
 func (s *server) handleSessionAnswers(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer leave()
 	sess, ok := s.session(w, r)
 	if !ok {
 		return
+	}
+	// Answers are charged to the run's owner (the verifier for /v1 runs;
+	// legacy sessions fall back to the default corpus) so one tenant
+	// hammering its session cannot starve another's.
+	tenant := sess.Owner()
+	if tenant == "" {
+		tenant = defaultCorpusID
+	}
+	if !s.rateLimit(w, tenant) {
+		return
+	}
+	// A panic while applying answers leaves the session in an undefined
+	// state: tear it down (journaled, so recovery will not resurrect it)
+	// and let withRecover turn the panic into the 500.
+	defer func() {
+		if p := recover(); p != nil {
+			s.sessions.Remove(sess.ID())
+			panic(p)
+		}
+	}()
+	if s.panicHook != nil {
+		s.panicHook(r)
 	}
 	raw, ok := s.readBody(w, r)
 	if !ok {
@@ -827,14 +1005,24 @@ func (s *server) handleSessionAnswers(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no answers in body")
 		return
 	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
 	resp := answersResponse{}
 	for _, a := range req.Answers {
-		next, err := sess.Answer(a)
+		next, err := sess.Answer(ctx, a)
 		if err != nil {
-			// Conflict: the target question is gone (answered already,
-			// or the claim finished). Report what was accepted so far.
+			// A cancelled or timed-out answer was rolled back before being
+			// journaled — the question is still pending, so the client can
+			// repost it. Anything else is a conflict: the target question
+			// is gone (answered already, or the claim finished). Either
+			// way, report what was accepted so far.
+			status := http.StatusConflict
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = verifyErrStatus(err)
+				w.Header().Set("Retry-After", "1")
+			}
 			resp.Progress = sess.Progress()
-			writeJSON(w, http.StatusConflict, map[string]any{
+			writeJSON(w, status, map[string]any{
 				"error":    err.Error(),
 				"accepted": resp.Accepted,
 				"progress": resp.Progress,

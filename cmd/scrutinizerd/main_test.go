@@ -21,7 +21,7 @@ func testServer(t *testing.T) (*server, *scrutinizer.World) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(w.Corpus, 4, time.Hour, 0, nil)
+	s, err := newServer(w.Corpus, serverConfig{parallel: 4, sessionTTL: time.Hour}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

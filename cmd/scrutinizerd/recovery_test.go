@@ -35,7 +35,7 @@ func recoveryTestWorld(t *testing.T) *scrutinizer.World {
 // storedServer builds a server over st (nil = ephemeral) and serves it.
 func storedServer(t *testing.T, w *scrutinizer.World, st scrutinizer.Store) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(w.Corpus, 4, time.Hour, 0, st)
+	s, err := newServer(w.Corpus, serverConfig{parallel: 4, sessionTTL: time.Hour}, st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -224,9 +225,18 @@ type verifierResponse struct {
 }
 
 func (s *server) handleVerifierCreate(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer leave()
 	corpusID := r.PathValue("id")
 	if _, ok := s.svc.Corpus(corpusID); !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no corpus %q", corpusID))
+		return
+	}
+	// Training is charged to the corpus being trained over.
+	if !s.rateLimit(w, corpusID) {
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -340,8 +350,18 @@ type sessionRunResponse struct {
 }
 
 func (s *server) handleRunCreate(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer leave()
 	v, ok := s.verifier(w, r)
 	if !ok {
+		return
+	}
+	// Runs are charged to the verifier they execute against — the /v1
+	// surface's tenant unit.
+	if !s.rateLimit(w, v.ID()) {
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -401,23 +421,32 @@ func (s *server) handleRunCreate(w http.ResponseWriter, r *http.Request) {
 		if team <= 0 {
 			team = 3
 		}
+		// Batch runs hold a quota slot for the whole request.
+		release, ok := s.acquireRun(w, v.ID())
+		if !ok {
+			return
+		}
+		defer release()
+		ctx, cancel := s.runCtx(r)
+		defer cancel()
 		start := time.Now()
-		run, err := v.StartRun(doc)
+		run, err := v.StartRun(ctx, doc)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
 		crowd, err := v.NewTeam(team)
 		if err != nil {
+			run.Close()
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		res, err := run.Verify(crowd, vopts)
+		res, err := run.Verify(ctx, crowd, vopts)
 		// Batch runs are request-scoped: hand the engine back to the
 		// verifier's spare pool so the next request re-primes it in place.
 		run.Close()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
+			httpError(w, verifyErrStatus(err), err.Error())
 			return
 		}
 		resp := batchRunResponse{
@@ -450,14 +479,27 @@ func (s *server) handleRunCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 
 	case "session":
-		sess, err := v.StartSession(s.sessions, doc, scrutinizer.SessionOptions{
+		// Interactive runs count against the same per-tenant quota as
+		// batch runs, but the slot is carried by the session registry's
+		// owner tag (freed when the session ends), not held here.
+		if !s.runQuotaFree(w, v.ID()) {
+			return
+		}
+		ctx, cancel := s.runCtx(r)
+		defer cancel()
+		sess, err := v.StartSession(ctx, s.sessions, doc, scrutinizer.SessionOptions{
 			Verify:   vopts,
 			Checkers: req.Checkers,
 		})
 		if err != nil {
 			// The document was validated above; what remains is registry
-			// pressure (session cap reached) — a genuine 503.
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			// pressure (session cap reached) — a genuine 503 — or a dead
+			// request context.
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			httpError(w, status, err.Error())
 			return
 		}
 		id := sess.ID()

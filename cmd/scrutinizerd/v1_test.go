@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -250,7 +251,7 @@ func TestV1BatchRunMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := sys.VerifyDocument(team, scrutinizer.VerifyOptions{BatchSize: batch})
+	want, err := sys.VerifyDocument(context.Background(), team, scrutinizer.VerifyOptions{BatchSize: batch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestV1BatchRunMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refRun, err := refV.StartRun(half)
+	refRun, err := refV.StartRun(context.Background(), half)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestV1BatchRunMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want2, err := refRun.Verify(refTeam, scrutinizer.VerifyOptions{BatchSize: batch})
+	want2, err := refRun.Verify(context.Background(), refTeam, scrutinizer.VerifyOptions{BatchSize: batch})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ package scrutinizer
 // the only fan-out being measured.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -86,12 +87,12 @@ func BenchmarkConcurrentRunsSharedCorpus(b *testing.B) {
 					b.Error("verifier vanished")
 					return
 				}
-				run, err := vv.StartRun(w.Document)
+				run, err := vv.StartRun(context.Background(), w.Document)
 				if err != nil {
 					b.Error(err)
 					return
 				}
-				res, err := run.Verify(teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
+				res, err := run.Verify(context.Background(), teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
 				run.Close()
 				if err != nil {
 					b.Error(err)
@@ -153,12 +154,12 @@ func BenchmarkServiceManyTenants(b *testing.B) {
 			b.Error("verifier vanished")
 			return
 		}
-		run, err := vv.StartRun(docs[tenant])
+		run, err := vv.StartRun(context.Background(), docs[tenant])
 		if err != nil {
 			b.Error(err)
 			return
 		}
-		res, err := run.Verify(teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
+		res, err := run.Verify(context.Background(), teams[worker], VerifyOptions{BatchSize: 100, Parallelism: 1})
 		run.Close()
 		if err != nil {
 			b.Error(err)

@@ -1,6 +1,7 @@
 package scrutinizer_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func ExampleNew() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := sys.VerifyClaim(claim, team)
+	out, err := sys.VerifyClaim(context.Background(), claim, team)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func ExampleSystem_VerifyDocument() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, scrutinizer.VerifyOptions{
+	res, err := sys.VerifyDocument(context.Background(), team, scrutinizer.VerifyOptions{
 		BatchSize:   10,
 		Parallelism: 4,
 	})
@@ -132,7 +133,7 @@ func ExampleNewVerifier() {
 		{Title: "edition B", Sections: world.Document.Sections, Claims: world.Document.Claims[half:]},
 	}
 	for _, doc := range docs {
-		run, err := v.StartRun(doc)
+		run, err := v.StartRun(context.Background(), doc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func ExampleNewVerifier() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := run.Verify(team, scrutinizer.VerifyOptions{BatchSize: 10})
+		res, err := run.Verify(context.Background(), team, scrutinizer.VerifyOptions{BatchSize: 10})
 		if err != nil {
 			log.Fatal(err)
 		}

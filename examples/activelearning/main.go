@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	fmt.Println("batch  claims  rel-acc  key-acc  attr-acc  formula-acc  s/claim")
-	_, err = engine.Verify(world.Document, team, core.VerifyConfig{
+	_, err = engine.Verify(context.Background(), world.Document, team, core.VerifyConfig{
 		BatchSize: 20,
 		Ordering:  core.OrderILP,
 		AfterBatch: func(batch, verified int, outs []*core.Outcome) {

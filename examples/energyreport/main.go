@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- ordering: %s ---\n", ordering)
-		res, err := sys.Engine().Verify(world.Document, team, core.VerifyConfig{
+		res, err := sys.Engine().Verify(context.Background(), world.Document, team, core.VerifyConfig{
 			BatchSize:       25,
 			SectionReadCost: 60,
 			Ordering:        ordering,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -102,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, scrutinizer.VerifyOptions{BatchSize: 4})
+	res, err := sys.VerifyDocument(context.Background(), team, scrutinizer.VerifyOptions{BatchSize: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

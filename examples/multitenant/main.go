@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -59,7 +60,7 @@ func main() {
 		go func(doc *scrutinizer.Document) {
 			defer wg.Done()
 			t0 := time.Now()
-			run, err := v.StartRun(doc)
+			run, err := v.StartRun(context.Background(), doc)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -68,7 +69,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := run.Verify(team, scrutinizer.VerifyOptions{BatchSize: 25})
+			res, err := run.Verify(context.Background(), team, scrutinizer.VerifyOptions{BatchSize: 25})
 			if err != nil {
 				log.Fatal(err)
 			}

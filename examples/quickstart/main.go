@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,7 @@ func main() {
 	}
 
 	for _, c := range doc.Claims {
-		out, err := sys.VerifyClaim(c, team)
+		out, err := sys.VerifyClaim(context.Background(), c, team)
 		if err != nil {
 			log.Fatal(err)
 		}

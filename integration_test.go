@@ -1,6 +1,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -41,7 +42,7 @@ func TestBootstrapBeatsColdStart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 15})
+		res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: 15})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestMajorityVotingAbsorbsUnreliableWorker(t *testing.T) {
 
 	right := 0
 	for _, c := range w.Document.Claims {
-		out, err := sys.VerifyClaim(c, team)
+		out, err := sys.VerifyClaim(context.Background(), c, team)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestErrorInjectionDetected(t *testing.T) {
 			continue
 		}
 		wrongClaims++
-		out, err := sys.VerifyClaim(c, team)
+		out, err := sys.VerifyClaim(context.Background(), c, team)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,7 +279,7 @@ func TestVerifySkipsAreRareWithAccurateCrowd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 20, Ordering: core.OrderGreedy})
+	res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: 20, Ordering: core.OrderGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestReportMentionsEveryClaim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 10})
+	res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestCrossEditionBootstrap(t *testing.T) {
 		// let the cold start catch up after its first batch and reduce the
 		// comparison to crowd-timing noise; a single batch isolates the
 		// structural advantage of arriving with trained classifiers.
-		res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: len(thisYear.Document.Claims)})
+		res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: len(thisYear.Document.Claims)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -404,7 +405,7 @@ func TestHopelessCrowdSkipsClaims(t *testing.T) {
 	// for the wrong reason more often than chance would allow.
 	skippedOrJudged := 0
 	for _, c := range w.Document.Claims[:10] {
-		out, err := sys.VerifyClaim(c, team)
+		out, err := sys.VerifyClaim(context.Background(), c, team)
 		if err != nil {
 			t.Fatal(err)
 		}

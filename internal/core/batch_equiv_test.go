@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strconv"
 	"sync"
@@ -102,8 +103,8 @@ func TestAssessBatchMatchesSequential(t *testing.T) {
 
 	check := func(stage string, sub []int) {
 		t.Helper()
-		cb, ub := batch.assessAll(sub, pool, 4)
-		cs, us := seq.assessAll(sub, pool, 1)
+		cb, ub := batch.assessAll(context.Background(), sub, pool, 4)
+		cs, us := seq.assessAll(context.Background(), sub, pool, 1)
 		for i := range sub {
 			if cb[i] != cs[i] || ub[i] != us[i] {
 				t.Fatalf("%s: claim %d batch (%v, %v) != sequential (%v, %v)",
@@ -149,7 +150,7 @@ func TestVerifyBatchScoredMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Verify(w.Document, team, vc)
+		res, err := e.Verify(context.Background(), w.Document, team, vc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestVerifyFormulaParallelismEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Verify(w.Document, team, vc)
+		res, err := e.Verify(context.Background(), w.Document, team, vc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestSpawnReleaseReuse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := eng.Verify(w.Document, team, VerifyConfig{BatchSize: 20})
+		res, err := eng.Verify(context.Background(), w.Document, team, VerifyConfig{BatchSize: 20})
 		if err != nil {
 			t.Fatal(err)
 		}

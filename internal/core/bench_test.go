@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"github.com/repro/scrutinizer/internal/crowd"
 	"github.com/repro/scrutinizer/internal/formula"
@@ -46,11 +48,11 @@ func benchGenSetup(b *testing.B) (*Engine, Context, []*formula.Formula, float64)
 // cache hits replay the slot tuples and only survivors materialise.
 func BenchmarkGenerateQueries(b *testing.B) {
 	e, ctx, formulas, p := benchGenSetup(b)
-	e.GenerateQueries(ctx, formulas, p, true) // warm cache + compiled programs
+	e.GenerateQueries(context.Background(), ctx, formulas, p, true) // warm cache + compiled programs
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, a := e.GenerateQueries(ctx, formulas, p, true)
+		s, a, _ := e.GenerateQueries(context.Background(), ctx, formulas, p, true)
 		if len(s)+len(a) == 0 {
 			b.Fatal("no candidates")
 		}
@@ -66,7 +68,7 @@ func BenchmarkGenerateQueriesCold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.qcache = NewQueryCache()
-		s, a := e.GenerateQueries(ctx, formulas, p, true)
+		s, a, _ := e.GenerateQueries(context.Background(), ctx, formulas, p, true)
 		if len(s)+len(a) == 0 {
 			b.Fatal("no candidates")
 		}
@@ -93,13 +95,22 @@ func BenchmarkGenerateQueriesInterpreted(b *testing.B) {
 // Algorithm 2 for most claims — the workload where query generation is the
 // dominant per-claim cost. interpreted routes generation through the
 // pre-compilation reference engine via the override hook.
-func benchVerifyE2E(b *testing.B, interpreted bool) {
+func benchVerifyE2E(b *testing.B, interpreted, deadline bool) {
 	e, w := buildEngine(b, tinyWorld())
 	pipe := e.pipe
 	cfg := e.cfg
 	team, err := crowd.NewTeam("B", 3, 0.98, 17)
 	if err != nil {
 		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if deadline {
+		// A deadline that never fires: every cancellation checkpoint does
+		// its full check (deadline contexts take the slow ctx.Err path),
+		// and the run still completes.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Hour))
+		defer cancel()
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -114,7 +125,7 @@ func benchVerifyE2E(b *testing.B, interpreted bool) {
 			e.genOverride = e.generateQueriesInterpreted
 		}
 		b.StartTimer()
-		res, err := e.Verify(w.Document, team, VerifyConfig{BatchSize: 10})
+		res, err := e.Verify(ctx, w.Document, team, VerifyConfig{BatchSize: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,6 +137,9 @@ func benchVerifyE2E(b *testing.B, interpreted bool) {
 
 // BenchmarkVerifyEndToEnd / BenchmarkVerifyEndToEndInterpreted record the
 // end-to-end document-verification win of the compiled query engine in the
-// tracked BENCH_*.json set.
-func BenchmarkVerifyEndToEnd(b *testing.B)            { benchVerifyE2E(b, false) }
-func BenchmarkVerifyEndToEndInterpreted(b *testing.B) { benchVerifyE2E(b, true) }
+// tracked BENCH_*.json set. BenchmarkVerifyWithDeadline is the same run
+// under a live (never-firing) deadline — its gap to VerifyEndToEnd is the
+// total cost of the cancellation checkpoints, budgeted at <2%.
+func BenchmarkVerifyEndToEnd(b *testing.B)            { benchVerifyE2E(b, false, false) }
+func BenchmarkVerifyEndToEndInterpreted(b *testing.B) { benchVerifyE2E(b, true, false) }
+func BenchmarkVerifyWithDeadline(b *testing.B)        { benchVerifyE2E(b, false, true) }

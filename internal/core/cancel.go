@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Cancellation design: verification is CPU-bound work driven entirely by
+// caller goroutines (the engine spawns none of its own beyond bounded
+// runPool fan-outs that always drain), so cancellation is cooperative —
+// cheap checkpoints at the natural joints of Algorithm 1 and Algorithm 2
+// rather than preemption. The checkpoints are:
+//
+//   - round boundaries: Engine.Verify checks before pumping each batch and
+//     before every oracle round (Pump/PumpClaim), so a cancelled batch run
+//     stops between answers without ever entering the retrain barrier.
+//   - batch-selection scans: selectBatch checks on entry and around the
+//     assessAll scoring pass, and assessAll itself skips per-claim scoring
+//     once the context is dead — on a large corpus this scan is the long
+//     pole of a round, so it must not run to completion for a caller that
+//     has hung up.
+//   - Algorithm 2 enumeration: enumerate polls the context every
+//     enumCheckEvery assignments. A cancelled enumeration is aborted
+//     without caching (a partial entry must never be served as complete)
+//     and the claim machine rolls the in-flight answer back, so the same
+//     answer can be reposted — cancellation mid-answer is retryable, not
+//     fatal.
+//   - retrain barriers: completeBatch checks the run-owning context
+//     (DocumentRun.runCtx) before retraining and before selecting the next
+//     batch. Only the synchronous driver (Engine.Verify) installs a
+//     cancellable runCtx — it owns the run and discards it on error.
+//     Session-owned runs keep runCtx = Background: once the last answer of
+//     a batch is accepted, the barrier is a commit point that runs to
+//     completion, because aborting it halfway would strand a session
+//     shared by many checkers over the disconnect of one.
+//
+// ErrCancelled wraps the context error, so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) both work
+// through it.
+
+// checkCancel is the cancellation checkpoint: it returns nil while ctx is
+// live and a wrapped ctx.Err() once it is done. For context.Background()
+// (Done() == nil) the select always takes the default arm, so uncancellable
+// callers pay one nil-channel poll per checkpoint.
+func checkCancel(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("core: verification cancelled: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// enumCheckEvery is how many Algorithm 2 assignments enumerate tries
+// between context polls. Assignments cost ~a microsecond each, so the
+// response latency to cancellation stays well under a millisecond while
+// the poll itself (a nil-channel select for undeadlined contexts) stays
+// out of the per-assignment hot path.
+const enumCheckEvery = 256

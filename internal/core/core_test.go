@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -174,7 +175,7 @@ func TestGenerateQueriesFindsTruth(t *testing.T) {
 			t.Fatal(err)
 		}
 		hasParam := c.Kind == claims.Explicit && c.HasParam
-		sols, alts := e.GenerateQueries(ctx, []*formula.Formula{f}, c.Param, hasParam)
+		sols, alts, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, c.Param, hasParam)
 		if hasParam && c.Correct {
 			if len(sols) == 0 {
 				t.Errorf("claim %d (%q): no solution found", c.ID, c.Text)
@@ -203,12 +204,12 @@ func TestGenerateQueriesFindsTruth(t *testing.T) {
 func TestGenerateQueriesEmptyContext(t *testing.T) {
 	e, _ := buildEngine(t, tinyWorld())
 	f := formula.MustParseFormula("a.A1")
-	sols, alts := e.GenerateQueries(Context{}, []*formula.Formula{f}, 1, true)
+	sols, alts, _ := e.GenerateQueries(context.Background(), Context{}, []*formula.Formula{f}, 1, true)
 	if len(sols) != 0 || len(alts) != 0 {
 		t.Error("empty context should generate nothing")
 	}
 	// Nil formulas are skipped.
-	sols, alts = e.GenerateQueries(Context{Relations: []string{"R"}, Keys: []string{"K"}}, nil, 1, true)
+	sols, alts, _ = e.GenerateQueries(context.Background(), Context{Relations: []string{"R"}, Keys: []string{"K"}}, nil, 1, true)
 	if len(sols) != 0 || len(alts) != 0 {
 		t.Error("no formulas should generate nothing")
 	}
@@ -223,7 +224,7 @@ func TestGenerateQueriesAlternatesBounded(t *testing.T) {
 		Attrs:     []string{"2010", "2011", "2012", "2013"},
 	}
 	f := formula.MustParseFormula("a.A1 / b.A2")
-	_, alts := e.GenerateQueries(ctx, []*formula.Formula{f}, 1e12, true)
+	_, alts, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, 1e12, true)
 	if len(alts) > e.cfg.MaxAlternates {
 		t.Errorf("alternates = %d exceeds cap %d", len(alts), e.cfg.MaxAlternates)
 	}
@@ -256,7 +257,7 @@ func TestVerifyClaimColdStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := w.Document.Claims[0]
-	out, err := e.VerifyClaim(c, team)
+	out, err := e.VerifyClaim(context.Background(), c, team)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,13 +281,13 @@ func TestVerifyClaimErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.VerifyClaim(nil, team); err == nil {
+	if _, err := e.VerifyClaim(context.Background(), nil, team); err == nil {
 		t.Error("nil claim accepted")
 	}
-	if _, err := e.VerifyClaim(&claims.Claim{ID: 1}, team); err == nil {
+	if _, err := e.VerifyClaim(context.Background(), &claims.Claim{ID: 1}, team); err == nil {
 		t.Error("claim without truth accepted")
 	}
-	if _, err := e.VerifyClaim(w.Document.Claims[0], nil); err == nil {
+	if _, err := e.VerifyClaim(context.Background(), w.Document.Claims[0], nil); err == nil {
 		t.Error("nil team accepted")
 	}
 }
@@ -298,7 +299,7 @@ func TestVerifyEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	batches := 0
-	res, err := e.Verify(w.Document, team, VerifyConfig{
+	res, err := e.Verify(context.Background(), w.Document, team, VerifyConfig{
 		BatchSize:       20,
 		SectionReadCost: 30,
 		Ordering:        OrderILP,
@@ -335,7 +336,7 @@ func TestVerifySequentialOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	var firstBatch []int
-	res, err := e.Verify(w.Document, team, VerifyConfig{
+	res, err := e.Verify(context.Background(), w.Document, team, VerifyConfig{
 		BatchSize: 10,
 		Ordering:  OrderSequential,
 		AfterBatch: func(b, v int, outs []*Outcome) {
@@ -439,7 +440,7 @@ func TestVerifyRandomOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Verify(w.Document, team, VerifyConfig{
+	res, err := e.Verify(context.Background(), w.Document, team, VerifyConfig{
 		BatchSize: 15,
 		Ordering:  OrderRandom,
 		Seed:      9,
@@ -464,7 +465,7 @@ func TestVerifyTightBudgetFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Verify(w.Document, team, VerifyConfig{
+	res, err := e.Verify(context.Background(), w.Document, team, VerifyConfig{
 		BatchSize:       10,
 		BatchBudget:     1, // absurdly tight
 		SectionReadCost: 10,
@@ -484,11 +485,11 @@ func TestVerifyNilAndInvalidDocument(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Verify(nil, team, VerifyConfig{}); err == nil {
+	if _, err := e.Verify(context.Background(), nil, team, VerifyConfig{}); err == nil {
 		t.Error("nil document accepted")
 	}
 	bad := &claims.Document{Sections: 1, Claims: []*claims.Claim{{ID: 1, Section: 5}}}
-	if _, err := e.Verify(bad, team, VerifyConfig{}); err == nil {
+	if _, err := e.Verify(context.Background(), bad, team, VerifyConfig{}); err == nil {
 		t.Error("invalid document accepted")
 	}
 }
@@ -499,7 +500,7 @@ func TestUtilityWeightVariantEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Verify(w.Document, team, VerifyConfig{
+	res, err := e.Verify(context.Background(), w.Document, team, VerifyConfig{
 		BatchSize:     15,
 		Ordering:      OrderILP,
 		UtilityWeight: 60,

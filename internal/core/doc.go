@@ -84,4 +84,17 @@
 // per-session locks and serves activity stamps and stats from per-session
 // atomics, and Verifier counts runs atomically so StartRun never contends
 // with Retrain.
+//
+// # Cancellation
+//
+// Every entry point that can do unbounded work takes a context.Context,
+// and cancellation is cooperative: cheap checkpoints at the natural joints
+// of Algorithm 1 (round boundaries, batch-selection scans, retrain
+// barriers) and Algorithm 2 (every enumCheckEvery enumerated assignments)
+// rather than preemption. Cancellation is all-or-nothing at answer
+// granularity — a cancelled answer is rolled back and repostable, a
+// partial enumeration is never cached, and a session-owned retrain barrier
+// runs to completion as a commit point. The full checkpoint inventory and
+// the reasoning live in cancel.go; the overhead of a live deadline on an
+// end-to-end verify is pinned by BenchmarkVerifyWithDeadline at <2%.
 package core

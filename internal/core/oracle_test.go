@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/claims"
@@ -26,10 +27,10 @@ func TestNewTeamOracleValidation(t *testing.T) {
 
 func TestVerifyClaimWithValidation(t *testing.T) {
 	e, w := buildEngine(t, tinyWorld())
-	if _, err := e.VerifyClaimWith(nil, &ScriptedOracle{}); err == nil {
+	if _, err := e.VerifyClaimWith(context.Background(), nil, &ScriptedOracle{}); err == nil {
 		t.Error("nil claim accepted")
 	}
-	if _, err := e.VerifyClaimWith(w.Document.Claims[0], nil); err == nil {
+	if _, err := e.VerifyClaimWith(context.Background(), w.Document.Claims[0], nil); err == nil {
 		t.Error("nil oracle accepted")
 	}
 }
@@ -57,7 +58,7 @@ func TestScriptedOracleDrivesVerification(t *testing.T) {
 		},
 		SecondsPerAnswer: 7,
 	}
-	out, err := e.VerifyClaimWith(c, script)
+	out, err := e.VerifyClaimWith(context.Background(), c, script)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestScriptedOracleDrivesVerification(t *testing.T) {
 func TestScriptedOracleWithoutAnswersSkips(t *testing.T) {
 	e, w := buildEngine(t, tinyWorld())
 	c := w.Document.Claims[1]
-	out, err := e.VerifyClaimWith(c, &ScriptedOracle{})
+	out, err := e.VerifyClaimWith(context.Background(), c, &ScriptedOracle{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestScriptedOracleHandWrittenSQL(t *testing.T) {
 		Finals:           map[int]string{c.ID: truthQ.SQL()},
 		SecondsPerAnswer: 3,
 	}
-	out, err := e.VerifyClaimWith(c, script)
+	out, err := e.VerifyClaimWith(context.Background(), c, script)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestGeneralClaimWithoutTruthSkips(t *testing.T) {
 	}
 	c := &claims.Claim{ID: 9999, Text: "mystery level", Sentence: "mystery level", Kind: claims.General}
 	script := &ScriptedOracle{Finals: map[int]string{c.ID: truthQ.SQL()}}
-	out, err := e.VerifyClaimWith(c, script)
+	out, err := e.VerifyClaimWith(context.Background(), c, script)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -68,7 +69,12 @@ func runPool(n, parallelism int, fn func(i int)) {
 // claim — so the per-claim reads below are cache hits; the seqAssess test
 // hook skips the batch fill, leaving the legacy per-claim scoring as the
 // reference implementation. Results come back indexed like ids.
-func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism int) ([]float64, []float64) {
+//
+// Once ctx is cancelled the per-claim pass skips the remaining claims
+// (their scores are left zero); the caller (selectBatch) re-checks the
+// context right after and discards the partial scan, so a dead request
+// never pays for a full document scoring sweep.
+func (e *Engine) assessAll(ctx context.Context, ids []int, pool map[int]*claims.Claim, parallelism int) ([]float64, []float64) {
 	if !e.seqAssess {
 		cs := make([]*claims.Claim, len(ids))
 		for i, id := range ids {
@@ -78,7 +84,15 @@ func (e *Engine) assessAll(ids []int, pool map[int]*claims.Claim, parallelism in
 	}
 	costs := make([]float64, len(ids))
 	utilities := make([]float64, len(ids))
+	done := ctx.Done()
 	runPool(len(ids), parallelism, func(i int) {
+		if done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
 		costs[i], utilities[i] = e.Assess(pool[ids[i]])
 	})
 	return costs, utilities

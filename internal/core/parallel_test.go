@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/crowd"
@@ -57,7 +58,7 @@ func TestVerifyParallelMatchesSequential(t *testing.T) {
 	run := func(parallelism int) *Result {
 		vc := vc
 		vc.Parallelism = parallelism
-		res, err := newEngine().Verify(w.Document, team, vc)
+		res, err := newEngine().Verify(context.Background(), w.Document, team, vc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestVerifyParallelRepeatable(t *testing.T) {
 	w, newEngine, team := buildParallelFixture(t)
 	var last *Result
 	for _, parallelism := range []int{2, 3, 16} {
-		res, err := newEngine().Verify(w.Document, team, VerifyConfig{
+		res, err := newEngine().Verify(context.Background(), w.Document, team, VerifyConfig{
 			BatchSize:   20,
 			Parallelism: parallelism,
 		})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/crowd"
@@ -35,7 +36,7 @@ func TestRestoreTrainedEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := eng.Verify(w.Document, team, VerifyConfig{BatchSize: 20})
+		res, err := eng.Verify(context.Background(), w.Document, team, VerifyConfig{BatchSize: 20})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -53,17 +54,32 @@ type GeneratedQuery struct {
 // enumerations are memoized per corpus generation in the engine's
 // QueryCache, so repeated screens and concurrent sessions over one corpus
 // never recompute the same cell math.
-func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p float64, hasParam bool) (solutions, alternates []GeneratedQuery) {
+//
+// ctx bounds the enumeration: assignment loops poll it every
+// enumCheckEvery candidates and abort with a wrapped ctx.Err(). A
+// cancelled (partial) enumeration is never written to the QueryCache — a
+// later caller must not be served an incomplete entry as complete. The
+// only error GenerateQueries returns is cancellation.
+func (e *Engine) GenerateQueries(ctx context.Context, qc Context, formulas []*formula.Formula, p float64, hasParam bool) (solutions, alternates []GeneratedQuery, err error) {
+	// Entry checkpoint: small enumerations can finish in fewer than
+	// enumCheckEvery steps without ever polling, but a dead context must
+	// still stop them before any cell math runs.
+	if err := checkCancel(ctx); err != nil {
+		return nil, nil, err
+	}
 	if e.genOverride != nil {
-		return e.genOverride(ctx, formulas, p, hasParam)
+		solutions, alternates = e.genOverride(qc, formulas, p, hasParam)
+		return solutions, alternates, nil
 	}
 	gs := getGenScratch()
 	defer putGenScratch(gs)
 
 	gen := e.corpus.Generation()
-	env := newGenEnv(e.corpus.Index(), ctx)
+	env := newGenEnv(e.corpus.Index(), qc)
 	if e.cfg.FormulaParallelism > 1 {
-		e.prefetchFormulas(env, gen, formulas)
+		if err := e.prefetchFormulas(ctx, env, gen, formulas); err != nil {
+			return nil, nil, err
+		}
 	}
 	budget := e.cfg.MaxAssignments
 	for _, f := range formulas {
@@ -75,7 +91,10 @@ func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p flo
 		if gs.formAliases[fid] == nil {
 			gs.formAliases[fid] = e.formulaAliases(f)
 		}
-		used := e.generateForFormula(gs, env, gen, f, fid, fkey, p, hasParam, budget)
+		used, err := e.generateForFormula(ctx, gs, env, gen, f, fid, fkey, p, hasParam, budget)
+		if err != nil {
+			return nil, nil, err
+		}
 		budget -= used
 		if budget <= 0 {
 			break
@@ -100,7 +119,7 @@ func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p flo
 			return math.Abs(alts[i].value-p) < math.Abs(alts[j].value-p)
 		})
 	}
-	return gs.materialize(env, sols, len(sols)), gs.materialize(env, alts, e.cfg.MaxAlternates)
+	return gs.materialize(env, sols, len(sols)), gs.materialize(env, alts, e.cfg.MaxAlternates), nil
 }
 
 // prefetchFormulas enumerates one claim's cache-missing formulas
@@ -110,9 +129,9 @@ func (e *Engine) GenerateQueries(ctx Context, formulas []*formula.Formula, p flo
 // (tentEntry.served), so the serve pass produces bit-identical output —
 // the fan-out only changes when (and on which goroutine) the enumeration
 // work happens. Pinned by the FormulaParallelism equivalence test.
-func (e *Engine) prefetchFormulas(env *genEnv, gen uint64, formulas []*formula.Formula) {
+func (e *Engine) prefetchFormulas(ctx context.Context, env *genEnv, gen uint64, formulas []*formula.Formula) error {
 	if len(env.ctx.Relations) == 0 || len(env.ctx.Keys) == 0 || len(env.pairs) == 0 {
-		return
+		return nil
 	}
 	budget := e.cfg.MaxAssignments
 	var miss []*formula.Formula
@@ -137,37 +156,52 @@ func (e *Engine) prefetchFormulas(env *genEnv, gen uint64, formulas []*formula.F
 		missKeys = append(missKeys, key)
 	}
 	if len(miss) < 2 {
-		return // a lone miss gains nothing from a worker hand-off
+		return nil // a lone miss gains nothing from a worker hand-off
 	}
 	// env's execution tables build lazily and are not goroutine-safe;
 	// resolve them once here so the workers only read env.
 	env.ensureExec()
+	cancelled := make([]bool, len(miss))
 	runPool(len(miss), e.cfg.FormulaParallelism, func(i int) {
 		wgs := getGenScratch()
-		entry := e.enumerate(wgs, env, miss[i], e.formulaKey(miss[i]), budget)
+		entry := e.enumerate(ctx, wgs, env, miss[i], e.formulaKey(miss[i]), budget)
 		putGenScratch(wgs)
+		if entry == nil {
+			cancelled[i] = true // partial enumeration: never cache it
+			return
+		}
 		e.qcache.put(e.corpus, gen, missKeys[i], entry)
 	})
+	for _, c := range cancelled {
+		if c {
+			return checkCancel(ctx)
+		}
+	}
+	return nil
 }
 
 // generateForFormula runs (or serves from cache) the tentative execution of
 // one formula under an assignment budget, appending candidate records to
 // the scratch; it returns the assignments tried, with the same accounting
-// as the pre-compilation enumeration loop.
-func (e *Engine) generateForFormula(gs *genScratch, env *genEnv, gen uint64, f *formula.Formula, fid int32, fkey string, p float64, hasParam bool, budget int) (used int) {
+// as the pre-compilation enumeration loop. A cancelled enumeration returns
+// an error without caching the partial entry.
+func (e *Engine) generateForFormula(ctx context.Context, gs *genScratch, env *genEnv, gen uint64, f *formula.Formula, fid int32, fkey string, p float64, hasParam bool, budget int) (used int, err error) {
 	if len(env.ctx.Relations) == 0 || len(env.ctx.Keys) == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(f.AttrVars) > 0 && len(env.ctx.Attrs) == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(env.pairs) == 0 {
-		return 0
+		return 0, nil
 	}
 	key := tentKey(fkey, env.ctx)
 	entry, ok := e.qcache.get(e.corpus, gen, key, budget)
 	if !ok {
-		entry = e.enumerate(gs, env, f, fkey, budget)
+		entry = e.enumerate(ctx, gs, env, f, fkey, budget)
+		if entry == nil {
+			return 0, checkCancel(ctx)
+		}
 		e.qcache.put(e.corpus, gen, key, entry)
 	}
 	var n int
@@ -187,7 +221,7 @@ func (e *Engine) generateForFormula(gs *genScratch, env *genEnv, gen uint64, f *
 			gs.alts = append(gs.alts, rec)
 		}
 	}
-	return used
+	return used, nil
 }
 
 // enumerate visits the assignment space of one formula in the canonical
@@ -197,7 +231,12 @@ func (e *Engine) generateForFormula(gs *genScratch, env *genEnv, gen uint64, f *
 // compiled (plan over the interned index) whenever the formula compiles;
 // expressions the compiler rejects fall back to per-candidate interpreted
 // execution with identical pruning semantics.
-func (e *Engine) enumerate(gs *genScratch, env *genEnv, f *formula.Formula, fkey string, budget int) *tentEntry {
+//
+// ctx is polled every enumCheckEvery assignments; on cancellation the
+// partial entry is discarded and enumerate returns nil (callers must not
+// cache or serve it). The poll is gated on ctx.Done() != nil, so
+// Background-context callers pay nothing in the odometer loop.
+func (e *Engine) enumerate(ctx context.Context, gs *genScratch, env *genEnv, f *formula.Formula, fkey string, budget int) *tentEntry {
 	attrVars := f.AttrVars
 	aliases := e.formulaAliases(f)
 	attrAssigns := injectiveIdx(len(env.ctx.Attrs), len(attrVars))
@@ -224,6 +263,7 @@ func (e *Engine) enumerate(gs *genScratch, env *genEnv, f *formula.Formula, fkey
 	for i := range pt {
 		pt[i] = 0
 	}
+	done := ctx.Done()
 	used := 0
 	for {
 		for _, aa := range attrAssigns {
@@ -231,6 +271,13 @@ func (e *Engine) enumerate(gs *genScratch, env *genEnv, f *formula.Formula, fkey
 			if used > budget {
 				t.explored = used - 1
 				return t
+			}
+			if done != nil && used%enumCheckEvery == 0 {
+				select {
+				case <-done:
+					return nil
+				default:
+				}
 			}
 			if v, ok := exec(pt, aa); ok {
 				t.attempts = append(t.attempts, int32(used))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -227,13 +228,13 @@ func TestGenerateQueriesMatchesInterpretedReference(t *testing.T) {
 		// exercised too.
 		e.cfg.MaxAssignments = []int{1, 3, 17, 20000}[rng.Intn(4)]
 
-		gotS, gotA := e.GenerateQueries(ctx, fs, p, hasParam)
+		gotS, gotA, _ := e.GenerateQueries(context.Background(), ctx, fs, p, hasParam)
 		wantS, wantA := e.generateQueriesInterpreted(ctx, fs, p, hasParam)
 		equalGenerated(t, "solutions", gotS, wantS)
 		equalGenerated(t, "alternates", gotA, wantA)
 
 		// Second run must serve from the cache and stay identical.
-		againS, againA := e.GenerateQueries(ctx, fs, p, hasParam)
+		againS, againA, _ := e.GenerateQueries(context.Background(), ctx, fs, p, hasParam)
 		equalGenerated(t, "cached solutions", againS, wantS)
 		equalGenerated(t, "cached alternates", againA, wantA)
 	}
@@ -255,7 +256,7 @@ func TestGenerateQueriesDuplicateContextEntries(t *testing.T) {
 		Keys:      append(append([]string{}, base.Keys...), base.Keys...),
 		Attrs:     append(append([]string{}, base.Attrs...), base.Attrs...),
 	}
-	gotS, gotA := e.GenerateQueries(dup, []*formula.Formula{f}, c.Param, c.HasParam)
+	gotS, gotA, _ := e.GenerateQueries(context.Background(), dup, []*formula.Formula{f}, c.Param, c.HasParam)
 	wantS, wantA := e.generateQueriesInterpreted(dup, []*formula.Formula{f}, c.Param, c.HasParam)
 	equalGenerated(t, "solutions", gotS, wantS)
 	equalGenerated(t, "alternates", gotA, wantA)
@@ -268,7 +269,7 @@ func TestQueryCacheInvalidationOnCorpusChange(t *testing.T) {
 	c := w.Document.Claims[0]
 	f := formula.MustParseFormula("a.A1")
 	ctx := Context{Relations: c.Truth.Relations, Keys: c.Truth.Keys, Attrs: c.Truth.Attrs}
-	s1, a1 := e.GenerateQueries(ctx, []*formula.Formula{f}, 0, false)
+	s1, a1, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, 0, false)
 	all1 := append(append([]GeneratedQuery{}, s1...), a1...)
 	if len(all1) == 0 {
 		t.Fatal("no candidates generated")
@@ -283,7 +284,7 @@ func TestQueryCacheInvalidationOnCorpusChange(t *testing.T) {
 	if err := rel.Set(b.Key, attr, all1[0].Value+123); err != nil {
 		t.Fatal(err)
 	}
-	s2, a2 := e.GenerateQueries(ctx, []*formula.Formula{f}, 0, false)
+	s2, a2, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, 0, false)
 	all2 := append(append([]GeneratedQuery{}, s2...), a2...)
 	if len(all2) == 0 {
 		t.Fatal("no candidates after mutation")
@@ -321,7 +322,7 @@ func TestFinalScreenDeduplicatesRenderedSQL(t *testing.T) {
 	}
 	for !run.Done() && run.Step() != StepFinal {
 		q := run.Question()
-		if err := run.Answer(answers[q.Property], 1); err != nil {
+		if err := run.Answer(context.Background(), answers[q.Property], 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -331,7 +332,7 @@ func TestFinalScreenDeduplicatesRenderedSQL(t *testing.T) {
 	}
 	// Generation itself collapses the collision at materialisation: the two
 	// formulas yield one distinct query, not two.
-	sols, alts := e.GenerateQueries(Context{
+	sols, alts, _ := e.GenerateQueries(context.Background(), Context{
 		Relations: c.Truth.Relations[:1],
 		Keys:      c.Truth.Keys[:1],
 		Attrs:     c.Truth.Attrs[:1],
@@ -384,7 +385,7 @@ func TestGenerateQueriesCrossFormulaSQLCollision(t *testing.T) {
 		formula.MustParseFormula("a.A1"),
 	}
 	for _, hasParam := range []bool{true, false} {
-		gotS, gotA := e.GenerateQueries(ctx, fs, c.Param, hasParam)
+		gotS, gotA, _ := e.GenerateQueries(context.Background(), ctx, fs, c.Param, hasParam)
 		wantS, wantA := e.generateQueriesInterpreted(ctx, fs, c.Param, hasParam)
 		equalGenerated(t, "solutions", gotS, wantS)
 		equalGenerated(t, "alternates", gotA, wantA)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -48,8 +49,8 @@ func TestDedupeQueries(t *testing.T) {
 	}
 	ctx := Context{Relations: c.Truth.Relations, Keys: c.Truth.Keys, Attrs: c.Truth.Attrs}
 	// Passing the same formula twice must not duplicate outputs.
-	s1, a1 := e.GenerateQueries(ctx, []*formula.Formula{f}, c.Param, c.HasParam)
-	s2, a2 := e.GenerateQueries(ctx, []*formula.Formula{f, f}, c.Param, c.HasParam)
+	s1, a1, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, c.Param, c.HasParam)
+	s2, a2, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f, f}, c.Param, c.HasParam)
 	if len(s2) != len(s1) || len(a2) != len(a1) {
 		t.Errorf("duplicate formula changed outputs: (%d,%d) vs (%d,%d)",
 			len(s1), len(a1), len(s2), len(a2))
@@ -65,7 +66,7 @@ func TestGenerateQueriesBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := Context{Relations: c.Truth.Relations, Keys: c.Truth.Keys, Attrs: c.Truth.Attrs}
-	sols, alts := e.GenerateQueries(ctx, []*formula.Formula{f}, c.Param, c.HasParam)
+	sols, alts, _ := e.GenerateQueries(context.Background(), ctx, []*formula.Formula{f}, c.Param, c.HasParam)
 	if len(sols)+len(alts) > 1 {
 		t.Errorf("budget 1 produced %d queries", len(sols)+len(alts))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestSnapshotSpawnEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := spawned.Verify(w.Document, team, VerifyConfig{BatchSize: 20})
+		res, err := spawned.Verify(context.Background(), w.Document, team, VerifyConfig{BatchSize: 20})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestSnapshotConcurrentSpawns(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			results[i], errs[i] = snap.Spawn().Verify(w.Document, team, VerifyConfig{
+			results[i], errs[i] = snap.Spawn().Verify(context.Background(), w.Document, team, VerifyConfig{
 				BatchSize: 20, Parallelism: 2,
 			})
 		}(i)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -170,7 +171,19 @@ func (r *ClaimRun) propertyQuestion(kind PropertyKind) *Question {
 // advances the machine: to the next property screen, the formula screen,
 // the final vote, or the finished outcome. seconds is the human effort
 // the answer consumed; it accumulates into Outcome.Seconds.
-func (r *ClaimRun) Answer(value string, seconds float64) error {
+//
+// ctx bounds the expensive transition (buildFinal runs Algorithm 2). A
+// cancelled Answer rolls every mutation back before returning, so the
+// machine is left exactly as if the answer never arrived: the same answer
+// can be reposted once the caller has a live context again.
+func (r *ClaimRun) Answer(ctx context.Context, value string, seconds float64) error {
+	// Entry checkpoint: a dead context refuses the answer before any
+	// machine state mutates, so the caller can repost it verbatim. Only
+	// buildFinal does expensive work, but cheap screens must give the
+	// same all-or-nothing contract.
+	if err := checkCancel(ctx); err != nil {
+		return err
+	}
 	if r.pending == nil {
 		return fmt.Errorf("core: claim %d: no pending question (run is done)", r.c.ID)
 	}
@@ -192,13 +205,27 @@ func (r *ClaimRun) Answer(value string, seconds float64) error {
 			r.pending = r.propertyQuestion(PropFormula)
 			return nil
 		}
-		r.buildFinal()
+		if err := r.buildFinal(ctx); err != nil {
+			r.propIdx--
+			delete(r.validated, contextKinds[r.propIdx])
+			r.out.Screens--
+			r.out.Seconds -= seconds
+			r.seq--
+			return err
+		}
 	case StepFormula:
 		r.out.Screens++
+		nf := len(r.formulas)
 		if f, err := r.e.parseFormula(value); err == nil {
 			r.formulas = append(r.formulas, f)
 		}
-		r.buildFinal()
+		if err := r.buildFinal(ctx); err != nil {
+			r.formulas = r.formulas[:nf]
+			r.out.Screens--
+			r.out.Seconds -= seconds
+			r.seq--
+			return err
+		}
 	case StepFinal:
 		r.finish(value)
 	}
@@ -209,7 +236,11 @@ func (r *ClaimRun) Answer(value string, seconds float64) error {
 // first, classifier predictions next, library fallback on cold start),
 // generate queries from the validated context (Algorithm 2), and emit the
 // final screen with the surviving candidates, best first.
-func (r *ClaimRun) buildFinal() {
+//
+// On cancellation it restores r.formulas to its entry state and leaves
+// step/pending untouched, so Answer can roll the whole transition back.
+func (r *ClaimRun) buildFinal(ctx context.Context) error {
+	entryFormulas := len(r.formulas)
 	// Classifier formula predictions come from the cached assessment —
 	// the same scoring pass that already fed the scheduler and planner
 	// this round, so no extra softmax here.
@@ -233,13 +264,17 @@ func (r *ClaimRun) buildFinal() {
 		}
 	}
 
-	ctx := Context{
+	qc := Context{
 		Relations: SplitLabel(r.validated[PropRelation]),
 		Keys:      SplitLabel(r.validated[PropKey]),
 		Attrs:     SplitLabel(r.validated[PropAttr]),
 	}
-	solutions, alternates := r.e.GenerateQueries(ctx, r.formulas, r.c.Param,
+	solutions, alternates, err := r.e.GenerateQueries(ctx, qc, r.formulas, r.c.Param,
 		r.c.HasParam && r.c.Kind == claims.Explicit)
+	if err != nil {
+		r.formulas = r.formulas[:entryFormulas]
+		return err
+	}
 
 	shown := make([]string, 0, r.plan.FinalOptions)
 	r.bySQL = make(map[string]GeneratedQuery)
@@ -265,6 +300,7 @@ func (r *ClaimRun) buildFinal() {
 		Step:       StepFinal,
 		Candidates: shown,
 	}
+	return nil
 }
 
 // finish resolves the voted query and judges the claim (step 6 of §5.1),
@@ -353,8 +389,9 @@ func (r *ClaimRun) finish(votedSQL string) {
 
 // PumpClaim drives a ClaimRun to completion with a blocking Oracle: the
 // canonical synchronous front end over the step machine. VerifyClaimWith
-// is StartClaim + PumpClaim.
-func PumpClaim(r *ClaimRun, oracle Oracle) (*Outcome, error) {
+// is StartClaim + PumpClaim. ctx is checked before every oracle round, so
+// a cancelled pump stops between answers.
+func PumpClaim(ctx context.Context, r *ClaimRun, oracle Oracle) (*Outcome, error) {
 	if r == nil {
 		return nil, fmt.Errorf("core: nil claim run")
 	}
@@ -362,6 +399,9 @@ func PumpClaim(r *ClaimRun, oracle Oracle) (*Outcome, error) {
 		return nil, fmt.Errorf("core: nil oracle")
 	}
 	for !r.Done() {
+		if err := checkCancel(ctx); err != nil {
+			return nil, err
+		}
 		q := r.Question()
 		var value string
 		var secs float64
@@ -370,7 +410,7 @@ func PumpClaim(r *ClaimRun, oracle Oracle) (*Outcome, error) {
 		} else {
 			value, secs = oracle.AnswerProperty(r.c, q.Property, q.Options)
 		}
-		if err := r.Answer(value, secs); err != nil {
+		if err := r.Answer(ctx, value, secs); err != nil {
 			return nil, err
 		}
 	}
@@ -400,13 +440,27 @@ type DocumentRun struct {
 	finished  int
 	done      bool
 	err       error
+
+	// runCtx bounds the retrain barrier (completeBatch). It is
+	// context.Background() by default: for session-owned runs the barrier
+	// is a commit point — once the last answer of a batch is accepted it
+	// runs to completion, because aborting halfway would strand a session
+	// shared by many checkers (and warm-start retraining makes a re-run
+	// barrier non-deterministic under answer-log replay). The synchronous
+	// Verify driver overrides it with its own context: it owns the run and
+	// discards it on error, so there is nothing to strand. Storing a
+	// context in a struct is deliberate here — the run, not a call, is the
+	// unit of cancellation for barrier work.
+	runCtx context.Context
 }
 
 // StartDocument validates the document, selects the first batch and
 // returns the run parked on its questions. vc.Checkers prices the
 // per-section skim (Definition 8); the synchronous Verify driver sets it
-// to the crowd team size.
-func (e *Engine) StartDocument(doc *claims.Document, vc VerifyConfig) (*DocumentRun, error) {
+// to the crowd team size. ctx bounds the initial batch selection only
+// (the per-claim scoring scan is the expensive part of starting a run);
+// a cancelled start returns an error with nothing registered anywhere.
+func (e *Engine) StartDocument(ctx context.Context, doc *claims.Document, vc VerifyConfig) (*DocumentRun, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("core: nil document")
 	}
@@ -420,6 +474,7 @@ func (e *Engine) StartDocument(doc *claims.Document, vc VerifyConfig) (*Document
 		vc:        vc,
 		remaining: make(map[int]*claims.Claim, len(doc.Claims)),
 		res:       &Result{},
+		runCtx:    context.Background(),
 	}
 	for _, c := range doc.Claims {
 		dr.remaining[c.ID] = c
@@ -428,7 +483,7 @@ func (e *Engine) StartDocument(doc *claims.Document, vc VerifyConfig) (*Document
 		dr.done = true
 		return dr, nil
 	}
-	if err := dr.selectBatch(); err != nil {
+	if err := dr.selectBatch(ctx); err != nil {
 		return nil, err
 	}
 	return dr, nil
@@ -438,7 +493,12 @@ func (e *Engine) StartDocument(doc *claims.Document, vc VerifyConfig) (*Document
 // under the current models, pick the next batch by the configured
 // ordering, charge the section-skim cost and start the batch's claim
 // machines. Caller holds dr.mu (or exclusive access during construction).
-func (dr *DocumentRun) selectBatch() error {
+// The per-claim scoring scan dominates round latency on large documents,
+// so ctx is checked on entry and again after the scan.
+func (dr *DocumentRun) selectBatch(ctx context.Context) error {
+	if err := checkCancel(ctx); err != nil {
+		return err
+	}
 	e, vc := dr.e, dr.vc
 	items := make([]scheduler.Item, 0, len(dr.remaining))
 	ids := make([]int, 0, len(dr.remaining))
@@ -446,7 +506,10 @@ func (dr *DocumentRun) selectBatch() error {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	costs, utilities := e.assessAll(ids, dr.remaining, vc.Parallelism)
+	costs, utilities := e.assessAll(ctx, ids, dr.remaining, vc.Parallelism)
+	if err := checkCancel(ctx); err != nil {
+		return err
+	}
 	for i, id := range ids {
 		items = append(items, scheduler.Item{
 			ClaimID:    id,
@@ -526,8 +589,14 @@ func (dr *DocumentRun) selectBatch() error {
 // completeBatch is the retrain barrier: collect the batch's outcomes in
 // batch order, fold validated labels back into the training pool, retrain
 // the four classifiers, and select the next batch (or finish). Caller
-// holds dr.mu.
+// holds dr.mu. Cancellation is governed by dr.runCtx, not the answer's
+// context: for session-owned runs the barrier is a commit point (runCtx is
+// Background), while the synchronous driver lets its own cancellation
+// reach the retrain and next batch selection.
 func (dr *DocumentRun) completeBatch() error {
+	if err := checkCancel(dr.runCtx); err != nil {
+		return err
+	}
 	outcomes := make([]*Outcome, len(dr.batchIDs))
 	for i, id := range dr.batchIDs {
 		c := dr.remaining[id]
@@ -564,7 +633,7 @@ func (dr *DocumentRun) completeBatch() error {
 		dr.done = true
 		return nil
 	}
-	return dr.selectBatch()
+	return dr.selectBatch(dr.runCtx)
 }
 
 // Done reports whether every claim has been verified (or the run failed;
@@ -623,7 +692,11 @@ func (dr *DocumentRun) QuestionFor(claimID int) *Question {
 // completes the batch's last claim, the same call runs the retrain
 // barrier and selects the next batch before returning — Algorithm 1
 // advances entirely inside answer posts, with no goroutine of its own.
-func (dr *DocumentRun) Answer(claimID int, value string, seconds float64) (*Question, error) {
+//
+// ctx bounds this answer's claim-machine transition only (Algorithm 2
+// query generation); a cancelled answer is rolled back and repostable. The
+// retrain barrier runs under dr.runCtx — see completeBatch.
+func (dr *DocumentRun) Answer(ctx context.Context, claimID int, value string, seconds float64) (*Question, error) {
 	dr.mu.Lock()
 	if dr.err != nil {
 		err := dr.err
@@ -638,7 +711,7 @@ func (dr *DocumentRun) Answer(claimID int, value string, seconds float64) (*Ques
 	// The claim machine advances outside the run lock so answers for
 	// distinct claims execute concurrently (query generation is the
 	// expensive part); per-claim serialization is the caller's contract.
-	if err := r.Answer(value, seconds); err != nil {
+	if err := r.Answer(ctx, value, seconds); err != nil {
 		return nil, err
 	}
 	if !r.Done() {
@@ -658,8 +731,9 @@ func (dr *DocumentRun) Answer(claimID int, value string, seconds float64) (*Ques
 
 // Pump drives one claim of the current batch to completion with a
 // blocking Oracle — the per-claim synchronous front end the parallel
-// Verify driver fans out across goroutines.
-func (dr *DocumentRun) Pump(claimID int, oracle Oracle) error {
+// Verify driver fans out across goroutines. ctx is checked before every
+// oracle round, so a cancelled pump stops between answers.
+func (dr *DocumentRun) Pump(ctx context.Context, claimID int, oracle Oracle) error {
 	dr.mu.Lock()
 	r := dr.runs[claimID]
 	c := dr.remaining[claimID]
@@ -668,6 +742,9 @@ func (dr *DocumentRun) Pump(claimID int, oracle Oracle) error {
 		return fmt.Errorf("core: claim %d is not part of the current batch", claimID)
 	}
 	for {
+		if err := checkCancel(ctx); err != nil {
+			return err
+		}
 		q := r.Question()
 		if q == nil {
 			return nil
@@ -679,7 +756,7 @@ func (dr *DocumentRun) Pump(claimID int, oracle Oracle) error {
 		} else {
 			value, secs = oracle.AnswerProperty(c, q.Property, q.Options)
 		}
-		if _, err := dr.Answer(claimID, value, secs); err != nil {
+		if _, err := dr.Answer(ctx, claimID, value, secs); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/crowd"
@@ -36,7 +37,7 @@ func pumpDocument(t *testing.T, e *Engine, dr *DocumentRun, team *crowd.Team) {
 			} else {
 				value, secs = oracle.AnswerProperty(c, q.Property, q.Options)
 			}
-			if _, err := dr.Answer(q.ClaimID, value, secs); err != nil {
+			if _, err := dr.Answer(context.Background(), q.ClaimID, value, secs); err != nil {
 				t.Fatalf("answer claim %d: %v", q.ClaimID, err)
 			}
 		}
@@ -61,14 +62,14 @@ func TestDocumentRunMatchesVerify(t *testing.T) {
 	}
 
 	vc := VerifyConfig{BatchSize: 12, SectionReadCost: 30}
-	ref, err := e1.Verify(w1.Document, team1, vc)
+	ref, err := e1.Verify(context.Background(), w1.Document, team1, vc)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	vc2 := vc
 	vc2.Checkers = team2.Size()
-	dr, err := e2.StartDocument(w1.Document, vc2)
+	dr, err := e2.StartDocument(context.Background(), w1.Document, vc2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestClaimRunQuestionSequence(t *testing.T) {
 		case q.Step != StepFinal:
 			t.Fatalf("question %d: unexpected step %v", i, q.Step)
 		}
-		if err := run.Answer(TruthLabel(c.Truth, q.Property), 2); err != nil {
+		if err := run.Answer(context.Background(), TruthLabel(c.Truth, q.Property), 2); err != nil {
 			t.Fatal(err)
 		}
 		seq++
@@ -156,7 +157,7 @@ func TestClaimRunQuestionSequence(t *testing.T) {
 	if out.Screens != seq-1 {
 		t.Errorf("screens = %d, want %d (final vote is not a screen)", out.Screens, seq-1)
 	}
-	if err := run.Answer("late", 1); err == nil {
+	if err := run.Answer(context.Background(), "late", 1); err == nil {
 		t.Error("answer on a finished run accepted")
 	}
 	if run.Step() != StepDone {
@@ -169,11 +170,11 @@ func TestClaimRunQuestionSequence(t *testing.T) {
 // and Progress tracks pending/answered counts.
 func TestDocumentRunAnswerRouting(t *testing.T) {
 	e, w := buildEngine(t, tinyWorld())
-	dr, err := e.StartDocument(w.Document, VerifyConfig{BatchSize: 5})
+	dr, err := e.StartDocument(context.Background(), w.Document, VerifyConfig{BatchSize: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dr.Answer(-42, "x", 0); err == nil {
+	if _, err := dr.Answer(context.Background(), -42, "x", 0); err == nil {
 		t.Error("answer for unknown claim accepted")
 	}
 	if _, err := dr.Result(); err == nil {
@@ -191,7 +192,7 @@ func TestDocumentRunAnswerRouting(t *testing.T) {
 	if q == nil || q.Step != StepProperties {
 		t.Fatalf("first question = %+v", q)
 	}
-	next, err := dr.Answer(ids[0], "nope", 3)
+	next, err := dr.Answer(context.Background(), ids[0], "nope", 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,7 +61,7 @@ type Outcome struct {
 // VerifyClaim verifies one claim with a simulated crowd team that answers
 // from the claim's ground-truth annotation (the experimental setting). See
 // VerifyClaimWith for the oracle-based flow it delegates to.
-func (e *Engine) VerifyClaim(c *claims.Claim, team *crowd.Team) (*Outcome, error) {
+func (e *Engine) VerifyClaim(ctx context.Context, c *claims.Claim, team *crowd.Team) (*Outcome, error) {
 	if c == nil {
 		return nil, fmt.Errorf("core: nil claim")
 	}
@@ -71,7 +72,7 @@ func (e *Engine) VerifyClaim(c *claims.Claim, team *crowd.Team) (*Outcome, error
 	if err != nil {
 		return nil, err
 	}
-	return e.VerifyClaimWith(c, oracle)
+	return e.VerifyClaimWith(ctx, c, oracle)
 }
 
 // VerifyClaimWith verifies one claim through a blocking Oracle (§5.1
@@ -94,7 +95,7 @@ func (e *Engine) VerifyClaim(c *claims.Claim, team *crowd.Team) (*Outcome, error
 // simply costs the oracle more time. Interactive front ends that cannot
 // block (an HTTP question/answer API, a UI event loop) drive the same
 // machine directly through StartClaim / Question / Answer.
-func (e *Engine) VerifyClaimWith(c *claims.Claim, oracle Oracle) (*Outcome, error) {
+func (e *Engine) VerifyClaimWith(ctx context.Context, c *claims.Claim, oracle Oracle) (*Outcome, error) {
 	if c == nil {
 		return nil, fmt.Errorf("core: nil claim")
 	}
@@ -105,7 +106,7 @@ func (e *Engine) VerifyClaimWith(c *claims.Claim, oracle Oracle) (*Outcome, erro
 	if err != nil {
 		return nil, err
 	}
-	return PumpClaim(run, oracle)
+	return PumpClaim(ctx, run, oracle)
 }
 
 func max(a, b int) int {
@@ -212,7 +213,13 @@ type Result struct {
 // depend only on the claim ID — so verdicts are bit-identical whatever the
 // fan-out, and identical to an interactive session answering the same
 // questions through the step API.
-func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig) (*Result, error) {
+//
+// Verify owns the run it starts, so ctx cancels everything: round
+// boundaries, per-answer pumping, Algorithm 2 enumeration, and the retrain
+// barrier itself (the run is discarded on error, so — unlike a shared
+// session — there is nothing to strand by aborting mid-barrier). The
+// returned error wraps ctx.Err() when cancellation stopped the run.
+func (e *Engine) Verify(ctx context.Context, doc *claims.Document, team *crowd.Team, vc VerifyConfig) (*Result, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("core: nil document")
 	}
@@ -220,15 +227,20 @@ func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig)
 		return nil, fmt.Errorf("core: empty crowd team")
 	}
 	vc.Checkers = team.Size()
-	dr, err := e.StartDocument(doc, vc)
+	dr, err := e.StartDocument(ctx, doc, vc)
 	if err != nil {
 		return nil, err
 	}
+	// Driver-owned run: let the retrain barrier observe cancellation too.
+	dr.runCtx = ctx
 	byID := make(map[int]*claims.Claim, len(doc.Claims))
 	for _, c := range doc.Claims {
 		byID[c.ID] = c
 	}
 	for !dr.Done() {
+		if err := checkCancel(ctx); err != nil {
+			return nil, err
+		}
 		ids := dr.BatchClaims()
 		errs := make([]error, len(ids))
 		runPool(len(ids), vc.Parallelism, func(i int) {
@@ -238,7 +250,7 @@ func (e *Engine) Verify(doc *claims.Document, team *crowd.Team, vc VerifyConfig)
 				errs[i] = fmt.Errorf("core: claim %d has no ground-truth annotation to answer from", id)
 				return
 			}
-			errs[i] = dr.Pump(id, &teamOracle{engine: e, team: team.ForClaim(id)})
+			errs[i] = dr.Pump(ctx, id, &teamOracle{engine: e, team: team.ForClaim(id)})
 		})
 		// A retrain-barrier failure stops the whole run; report it
 		// unwrapped, like the blocking loop did.

@@ -1,0 +1,266 @@
+package guard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source the limiter tests advance by hand.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestQuotaRateLimiterBurstAndRefill(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	l := NewRateLimiter(2, 3, clk.Now) // 2/s, burst 3
+
+	// The full burst is available immediately.
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	// The bucket is now empty; the next request is rejected with a
+	// Retry-After covering one token at 2/s = 500ms.
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("4th request within burst window allowed")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]", retry)
+	}
+	// After the advertised wait the request goes through.
+	clk.Advance(retry)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("request after advertised Retry-After still rejected")
+	}
+}
+
+func TestQuotaRateLimiterKeysAreIndependent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	l := NewRateLimiter(1, 1, clk.Now)
+	if ok, _ := l.Allow("hostile"); !ok {
+		t.Fatal("first request rejected")
+	}
+	if ok, _ := l.Allow("hostile"); ok {
+		t.Fatal("hostile tenant's second request allowed")
+	}
+	// The other tenant's bucket is untouched by the hostile one.
+	if ok, _ := l.Allow("polite"); !ok {
+		t.Fatal("other tenant rejected because of hostile tenant's bucket")
+	}
+}
+
+func TestQuotaRateLimiterBurstFloor(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	// burst < 1 would build a bucket that can never hold a whole token;
+	// the constructor raises it to 1.
+	l := NewRateLimiter(1, 0.25, clk.Now)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("burst floor not applied: first request rejected")
+	}
+}
+
+func TestQuotaRateLimiterNilAllowsEverything(t *testing.T) {
+	l := NewRateLimiter(0, 10, nil) // rate <= 0 => nil
+	if l != nil {
+		t.Fatal("rate <= 0 should return the nil limiter")
+	}
+	for i := 0; i < 100; i++ {
+		if ok, retry := l.Allow("k"); !ok || retry != 0 {
+			t.Fatal("nil limiter rejected a request")
+		}
+	}
+}
+
+func TestQuotaAcquireReleasePerKey(t *testing.T) {
+	q := NewQuota(2)
+	rel1, ok := q.Acquire("a")
+	if !ok {
+		t.Fatal("first acquire rejected")
+	}
+	rel2, ok := q.Acquire("a")
+	if !ok {
+		t.Fatal("second acquire rejected under max=2")
+	}
+	if _, ok := q.Acquire("a"); ok {
+		t.Fatal("third acquire allowed over max=2")
+	}
+	// Another key has its own budget.
+	relB, ok := q.Acquire("b")
+	if !ok {
+		t.Fatal("other key rejected at a's limit")
+	}
+	relB()
+	if got := q.InFlight("a"); got != 2 {
+		t.Fatalf("InFlight(a) = %d, want 2", got)
+	}
+	rel1()
+	if got := q.InFlight("a"); got != 1 {
+		t.Fatalf("InFlight(a) after release = %d, want 1", got)
+	}
+	// Release is idempotent: double-releasing must not free a slot twice.
+	rel1()
+	if got := q.InFlight("a"); got != 1 {
+		t.Fatalf("InFlight(a) after double release = %d, want 1", got)
+	}
+	rel2()
+	if got := q.InFlight("a"); got != 0 {
+		t.Fatalf("InFlight(a) after all releases = %d, want 0", got)
+	}
+	// Fully released keys are dropped from the map (no per-tenant residue).
+	if _, ok := q.Acquire("a"); !ok {
+		t.Fatal("acquire after full release rejected")
+	}
+}
+
+func TestQuotaNilAdmitsEverything(t *testing.T) {
+	q := NewQuota(0)
+	if q != nil {
+		t.Fatal("max <= 0 should return the nil quota")
+	}
+	for i := 0; i < 10; i++ {
+		rel, ok := q.Acquire("k")
+		if !ok {
+			t.Fatal("nil quota rejected an acquire")
+		}
+		rel() // must not panic
+	}
+	if q.InFlight("k") != 0 {
+		t.Fatal("nil quota reports in-flight slots")
+	}
+}
+
+func TestQuotaGateShedsAtBound(t *testing.T) {
+	g := NewGate(2)
+	leave1, ok := g.Enter()
+	if !ok {
+		t.Fatal("first enter rejected")
+	}
+	leave2, ok := g.Enter()
+	if !ok {
+		t.Fatal("second enter rejected under max=2")
+	}
+	if _, ok := g.Enter(); ok {
+		t.Fatal("third enter admitted over max=2")
+	}
+	st := g.Stats()
+	if st.InFlight != 2 || st.Shed != 1 || !st.Shedding {
+		t.Fatalf("stats at bound = %+v, want in_flight=2 shed=1 shedding=true", st)
+	}
+	leave1()
+	leave1() // idempotent
+	if st := g.Stats(); st.InFlight != 1 || st.Shedding {
+		t.Fatalf("stats after leave = %+v, want in_flight=1 shedding=false", st)
+	}
+	leave2()
+}
+
+func TestQuotaGateUnboundedCountsButNeverSheds(t *testing.T) {
+	g := NewGate(0)
+	if g == nil {
+		t.Fatal("unbounded gate must not be nil: Drain depends on counting")
+	}
+	var leaves []func()
+	for i := 0; i < 50; i++ {
+		leave, ok := g.Enter()
+		if !ok {
+			t.Fatalf("unbounded gate shed request %d", i)
+		}
+		leaves = append(leaves, leave)
+	}
+	st := g.Stats()
+	if st.InFlight != 50 || st.Shed != 0 || st.Shedding {
+		t.Fatalf("unbounded stats = %+v, want in_flight=50 shed=0 shedding=false", st)
+	}
+	for _, leave := range leaves {
+		leave()
+	}
+}
+
+func TestQuotaGateDrain(t *testing.T) {
+	g := NewGate(4)
+	leave, _ := g.Enter()
+	done := make(chan bool, 1)
+	go func() { done <- g.Drain(2 * time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	leave()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Drain reported not-empty after the slot was released")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not return after the gate emptied")
+	}
+	// An occupied gate times out and reports false.
+	leave2, _ := g.Enter()
+	if g.Drain(30 * time.Millisecond) {
+		t.Fatal("Drain reported empty while a request was in flight")
+	}
+	leave2()
+}
+
+func TestQuotaGateNilIsSafe(t *testing.T) {
+	var g *Gate
+	leave, ok := g.Enter()
+	if !ok {
+		t.Fatal("nil gate rejected")
+	}
+	leave()
+	if !g.Drain(time.Millisecond) {
+		t.Fatal("nil gate not drained")
+	}
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Fatalf("nil gate stats = %+v, want zero", st)
+	}
+}
+
+// TestQuotaGuardUnderConcurrency hammers all three controls from many
+// goroutines; run under -race this is the data-race check, and the final
+// counts prove no slot is leaked or double-freed.
+func TestQuotaGuardUnderConcurrency(t *testing.T) {
+	l := NewRateLimiter(1000, 50, nil)
+	q := NewQuota(8)
+	g := NewGate(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < 200; i++ {
+				l.Allow(key)
+				if rel, ok := q.Acquire(key); ok {
+					if leave, ok := g.Enter(); ok {
+						leave()
+					}
+					rel()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, key := range []string{"a", "b", "c"} {
+		if n := q.InFlight(key); n != 0 {
+			t.Errorf("quota leaked %d slots for %s", n, key)
+		}
+	}
+	if st := g.Stats(); st.InFlight != 0 {
+		t.Errorf("gate leaked %d in-flight slots", st.InFlight)
+	}
+}

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func BenchmarkSessionCreate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := m.Create(e, w.Document, opts)
+		s, err := m.Create(context.Background(), e, w.Document, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func BenchmarkSessionAnswerPump(b *testing.B) {
 		e := testEngine(b, w) // retraining mutates the engine: one per run
 		team := testTeam(b)
 		m := NewManager(Config{})
-		s, err := m.Create(e, w.Document, opts)
+		s, err := m.Create(context.Background(), e, w.Document, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func BenchmarkSessionAnswerPump(b *testing.B) {
 				for next := &q; next != nil; {
 					a := crowdAnswer(b, e, w, oracles, team, *next)
 					var err error
-					next, err = s.Answer(a)
+					next, err = s.Answer(context.Background(), a)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -78,7 +79,7 @@ func BenchmarkSessionEvict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		for j := 0; j < 16; j++ {
-			if _, err := m.Create(e, w.Document, opts); err != nil {
+			if _, err := m.Create(context.Background(), e, w.Document, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -223,9 +224,11 @@ func (m *Manager) maybeSweep(now time.Time) {
 
 // Create starts a verification session for a document on a dedicated
 // engine. The engine must be exclusive to the session: batch-boundary
-// retraining mutates its classifiers.
-func (m *Manager) Create(engine *core.Engine, doc *claims.Document, opts Options) (*Session, error) {
-	return m.start(engine, doc, opts, nil)
+// retraining mutates its classifiers. ctx bounds creation — first-batch
+// selection scores every claim of the document — and cancellation leaves
+// nothing registered.
+func (m *Manager) Create(ctx context.Context, engine *core.Engine, doc *claims.Document, opts Options) (*Session, error) {
+	return m.start(ctx, engine, doc, opts, nil)
 }
 
 // Restore rebuilds a session from a snapshot by replaying its answer log
@@ -234,14 +237,14 @@ func (m *Manager) Create(engine *core.Engine, doc *claims.Document, opts Options
 // feature pipeline, configuration and seed, no training beyond what the
 // original had at creation); replay then reaches a bit-identical state.
 // The restored session keeps the snapshot's ID.
-func (m *Manager) Restore(engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
+func (m *Manager) Restore(ctx context.Context, engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("session: nil snapshot")
 	}
-	return m.start(engine, doc, opts, snap)
+	return m.start(ctx, engine, doc, opts, snap)
 }
 
-func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
+func (m *Manager) start(ctx context.Context, engine *core.Engine, doc *claims.Document, opts Options, snap *Snapshot) (*Session, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("session: nil engine")
 	}
@@ -261,7 +264,7 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 
 	// Start the run outside the registry lock: first-batch selection
 	// scores every claim and is the expensive part of creation.
-	run, err := engine.StartDocument(doc, opts.Verify)
+	run, err := engine.StartDocument(ctx, doc, opts.Verify)
 	if err != nil {
 		return nil, err
 	}
@@ -288,10 +291,12 @@ func (m *Manager) start(engine *core.Engine, doc *claims.Document, opts Options,
 			s.created = snap.Created
 		}
 		// Replayed answers are already journaled; suppress the hook so
-		// recovery does not re-append them.
+		// recovery does not re-append them. Replay runs detached from ctx:
+		// a half-replayed session is worse than a slow restore, and the
+		// journaled answers were all accepted once already.
 		s.replaying = true
 		for i, a := range snap.Answers {
-			if _, err := s.Answer(a); err != nil {
+			if _, err := s.Answer(context.WithoutCancel(ctx), a); err != nil {
 				return nil, fmt.Errorf("session: replaying answer %d (claim %d): %w", i, a.ClaimID, err)
 			}
 		}
@@ -477,7 +482,12 @@ func (s *Session) Questions() []Question {
 // completes the batch's last claim, running the retrain barrier and
 // selecting the next batch before returning. It returns the claim's next
 // question (nil when the claim — or the whole run — is finished).
-func (s *Session) Answer(a Answer) (*Question, error) {
+//
+// ctx bounds this answer's own work (Algorithm 2 query generation): a
+// cancelled answer is rolled back, not journaled, and repostable. The
+// retrain barrier a completing answer triggers is a commit point and does
+// not observe ctx — see core.DocumentRun.
+func (s *Session) Answer(ctx context.Context, a Answer) (*Question, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
@@ -490,7 +500,7 @@ func (s *Session) Answer(a Answer) (*Question, error) {
 			return nil, fmt.Errorf("session: answer targets question %s but %s is pending", a.QuestionID, want)
 		}
 	}
-	next, err := s.run.Answer(a.ClaimID, a.Value, a.Seconds)
+	next, err := s.run.Answer(ctx, a.ClaimID, a.Value, a.Seconds)
 	if err != nil {
 		return nil, err
 	}

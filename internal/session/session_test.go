@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -116,7 +117,7 @@ func pumpSession(t testing.TB, s *Session, e *core.Engine, w *worldgen.World, te
 				for next := &q; next != nil; {
 					a := crowdAnswer(t, e, w, oracles, team, *next)
 					var err error
-					next, err = s.Answer(a)
+					next, err = s.Answer(context.Background(), a)
 					if err != nil {
 						t.Fatalf("answer %v: %v", a.QuestionID, err)
 					}
@@ -134,7 +135,7 @@ func pumpSession(t testing.TB, s *Session, e *core.Engine, w *worldgen.World, te
 					a := crowdAnswer(t, e, w, oracles, team, *next)
 					mu.Unlock()
 					var err error
-					next, err = s.Answer(a)
+					next, err = s.Answer(context.Background(), a)
 					if err != nil {
 						t.Errorf("answer %v: %v", a.QuestionID, err)
 						return
@@ -157,7 +158,7 @@ func TestSessionEquivalentToVerify(t *testing.T) {
 	refEngine := testEngine(t, w)
 	refTeam := testTeam(t)
 	vcRef := vc
-	ref, err := refEngine.Verify(w.Document, refTeam, vcRef)
+	ref, err := refEngine.Verify(context.Background(), w.Document, refTeam, vcRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestSessionEquivalentToVerify(t *testing.T) {
 		m := NewManager(Config{})
 		opts := Options{Verify: vc}
 		opts.Verify.Checkers = team.Size()
-		s, err := m.Create(e, w.Document, opts)
+		s, err := m.Create(context.Background(), e, w.Document, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func TestParkedSessionHoldsNoGoroutines(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 	m := NewManager(Config{TTL: time.Hour})
-	s, err := m.Create(e, w.Document, Options{Verify: core.VerifyConfig{BatchSize: 8, Checkers: team.Size()}})
+	s, err := m.Create(context.Background(), e, w.Document, Options{Verify: core.VerifyConfig{BatchSize: 8, Checkers: team.Size()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestParkedSessionHoldsNoGoroutines(t *testing.T) {
 	oracles := map[int]core.Oracle{}
 	qs := s.Questions()
 	for _, q := range qs[:min(3, len(qs))] {
-		if _, err := s.Answer(crowdAnswer(t, e, w, oracles, team, q)); err != nil {
+		if _, err := s.Answer(context.Background(), crowdAnswer(t, e, w, oracles, team, q)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,7 +259,7 @@ func TestSnapshotRestore(t *testing.T) {
 	e1 := testEngine(t, w)
 	team1 := testTeam(t)
 	m1 := NewManager(Config{})
-	s1, err := m1.Create(e1, w.Document, Options{Verify: vc})
+	s1, err := m1.Create(context.Background(), e1, w.Document, Options{Verify: vc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestSnapshotRestore(t *testing.T) {
 		for next := &q; next != nil; {
 			a := crowdAnswer(t, e1, w, oracles1, team1, *next)
 			var err error
-			next, err = s1.Answer(a)
+			next, err = s1.Answer(context.Background(), a)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -289,7 +290,7 @@ func TestSnapshotRestore(t *testing.T) {
 
 	e2 := testEngine(t, w)
 	m2 := NewManager(Config{})
-	s2, err := m2.Restore(e2, w.Document, Options{Verify: vc}, snap)
+	s2, err := m2.Restore(context.Background(), e2, w.Document, Options{Verify: vc}, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func pumpSessionFrom(t testing.TB, s *Session, e *core.Engine, w *worldgen.World
 			for next := &q; next != nil; {
 				a := crowdAnswer(t, e, w, oracles, team, *next)
 				var err error
-				next, err = s.Answer(a)
+				next, err = s.Answer(context.Background(), a)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -351,7 +352,7 @@ func TestTTLEviction(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := &fakeClock{now: now}
 	m := NewManager(Config{TTL: time.Minute, Clock: clock.Now})
-	s, err := m.Create(testEngine(t, w), w.Document, Options{Verify: core.VerifyConfig{BatchSize: 6}})
+	s, err := m.Create(context.Background(), testEngine(t, w), w.Document, Options{Verify: core.VerifyConfig{BatchSize: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,11 +380,11 @@ func TestTTLEviction(t *testing.T) {
 func TestManagerLimitsAndAnswerValidation(t *testing.T) {
 	w := testWorld(t, 12)
 	m := NewManager(Config{MaxSessions: 1})
-	s, err := m.Create(testEngine(t, w), w.Document, Options{Verify: core.VerifyConfig{BatchSize: 4}})
+	s, err := m.Create(context.Background(), testEngine(t, w), w.Document, Options{Verify: core.VerifyConfig{BatchSize: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Create(testEngine(t, w), w.Document, Options{}); err == nil {
+	if _, err := m.Create(context.Background(), testEngine(t, w), w.Document, Options{}); err == nil {
 		t.Error("registry over capacity accepted a session")
 	}
 	if _, ok := m.Get("nope"); ok {
@@ -395,13 +396,13 @@ func TestManagerLimitsAndAnswerValidation(t *testing.T) {
 		t.Fatal("no questions")
 	}
 	q := qs[0]
-	if _, err := s.Answer(Answer{QuestionID: "c999.0", ClaimID: 999, Value: "x"}); err == nil {
+	if _, err := s.Answer(context.Background(), Answer{QuestionID: "c999.0", ClaimID: 999, Value: "x"}); err == nil {
 		t.Error("answer for unknown claim accepted")
 	}
-	if _, err := s.Answer(Answer{QuestionID: questionID(q.ClaimID, q.Seq+5), ClaimID: q.ClaimID, Value: "x"}); err == nil {
+	if _, err := s.Answer(context.Background(), Answer{QuestionID: questionID(q.ClaimID, q.Seq+5), ClaimID: q.ClaimID, Value: "x"}); err == nil {
 		t.Error("stale question id accepted")
 	}
-	if _, err := s.Answer(Answer{QuestionID: q.ID, ClaimID: q.ClaimID, Value: "x", Seconds: 1}); err != nil {
+	if _, err := s.Answer(context.Background(), Answer{QuestionID: q.ID, ClaimID: q.ClaimID, Value: "x", Seconds: 1}); err != nil {
 		t.Errorf("valid answer rejected: %v", err)
 	}
 	// Stats sees the session and its queue.
@@ -441,7 +442,7 @@ func TestOwnerTagging(t *testing.T) {
 	m := NewManager(Config{})
 
 	mk := func(owner string) *Session {
-		s, err := m.Create(testEngine(t, w), w.Document, Options{
+		s, err := m.Create(context.Background(), testEngine(t, w), w.Document, Options{
 			Verify: core.VerifyConfig{BatchSize: 4},
 			Owner:  owner,
 		})
@@ -562,7 +563,7 @@ func TestManagerConcurrentChurn(t *testing.T) {
 			oracles := map[int]core.Oracle{}
 			owner := owners[wk%len(owners)]
 			for r := 0; r < rounds; r++ {
-				s, err := m.Create(engine, w.Document, Options{
+				s, err := m.Create(context.Background(), engine, w.Document, Options{
 					Verify: core.VerifyConfig{BatchSize: 4},
 					Owner:  owner,
 				})
@@ -582,7 +583,7 @@ func TestManagerConcurrentChurn(t *testing.T) {
 				}
 				for _, q := range qs[:min(3, len(qs))] {
 					a := crowdAnswer(t, engine, w, oracles, team, q)
-					if _, err := s.Answer(a); err != nil {
+					if _, err := s.Answer(context.Background(), a); err != nil {
 						t.Errorf("worker %d answer: %v", wk, err)
 						return
 					}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -229,7 +230,7 @@ func RunUserStudy(cfg StudyConfig) (*StudyResult, error) {
 				cr.Skipped++
 				continue
 			}
-			out, err := engine.VerifyClaim(c, team)
+			out, err := engine.VerifyClaim(context.Background(), c, team)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -268,7 +269,7 @@ func runAssisted(w *worldgen.World, cfg SimulationConfig, sys System) (SystemRes
 	if sys == SystemSequential {
 		utilityWeight = 0
 	}
-	res, err := engine.Verify(w.Document, team, core.VerifyConfig{
+	res, err := engine.Verify(context.Background(), w.Document, team, core.VerifyConfig{
 		BatchSize:       cfg.BatchSize,
 		SectionReadCost: cfg.SectionReadCost,
 		Ordering:        ordering,

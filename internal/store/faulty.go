@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the failure surfaced by a Faulty store once its write
@@ -11,18 +12,44 @@ import (
 // the injected one and not a real bug.
 var ErrInjected = errors.New("store: injected fault")
 
-// Faulty wraps a Store and fails every write once a configured number of
-// journal appends has succeeded, simulating a crash. With torn-write mode
-// on, the cut append first writes a deliberately truncated frame to the
-// underlying journal — the on-disk shape of a process dying mid-write — so
-// recovery also has to exercise tail truncation.
+// Faulty wraps a Store and injects the failure modes the chaos harness
+// needs: exhausting a write budget (simulating a crash), failing reads
+// (simulating a corrupt or unreachable journal during recovery), and
+// adding latency to every operation (simulating a slow disk, which is how
+// tests hold a daemon in the "recovering" state long enough to probe it).
+// With torn-write mode on, the cut append first writes a deliberately
+// truncated frame to the underlying journal — the on-disk shape of a
+// process dying mid-write — so recovery also has to exercise tail
+// truncation.
 type Faulty struct {
 	inner Store
+
+	failReads bool
+	latency   time.Duration
 
 	mu        sync.Mutex
 	remaining int
 	torn      bool
 	tripped   bool
+}
+
+// FaultPlan configures a Faulty store. The zero value injects nothing
+// except an immediately-exhausted write budget; set FailAppendsAfter to a
+// large value for a write-healthy store with read or latency faults only.
+type FaultPlan struct {
+	// FailAppendsAfter lets this many journal appends succeed before every
+	// write fails with ErrInjected.
+	FailAppendsAfter int
+	// Torn makes the first failing append leave a truncated frame in the
+	// underlying journal before reporting the fault.
+	Torn bool
+	// FailReads makes Replay and LoadSnapshot fail with ErrInjected —
+	// recovery-time faults rather than write-time ones.
+	FailReads bool
+	// Latency is added to every store operation, reads included. Recovery
+	// replay pays it per record, which is what keeps a booting daemon
+	// not-ready long enough for readiness-probe tests to observe it.
+	Latency time.Duration
 }
 
 // tornWriter is implemented by stores that can persist a torn journal tail
@@ -36,7 +63,25 @@ type tornWriter interface {
 // failing append leaves a truncated frame in the underlying journal before
 // reporting the fault.
 func NewFaulty(inner Store, failAfter int, torn bool) *Faulty {
-	return &Faulty{inner: inner, remaining: failAfter, torn: torn}
+	return NewFaultyPlan(inner, FaultPlan{FailAppendsAfter: failAfter, Torn: torn})
+}
+
+// NewFaultyPlan wraps inner with the full fault plan.
+func NewFaultyPlan(inner Store, plan FaultPlan) *Faulty {
+	return &Faulty{
+		inner:     inner,
+		remaining: plan.FailAppendsAfter,
+		torn:      plan.Torn,
+		failReads: plan.FailReads,
+		latency:   plan.Latency,
+	}
+}
+
+// delay sleeps the configured operation latency.
+func (s *Faulty) delay() {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
 }
 
 // Tripped reports whether the injected fault has fired.
@@ -47,6 +92,7 @@ func (s *Faulty) Tripped() bool {
 }
 
 func (s *Faulty) Append(rec *Record) error {
+	s.delay()
 	s.mu.Lock()
 	if s.remaining > 0 {
 		s.remaining--
@@ -67,7 +113,18 @@ func (s *Faulty) Append(rec *Record) error {
 	return fmt.Errorf("%w: journal append", ErrInjected)
 }
 
-func (s *Faulty) Replay(fn func(*Record) error) error { return s.inner.Replay(fn) }
+// Replay pays the configured latency once per record, not once per call:
+// a slow disk is slow for every frame, and per-record delay is what lets
+// tests hold a recovering daemon in the not-ready state deterministically.
+func (s *Faulty) Replay(fn func(*Record) error) error {
+	if s.failReads {
+		return fmt.Errorf("%w: journal replay", ErrInjected)
+	}
+	return s.inner.Replay(func(rec *Record) error {
+		s.delay()
+		return fn(rec)
+	})
+}
 
 func (s *Faulty) SaveSnapshot(kind, id string, data []byte) error {
 	s.mu.Lock()
@@ -80,6 +137,10 @@ func (s *Faulty) SaveSnapshot(kind, id string, data []byte) error {
 }
 
 func (s *Faulty) LoadSnapshot(kind, id string) ([]byte, error) {
+	s.delay()
+	if s.failReads {
+		return nil, fmt.Errorf("%w: snapshot load", ErrInjected)
+	}
 	return s.inner.LoadSnapshot(kind, id)
 }
 

@@ -1,6 +1,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"runtime"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestVerifyDocumentParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.VerifyDocument(team, VerifyOptions{
+		res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{
 			BatchSize:       15,
 			SectionReadCost: 30,
 			Parallelism:     parallelism,

@@ -21,6 +21,7 @@ package scrutinizer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,6 +62,17 @@ func OpenFileStore(dir string) (*store.File, error) { return store.OpenFileStore
 // shape of a process dying mid-write.
 func NewFaultyStore(inner Store, failAfter int, torn bool) *store.Faulty {
 	return store.NewFaulty(inner, failAfter, torn)
+}
+
+// StoreFaultPlan re-exports the chaos-harness fault configuration: write
+// budgets and torn tails as above, plus read-side failures and injected
+// per-operation latency (how tests hold a recovering daemon in the
+// not-ready state long enough to probe it).
+type StoreFaultPlan = store.FaultPlan
+
+// NewFaultyStorePlan wraps a store with the full fault plan.
+func NewFaultyStorePlan(inner Store, plan StoreFaultPlan) *store.Faulty {
+	return store.NewFaultyPlan(inner, plan)
 }
 
 // snapshotKind is the store snapshot namespace for verifier model blobs.
@@ -446,7 +458,9 @@ func (s *Service) Recover(st Store, mgr *SessionManager) (RecoveryStats, error) 
 				return stats, fmt.Errorf("scrutinizer: session %q document: %w", id, err)
 			}
 			snap := &SessionSnapshot{ID: rs.id, Answers: rs.answers}
-			if _, err := v.RestoreSession(mgr, doc, rs.payload.sessionOptions(), snap); err != nil {
+			// Recovery replay runs detached: boot must re-park every
+			// journaled session or count it skipped, never half-replay.
+			if _, err := v.RestoreSession(context.Background(), mgr, doc, rs.payload.sessionOptions(), snap); err != nil {
 				// A full registry or a replay mismatch loses the session
 				// but not the boot; count it and keep going.
 				stats.SessionsSkipped++

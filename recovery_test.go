@@ -1,6 +1,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -54,7 +55,7 @@ func answerNext(t *testing.T, sess *Session) {
 	if len(qs) == 0 {
 		t.Fatal("no pending questions")
 	}
-	if _, err := sess.Answer(SessionAnswer{ClaimID: qs[0].ClaimID, Value: "suggestion", Seconds: 2}); err != nil {
+	if _, err := sess.Answer(context.Background(), SessionAnswer{ClaimID: qs[0].ClaimID, Value: "suggestion", Seconds: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -108,7 +109,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := v.StartSession(mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 6, Seed: 3}})
+	sess, err := v.StartSession(context.Background(), mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 6, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 		t.Fatal("verifier not recovered")
 	}
 	batch := func(vv *Verifier) *Result {
-		run, err := vv.StartRun(docB)
+		run, err := vv.StartRun(context.Background(), docB)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := run.Verify(team, VerifyOptions{BatchSize: 6})
+		res, err := run.Verify(context.Background(), team, VerifyOptions{BatchSize: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func TestRecoveryRetrainFallback(t *testing.T) {
 		t.Fatalf("trained_on %d vs %d", v2.TrainedOn(), v.TrainedOn())
 	}
 	batch := func(vv *Verifier) *Result {
-		run, err := vv.StartRun(docB)
+		run, err := vv.StartRun(context.Background(), docB)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestRecoveryRetrainFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := run.Verify(team, VerifyOptions{BatchSize: 6})
+		res, err := run.Verify(context.Background(), team, VerifyOptions{BatchSize: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +295,7 @@ func TestRecoveryJournalPrefixProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	mark()
-	sess, err := v.StartSession(mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 5, Seed: 2}})
+	sess, err := v.StartSession(context.Background(), mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 5, Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestRecoveryExpiredSessionNotResurrected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := v.StartSession(mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 5}})
+	sess, err := v.StartSession(context.Background(), mgr, docA, SessionOptions{Verify: VerifyOptions{BatchSize: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +444,7 @@ func TestRecoveryJournalFailureRollsBack(t *testing.T) {
 
 	// Budget exhausted: every further mutation must fail with ErrJournal
 	// and leave no trace.
-	if _, err := v.StartSession(mgr, docA, SessionOptions{}); err == nil {
+	if _, err := v.StartSession(context.Background(), mgr, docA, SessionOptions{}); err == nil {
 		t.Fatal("StartSession acknowledged without a journal record")
 	}
 	if stats := mgr.Stats(); stats.Active != 0 {

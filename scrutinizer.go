@@ -35,6 +35,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -229,14 +230,14 @@ type Result struct {
 
 // VerifyDocument runs the full Algorithm 1 loop over the system's document,
 // verifying each batch's claims across Parallelism goroutines.
-func (s *System) VerifyDocument(team *Team, opts VerifyOptions) (*Result, error) {
-	return s.run.Verify(team, opts)
+func (s *System) VerifyDocument(ctx context.Context, team *Team, opts VerifyOptions) (*Result, error) {
+	return s.run.Verify(ctx, team, opts)
 }
 
 // VerifyClaim verifies a single claim (it must carry a Truth annotation for
 // the simulated crowd to answer from).
-func (s *System) VerifyClaim(c *Claim, team *Team) (*Outcome, error) {
-	return s.run.VerifyClaim(c, team)
+func (s *System) VerifyClaim(ctx context.Context, c *Claim, team *Team) (*Outcome, error) {
+	return s.run.VerifyClaim(ctx, c, team)
 }
 
 // Oracle is the mixed-initiative answer source: implement it to plug real
@@ -247,8 +248,8 @@ type Oracle = core.Oracle
 
 // VerifyClaimWith verifies a single claim through a custom Oracle; no
 // ground-truth annotation is needed when the oracle answers from a human.
-func (s *System) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
-	return s.run.VerifyClaimWith(c, oracle)
+func (s *System) VerifyClaimWith(ctx context.Context, c *Claim, oracle Oracle) (*Outcome, error) {
+	return s.run.VerifyClaimWith(ctx, c, oracle)
 }
 
 // Interactive sessions -------------------------------------------------------
@@ -320,11 +321,11 @@ func sessionOptions(opts SessionOptions) session.Options {
 // here on: batch-boundary retraining mutates it, so do not mix a live
 // session with VerifyDocument on the same System. (Verifier.StartSession
 // has no such restriction — every session gets a private engine.)
-func (s *System) StartSession(m *SessionManager, opts SessionOptions) (*Session, error) {
+func (s *System) StartSession(ctx context.Context, m *SessionManager, opts SessionOptions) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	return m.Create(s.run.engine, s.run.doc, sessionOptions(opts))
+	return m.Create(ctx, s.run.engine, s.run.doc, sessionOptions(opts))
 }
 
 // RestoreSession rebuilds a session from a snapshot by replaying its
@@ -332,11 +333,11 @@ func (s *System) StartSession(m *SessionManager, opts SessionOptions) (*Session,
 // snapshotted session's (same corpus, document, options and seed);
 // verification is deterministic in (engine, document, answers), so the
 // replayed session reaches a bit-identical state.
-func (s *System) RestoreSession(m *SessionManager, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
+func (s *System) RestoreSession(ctx context.Context, m *SessionManager, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	return m.Restore(s.run.engine, s.run.doc, sessionOptions(opts), snap)
+	return m.Restore(ctx, s.run.engine, s.run.doc, sessionOptions(opts), snap)
 }
 
 // Report renders the verification report (Definition 4 output).

@@ -2,6 +2,7 @@ package scrutinizer
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestEndToEndFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 15, SectionReadCost: 30})
+	res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: 15, SectionReadCost: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestSingleClaimFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sys.VerifyClaim(w.Document.Claims[0], team)
+	out, err := sys.VerifyClaim(context.Background(), w.Document.Claims[0], team)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestDocumentJSONAndCSVFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := sys.VerifyClaim(doc.Claims[0], team)
+	out, err := sys.VerifyClaim(context.Background(), doc.Claims[0], team)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestSessionFacade(t *testing.T) {
 	opts := SessionOptions{Verify: VerifyOptions{BatchSize: 8}, Checkers: 2}
 
 	m := NewSessionManager(0, 0)
-	sess, err := newSys().StartSession(m, opts)
+	sess, err := newSys().StartSession(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSessionFacade(t *testing.T) {
 	// Walk one claim through its screens with suggested answers.
 	for next := &qs[0]; next != nil; {
 		var err error
-		next, err = sess.Answer(SessionAnswer{
+		next, err = sess.Answer(context.Background(), SessionAnswer{
 			QuestionID: next.ID, ClaimID: next.ClaimID, Value: "suggestion", Seconds: 5,
 		})
 		if err != nil {
@@ -206,7 +207,7 @@ func TestSessionFacade(t *testing.T) {
 	}
 
 	snap := sess.Snapshot()
-	restored, err := newSys().RestoreSession(NewSessionManager(0, 0), opts, snap)
+	restored, err := newSys().RestoreSession(context.Background(), NewSessionManager(0, 0), opts, snap)
 	if err != nil {
 		t.Fatal(err)
 	}

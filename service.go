@@ -23,6 +23,7 @@ package scrutinizer
 // legacy System facade survives as a thin shim over these types.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -203,7 +204,7 @@ func (v *Verifier) snapshot() *core.ModelSnapshot {
 // the current snapshot: its batch-boundary retraining warms it up over
 // the course of the run without ever touching the verifier, so concurrent
 // runs are independent and deterministic.
-func (v *Verifier) StartRun(doc *Document) (*Run, error) {
+func (v *Verifier) StartRun(ctx context.Context, doc *Document) (*Run, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("scrutinizer: nil document")
 	}
@@ -212,6 +213,11 @@ func (v *Verifier) StartRun(doc *Document) (*Run, error) {
 	}
 	if len(doc.Claims) == 0 {
 		return nil, fmt.Errorf("scrutinizer: document has no claims")
+	}
+	// Spawning is cheap (pooled engines), but refuse work for a caller
+	// that has already hung up rather than hand out an engine for it.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scrutinizer: start run: %w", err)
 	}
 	engine := v.snapshot().Spawn()
 	v.runs.Add(1)
@@ -225,16 +231,17 @@ func (v *Verifier) StartRun(doc *Document) (*Run, error) {
 // When the verifier's service has a store attached, the session (document
 // plus options) is journaled before the handle is returned — and every
 // accepted answer after it — so a crash re-parks the session by replay.
-func (v *Verifier) StartSession(m *SessionManager, doc *Document, opts SessionOptions) (*Session, error) {
+func (v *Verifier) StartSession(ctx context.Context, m *SessionManager, doc *Document, opts SessionOptions) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	r, err := v.StartRun(doc)
+	r, err := v.StartRun(ctx, doc)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := m.Create(r.engine, doc, v.sessionOptions(opts))
+	sess, err := m.Create(ctx, r.engine, doc, v.sessionOptions(opts))
 	if err != nil {
+		r.Close()
 		return nil, err
 	}
 	if v.svc != nil && v.svc.store != nil {
@@ -255,15 +262,20 @@ func (v *Verifier) StartSession(m *SessionManager, doc *Document, opts SessionOp
 // snapshotted session was created (same corpus, training data, options
 // and seed, no intervening Retrain); replay then reaches a bit-identical
 // session state.
-func (v *Verifier) RestoreSession(m *SessionManager, doc *Document, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
+func (v *Verifier) RestoreSession(ctx context.Context, m *SessionManager, doc *Document, opts SessionOptions, snap *SessionSnapshot) (*Session, error) {
 	if m == nil {
 		return nil, fmt.Errorf("scrutinizer: nil session manager")
 	}
-	r, err := v.StartRun(doc)
+	r, err := v.StartRun(ctx, doc)
 	if err != nil {
 		return nil, err
 	}
-	return m.Restore(r.engine, doc, v.sessionOptions(opts), snap)
+	sess, err := m.Restore(ctx, r.engine, doc, v.sessionOptions(opts), snap)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return sess, nil
 }
 
 func (v *Verifier) sessionOptions(opts SessionOptions) session.Options {
@@ -344,12 +356,12 @@ func (r *Run) Coverage() FeatureCoverage { return r.verifier.Coverage(r.doc) }
 // Verify runs the full Algorithm 1 loop over the run's document with a
 // simulated crowd team answering every question screen. Batch-boundary
 // retraining mutates only the run's private engine.
-func (r *Run) Verify(team *Team, opts VerifyOptions) (*Result, error) {
+func (r *Run) Verify(ctx context.Context, team *Team, opts VerifyOptions) (*Result, error) {
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
 		parallelism = core.DefaultParallelism()
 	}
-	res, err := r.engine.Verify(r.doc, team, core.VerifyConfig{
+	res, err := r.engine.Verify(ctx, r.doc, team, core.VerifyConfig{
 		BatchSize:       opts.BatchSize,
 		SectionReadCost: opts.SectionReadCost,
 		Ordering:        opts.Ordering,
@@ -364,13 +376,13 @@ func (r *Run) Verify(team *Team, opts VerifyOptions) (*Result, error) {
 
 // VerifyClaim verifies a single claim of the run's document (it must carry
 // a Truth annotation for the simulated crowd to answer from).
-func (r *Run) VerifyClaim(c *Claim, team *Team) (*Outcome, error) {
-	return r.engine.VerifyClaim(c, team)
+func (r *Run) VerifyClaim(ctx context.Context, c *Claim, team *Team) (*Outcome, error) {
+	return r.engine.VerifyClaim(ctx, c, team)
 }
 
 // VerifyClaimWith verifies a single claim through a custom Oracle.
-func (r *Run) VerifyClaimWith(c *Claim, oracle Oracle) (*Outcome, error) {
-	return r.engine.VerifyClaimWith(c, oracle)
+func (r *Run) VerifyClaimWith(ctx context.Context, c *Claim, oracle Oracle) (*Outcome, error) {
+	return r.engine.VerifyClaimWith(ctx, c, oracle)
 }
 
 // Close releases the run's private engine back to the verifier's snapshot

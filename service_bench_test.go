@@ -10,6 +10,7 @@ package scrutinizer
 // Verify benches measure the full request including the Algorithm 1 loop.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/repro/scrutinizer/internal/worldgen"
@@ -53,7 +54,7 @@ func BenchmarkServiceSetupWarm(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := v.StartRun(w.Document); err != nil {
+		if _, err := v.StartRun(context.Background(), w.Document); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +76,7 @@ func BenchmarkServiceVerifyCold(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := sys.VerifyDocument(team, VerifyOptions{BatchSize: 100})
+		res, err := sys.VerifyDocument(context.Background(), team, VerifyOptions{BatchSize: 100})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkRecoveryBoot(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sess, err := v.StartSession(mgr, w.Document, SessionOptions{Verify: VerifyOptions{BatchSize: 100}})
+	sess, err := v.StartSession(context.Background(), mgr, w.Document, SessionOptions{Verify: VerifyOptions{BatchSize: 100}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func BenchmarkRecoveryBoot(b *testing.B) {
 		if len(qs) == 0 {
 			b.Fatal("no pending questions")
 		}
-		if _, err := sess.Answer(SessionAnswer{ClaimID: qs[0].ClaimID, Value: "suggestion", Seconds: 2}); err != nil {
+		if _, err := sess.Answer(context.Background(), SessionAnswer{ClaimID: qs[0].ClaimID, Value: "suggestion", Seconds: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,7 +155,7 @@ func BenchmarkServiceVerifyWarm(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run, err := v.StartRun(w.Document)
+		run, err := v.StartRun(context.Background(), w.Document)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func BenchmarkServiceVerifyWarm(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := run.Verify(team, VerifyOptions{BatchSize: 100})
+		res, err := run.Verify(context.Background(), team, VerifyOptions{BatchSize: 100})
 		if err != nil {
 			b.Fatal(err)
 		}

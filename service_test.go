@@ -1,6 +1,7 @@
 package scrutinizer
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -56,7 +57,7 @@ func TestVerifierMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := sys.VerifyDocument(team, vopts)
+	want, err := sys.VerifyDocument(context.Background(), team, vopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestVerifierMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := v.StartRun(w.Document)
+	run, err := v.StartRun(context.Background(), w.Document)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestVerifierMatchesSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := run.Verify(vteam, vopts)
+	got, err := run.Verify(context.Background(), vteam, vopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestVerifierServesManyDocumentsWarm(t *testing.T) {
 
 	runDoc := func(v *Verifier, doc *Document) *Result {
 		t.Helper()
-		run, err := v.StartRun(doc)
+		run, err := v.StartRun(context.Background(), doc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestVerifierServesManyDocumentsWarm(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := run.Verify(team, vopts)
+		res, err := run.Verify(context.Background(), team, vopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestVerifierConcurrentRuns(t *testing.T) {
 
 	v := mustVerifier(t, w, opts)
 	run := func(doc *Document) (*Result, error) {
-		r, err := v.StartRun(doc)
+		r, err := v.StartRun(context.Background(), doc)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +173,7 @@ func TestVerifierConcurrentRuns(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return r.Verify(team, vopts)
+		return r.Verify(context.Background(), team, vopts)
 	}
 
 	seqA, err := run(docA)
@@ -220,11 +221,11 @@ func TestVerifierSessionPrivateEngines(t *testing.T) {
 	m := NewSessionManager(0, 0)
 	opts := SessionOptions{Verify: VerifyOptions{BatchSize: 8}, Checkers: 2}
 
-	s1, err := v.StartSession(m, w.Document, opts)
+	s1, err := v.StartSession(context.Background(), m, w.Document, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := v.StartSession(m, w.Document, opts)
+	s2, err := v.StartSession(context.Background(), m, w.Document, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestVerifierSessionPrivateEngines(t *testing.T) {
 	before2 := s2.Progress()
 	for next := &q1[0]; next != nil; {
 		var err error
-		next, err = s1.Answer(SessionAnswer{ClaimID: next.ClaimID, Value: "suggestion", Seconds: 2})
+		next, err = s1.Answer(context.Background(), SessionAnswer{ClaimID: next.ClaimID, Value: "suggestion", Seconds: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -261,7 +262,7 @@ func TestVerifierRetrainIsolation(t *testing.T) {
 	vopts := VerifyOptions{BatchSize: 8}
 
 	// Reference result from the pre-retrain state.
-	preRun, err := v.StartRun(docA)
+	preRun, err := v.StartRun(context.Background(), docA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,13 +270,13 @@ func TestVerifierRetrainIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := preRun.Verify(team, vopts)
+	want, err := preRun.Verify(context.Background(), team, vopts)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Start (but do not yet execute) a run, then retrain the verifier.
-	parked, err := v.StartRun(docA)
+	parked, err := v.StartRun(context.Background(), docA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestVerifierRetrainIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := parked.Verify(team2, vopts)
+	got, err := parked.Verify(context.Background(), team2, vopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestServiceRegistry(t *testing.T) {
 	if !ok {
 		t.Fatal("corpus cache missing")
 	}
-	run, err := v.StartRun(w.Document)
+	run, err := v.StartRun(context.Background(), w.Document)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestServiceRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run.Verify(team, VerifyOptions{BatchSize: 10}); err != nil {
+	if _, err := run.Verify(context.Background(), team, VerifyOptions{BatchSize: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if st := qc.Stats(); st.Entries == 0 {
@@ -395,7 +396,7 @@ func TestOrderRandomExported(t *testing.T) {
 	}
 	w := testWorld(t)
 	v := mustVerifier(t, w, Options{Seed: 1})
-	run, err := v.StartRun(w.Document)
+	run, err := v.StartRun(context.Background(), w.Document)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +404,7 @@ func TestOrderRandomExported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := run.Verify(team, VerifyOptions{BatchSize: 10, Ordering: OrderRandom})
+	res, err := run.Verify(context.Background(), team, VerifyOptions{BatchSize: 10, Ordering: OrderRandom})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +442,7 @@ func TestRunCloseRecyclesEngine(t *testing.T) {
 
 	runOnce := func() *Result {
 		t.Helper()
-		run, err := v.StartRun(w.Document)
+		run, err := v.StartRun(context.Background(), w.Document)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -450,7 +451,7 @@ func TestRunCloseRecyclesEngine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := run.Verify(team, vopts)
+		res, err := run.Verify(context.Background(), team, vopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -463,7 +464,7 @@ func TestRunCloseRecyclesEngine(t *testing.T) {
 	}
 
 	// Close twice (and on a nil run) is a no-op.
-	run, err := v.StartRun(w.Document)
+	run, err := v.StartRun(context.Background(), w.Document)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +492,7 @@ func TestRunCloseConcurrent(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				i := g*rounds + r
-				run, err := v.StartRun(w.Document)
+				run, err := v.StartRun(context.Background(), w.Document)
 				if err != nil {
 					errs[i] = err
 					return
@@ -501,7 +502,7 @@ func TestRunCloseConcurrent(t *testing.T) {
 					errs[i] = err
 					return
 				}
-				results[i], errs[i] = run.Verify(team, vopts)
+				results[i], errs[i] = run.Verify(context.Background(), team, vopts)
 				run.Close()
 			}
 		}(g)
