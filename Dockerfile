@@ -1,0 +1,23 @@
+# Build scrutinizerd as a static binary, then ship it on a bare base
+# image. The daemon is self-contained (no cgo, no runtime assets): with
+# no -corpus it boots a deterministic synthetic world, and -data-dir
+# journals durable state under the /data volume.
+
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/scrutinizerd ./cmd/scrutinizerd
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 scrutinizer \
+ && mkdir -p /data && chown scrutinizer /data
+COPY --from=build /out/scrutinizerd /usr/local/bin/scrutinizerd
+USER scrutinizer
+VOLUME /data
+EXPOSE 8080
+HEALTHCHECK --interval=10s --timeout=3s --start-period=30s \
+  CMD wget -qO- http://127.0.0.1:8080/readyz >/dev/null || exit 1
+ENTRYPOINT ["scrutinizerd"]
+CMD ["-addr", ":8080", "-data-dir", "/data"]

@@ -97,10 +97,14 @@ func (hr *httpRunner) oneOp(worker int, t *tenant, mode string) (opResult, error
 	return hr.batchOp(t)
 }
 
-// classifyShed folds a rejection status into the result's overload
-// accounting. It reports whether the status was a shed (429/503) — in
-// overload mode those are outcomes, not errors, and the worker immediately
-// retries (no backoff: that is the point of a hostile tenant).
+// classifyShed folds a rejection status into the result's per-status
+// accounting: 429s (rate limit / run quota) and 503s (admission gate /
+// not-ready) are counted separately in every mode, so a run that was
+// quietly throttled shows up in the summary. It reports whether the
+// status was a shed (429/503) — in overload mode those are outcomes, not
+// errors, and the worker immediately retries (no backoff: that is the
+// point of a hostile tenant); outside overload the caller still
+// propagates the error after the count is recorded.
 func classifyShed(res *opResult, status int) bool {
 	switch {
 	case status == http.StatusTooManyRequests:
@@ -136,7 +140,7 @@ func (hr *httpRunner) batchOp(t *tenant) (opResult, error) {
 	var res opResult
 	start := time.Now()
 	if status, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &resp); err != nil {
-		if hr.cfg.overload && classifyShed(&res, status) {
+		if classifyShed(&res, status) && hr.cfg.overload {
 			return res, nil
 		}
 		return res, err
@@ -173,7 +177,7 @@ func (hr *httpRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 		Progress  scrutinizer.SessionProgress   `json:"progress"`
 	}
 	if status, err := hr.post("/v1/verifiers/"+t.verifierID+"/runs", body, &sess); err != nil {
-		if hr.cfg.overload && classifyShed(&res, status) {
+		if classifyShed(&res, status) && hr.cfg.overload {
 			return res, nil
 		}
 		return res, err
@@ -246,7 +250,7 @@ func (hr *httpRunner) sessionOp(worker int, t *tenant) (opResult, error) {
 			continue
 		}
 		if err != nil {
-			if hr.cfg.overload && classifyShed(&res, status) {
+			if classifyShed(&res, status) && hr.cfg.overload {
 				// Rate-limited mid-session: give up on this one (the defer
 				// deletes it unless we are in an abandon run) and move on —
 				// a hostile client would just hammer the next request.

@@ -97,9 +97,10 @@ type loadReport struct {
 	P50Ms       float64 `json:"p50_ms"`
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
-	// Overload-mode accounting: requests the daemon shed (429 rate/quota
-	// rejections, 503 load shedding) and sessions deliberately walked away
-	// from mid-pump. A shed request is the protection working, not an
+	// Guard accounting, recorded in every mode: requests the daemon shed,
+	// split by status code (429 rate/quota rejections vs 503 load
+	// shedding), plus sessions deliberately walked away from mid-pump
+	// (overload only). A shed request is the protection working, not an
 	// error; Other5xx is what would indicate the daemon buckling.
 	Overload  bool `json:"overload,omitempty"`
 	Shed429   int  `json:"shed_429,omitempty"`
@@ -123,9 +124,10 @@ type opResult struct {
 	claims    int
 	questions int
 	latencies []float64 // milliseconds; per-answer (session) or per-run (batch)
-	// Overload-mode outcomes: shed counts rejections the daemon's guards
-	// issued (429/503), other5xx counts genuine server failures, abandoned
-	// marks a session deliberately left un-deleted mid-pump.
+	// Guard outcomes (every mode): shed counts rejections the daemon's
+	// guards issued, split by status code, other5xx counts genuine server
+	// failures, abandoned marks a session deliberately left un-deleted
+	// mid-pump (overload mode only).
 	shed429   int
 	shed503   int
 	other5xx  int
@@ -212,6 +214,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d runs, %.0f claims/s, %.0f questions/s, p50/p95/p99 = %.1f/%.1f/%.1f ms (%s) -> %s\n",
 		rep.Runs, rep.ClaimsPerS, rep.QuestionsPerS, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.LatencyKind, cfg.out)
+	if rep.Shed429+rep.Shed503 > 0 && !cfg.overload {
+		// Guards fired during a non-hostile run: report the split so a
+		// throttled result is never mistaken for a clean throughput number.
+		fmt.Fprintf(os.Stderr, "loadgen: rejected by guards: %d rate/quota (429), %d load-shed (503)\n",
+			rep.Shed429, rep.Shed503)
+	}
 
 	if cfg.overload {
 		// Overload pass criteria: the daemon survived (liveness green), it

@@ -30,7 +30,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -42,6 +41,7 @@ import (
 func (s *server) admit(w http.ResponseWriter) (leave func(), ok bool) {
 	leave, ok = s.gate.Enter()
 	if !ok {
+		s.metrics.rejected.With("gate_shed").Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("server at capacity (%d requests in flight); retry shortly", s.cfg.maxInflight))
@@ -54,6 +54,7 @@ func (s *server) admit(w http.ResponseWriter) (leave func(), ok bool) {
 func (s *server) rateLimit(w http.ResponseWriter, key string) bool {
 	ok, retryAfter := s.rates.Allow(key)
 	if !ok {
+		s.metrics.rejected.With("rate_limit").Inc()
 		secs := int(retryAfter/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		httpError(w, http.StatusTooManyRequests,
@@ -76,6 +77,7 @@ func (s *server) runQuotaFree(w http.ResponseWriter, key string) bool {
 		return true
 	}
 	if n := s.runsInFlight(key); n >= s.cfg.maxRunsPerTenant {
+		s.metrics.rejected.With("run_quota").Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q at its concurrent-run quota (%d); finish or delete a run first", key, s.cfg.maxRunsPerTenant))
@@ -94,6 +96,7 @@ func (s *server) acquireRun(w http.ResponseWriter, key string) (release func(), 
 	release, ok = s.runQuota.Acquire(key)
 	if !ok {
 		// Lost the race between the combined check and the claim.
+		s.metrics.rejected.With("run_quota").Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q at its concurrent-run quota (%d)", key, s.cfg.maxRunsPerTenant))
@@ -139,15 +142,16 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	gs := s.gate.Stats()
+	// Same gather as /healthz and /metrics: one source of truth.
+	snap := s.refreshMetrics()
 	status := "ok"
-	if gs.Shedding {
+	if snap.gate.Shedding {
 		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    status,
 		"ready":     true,
-		"admission": gs,
+		"admission": snap.gate,
 	})
 }
 
@@ -156,7 +160,8 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // (the process is healthy) while readiness reports not-ready.
 func (s *server) withReady(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+		if !s.ready.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/readyz" && r.URL.Path != "/metrics" {
+			s.metrics.rejected.With("not_ready").Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "recovering journaled state; retry shortly")
 			return
@@ -172,7 +177,9 @@ func (s *server) withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("scrutinizerd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				daemonLog.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				httpError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()

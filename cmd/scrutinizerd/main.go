@@ -27,6 +27,7 @@
 //	scrutinizerd [-addr :8080] [-corpus dir] [-claims n] [-seed n] [-parallel n]
 //	             [-pprof addr] [-mutexprofile n] [-blockprofile n]
 //	             [-session-ttl 30m] [-max-sessions 256] [-data-dir dir]
+//	             [-log-level info]
 //
 // Without -corpus the daemon generates a synthetic world corpus (the
 // quickest way to try the API: generate a matching document with
@@ -97,6 +98,7 @@
 //
 // Legacy endpoints (aliases onto the default corpus, behaviour unchanged):
 //
+//	GET    /metrics                  Prometheus text-format metrics for every serving layer
 //	GET    /healthz                  liveness + version, tenant, corpus and session statistics
 //	POST   /verify                   document JSON in, verification report JSON out
 //	POST   /sessions                 create an interactive session (document JSON in)
@@ -129,7 +131,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only when -pprof is set)
@@ -145,8 +146,15 @@ import (
 	"github.com/repro/scrutinizer"
 	"github.com/repro/scrutinizer/internal/core"
 	"github.com/repro/scrutinizer/internal/guard"
+	"github.com/repro/scrutinizer/internal/obs"
+	istore "github.com/repro/scrutinizer/internal/store"
 	"github.com/repro/scrutinizer/internal/table"
 )
+
+// daemonLog is the process logger (logfmt on stderr). main re-levels it
+// from -log-level before anything is served; tests and embedders get the
+// info-level default.
+var daemonLog = obs.NewLogger(nil, obs.LevelInfo)
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -165,7 +173,10 @@ func main() {
 	rateBurst := flag.Float64("rate-burst", 10, "per-tenant token-bucket burst for -rate-limit")
 	maxRunsPerTenant := flag.Int("max-runs-per-tenant", 0, "concurrent runs (batch + interactive) per tenant (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "global bound on in-flight expensive requests; beyond it requests are shed with 503 (0 = unlimited)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	daemonLog = obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
 
 	// Contention profiling is off by default (both profiles cost on every
 	// lock operation once armed). Turn them on next to -pprof to see where
@@ -197,27 +208,30 @@ func main() {
 			IdleTimeout:  2 * time.Minute,
 		}
 		go func() {
-			log.Printf("scrutinizerd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			daemonLog.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("scrutinizerd: pprof server: %v", err)
+				daemonLog.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
 
 	corpus, err := loadCorpus(*corpusDir, *numClaims, *seed)
 	if err != nil {
-		log.Fatal(err)
+		daemonLog.Error("loading corpus", "err", err)
+		os.Exit(1)
 	}
 	var st scrutinizer.Store
 	var closeStore func() error
 	if *dataDir != "" {
 		fs, err := scrutinizer.OpenFileStore(*dataDir)
 		if err != nil {
-			log.Fatalf("scrutinizerd: opening data dir %s: %v", *dataDir, err)
+			daemonLog.Error("opening data dir", "dir", *dataDir, "err", err)
+			os.Exit(1)
 		}
 		// Closed explicitly at the end of the shutdown sequence (after
-		// in-flight handlers drain), not deferred: log.Fatal skips defers,
-		// and a defer would race handlers still appending to the journal.
+		// in-flight handlers drain), not deferred: the fatal os.Exit paths
+		// skip defers, and a defer would race handlers still appending to
+		// the journal.
 		closeStore = fs.Close
 		st = fs
 	}
@@ -256,22 +270,26 @@ func main() {
 	// 503 until boot finishes, instead of the whole port being dark.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("scrutinizerd: listening on %s", *addr)
+	daemonLog.Info("listening", "addr", *addr)
 
 	if err := s.boot(corpus); err != nil {
 		if closeStore != nil {
 			closeStore()
 		}
-		log.Fatalf("scrutinizerd: recovering from %s: %v", *dataDir, err)
+		daemonLog.Error("journal recovery failed", "dir", *dataDir, "err", err)
+		os.Exit(1)
 	}
 	if st != nil {
 		rec := s.recovered
-		log.Printf("scrutinizerd: recovered %d journal records from %s (%d corpora, %d verifiers [%d from snapshot, %d retrained], %d sessions, %d skipped)",
-			rec.Records, *dataDir, rec.Corpora, rec.Verifiers, rec.VerifiersFromSnapshot, rec.VerifiersRetrained, rec.Sessions, rec.SessionsSkipped)
+		daemonLog.Info("journal recovered", "dir", *dataDir,
+			"records", rec.Records, "corpora", rec.Corpora,
+			"verifiers", rec.Verifiers, "from_snapshot", rec.VerifiersFromSnapshot,
+			"retrained", rec.VerifiersRetrained, "sessions", rec.Sessions,
+			"skipped", rec.SessionsSkipped)
 	}
 	stats := s.corpus.Stats()
-	log.Printf("scrutinizerd: corpus ready (%d relations, %d rows, %d cells), serving",
-		stats.Relations, stats.Rows, stats.Cells)
+	daemonLog.Info("corpus ready, serving",
+		"relations", stats.Relations, "rows", stats.Rows, "cells", stats.Cells)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -280,35 +298,40 @@ func main() {
 		if closeStore != nil {
 			closeStore()
 		}
-		log.Fatal(err)
+		daemonLog.Error("serve failed", "err", err)
+		os.Exit(1)
 	case sig := <-stop:
 		// Shutdown ordering matters: stop admitting (readiness goes red,
 		// new conns refused), let in-flight handlers finish or time out,
 		// cancel whatever is still running, wait for the admission gate to
 		// empty, and only then close the store — a handler can never be
 		// mid-journal-append when the journal closes.
-		log.Printf("scrutinizerd: %v, draining", sig)
+		daemonLog.Info("draining", "signal", sig.String())
 		s.ready.Store(false)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("scrutinizerd: shutdown: %v", err)
+			daemonLog.Error("shutdown", "err", err)
 		}
 		if pprofSrv != nil {
 			if err := pprofSrv.Shutdown(ctx); err != nil {
-				log.Printf("scrutinizerd: pprof shutdown: %v", err)
+				daemonLog.Error("pprof shutdown", "err", err)
 			}
 		}
 		cancelRuns()
-		if !s.gate.Drain(10 * time.Second) {
-			log.Printf("scrutinizerd: handlers still in flight after drain timeout")
+		drainStart := time.Now()
+		drained := s.gate.Drain(10 * time.Second)
+		s.metrics.drainSeconds.Set(time.Since(drainStart).Seconds())
+		if !drained {
+			daemonLog.Warn("handlers still in flight after drain timeout")
 		}
 		if closeStore != nil {
 			if err := closeStore(); err != nil {
-				log.Printf("scrutinizerd: closing store: %v", err)
+				daemonLog.Error("closing store", "err", err)
 			}
 		}
-		log.Printf("scrutinizerd: drained, exiting")
+		daemonLog.Info("drained, exiting",
+			"drain_seconds", time.Since(drainStart).Seconds())
 	}
 }
 
@@ -369,6 +392,11 @@ type server struct {
 	gate     *guard.Gate
 	rates    *guard.RateLimiter // nil = unlimited
 	runQuota *guard.Quota       // nil = unlimited
+	// metrics is the observability registry (never nil): serving-layer
+	// instruments plus scrape-time mirrors of every component's stats. The
+	// health probes render from the same refreshMetrics snapshot /metrics
+	// scrapes, so the two surfaces cannot disagree.
+	metrics *daemonMetrics
 	// ready flips once boot-time journal replay finishes; until then the
 	// API surface answers 503 and /readyz reports not-ready. Flipping it
 	// back off is the first step of shutdown.
@@ -401,18 +429,33 @@ func newServerShell(cfg serverConfig, st scrutinizer.Store) *server {
 	if cfg.parallel <= 0 {
 		cfg.parallel = core.DefaultParallelism()
 	}
-	return &server{
+	started := time.Now()
+	m := newDaemonMetrics(started)
+	if st != nil {
+		// Journal appends and boot-time replay get timed at the store
+		// boundary; the daemon's closeStore keeps its handle to the inner
+		// store, so wrapping here changes nothing about shutdown.
+		st = istore.Monitor(st, m.reg)
+	}
+	// Run-lifecycle counters ride the core package's observer seam —
+	// process-global, so the last shell built owns them (one daemon per
+	// process outside tests).
+	core.SetObserver(m.observer())
+	s := &server{
 		svc:      scrutinizer.NewService(),
 		cfg:      cfg,
 		parallel: cfg.parallel,
 		maxBody:  maxBodyBytes,
 		sessions: scrutinizer.NewSessionManager(cfg.sessionTTL, cfg.maxSessions),
-		started:  time.Now(),
+		started:  started,
 		store:    st,
 		gate:     guard.NewGate(cfg.maxInflight),
 		rates:    guard.NewRateLimiter(cfg.rateLimit, cfg.rateBurst, nil),
 		runQuota: guard.NewQuota(cfg.maxRunsPerTenant),
+		metrics:  m,
 	}
+	m.reg.OnScrape(func() { s.refreshMetrics() })
+	return s
 }
 
 // boot replays the journal (when durable), registers the default corpus
@@ -455,6 +498,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 
 	// Legacy surface: single-corpus, per-request model fitting. Preserved
 	// unchanged as an alias onto the default corpus.
@@ -487,9 +531,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/questions", s.handleSessionQuestions)
 	mux.HandleFunc("POST /v1/runs/{id}/answers", s.handleSessionAnswers)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleSessionReport)
-	// Outermost: panics become logged 500s; then the readiness wall that
-	// keeps the API dark (503) until journal replay finishes.
-	return s.withRecover(s.withReady(mux))
+	// Outermost: the metrics middleware, so every response — including a
+	// recovered panic's 500 — is counted and timed; then the panic
+	// recoverer; then the readiness wall that keeps the API dark (503)
+	// until journal replay finishes.
+	return s.withMetrics(s.withRecover(s.withReady(mux)))
 }
 
 // buildVersion resolves the daemon's version from the embedded build info
@@ -532,80 +578,81 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	stats := s.corpus.Stats()
-	sess := s.sessions.Stats()
-	qc := s.qcache.Stats()
-	ix := s.corpus.Index().Stats()
-	svcStats := s.svc.Stats()
+	// One stats gather serves every surface: refreshMetrics mirrors the
+	// component stats into the /metrics registry and hands back the same
+	// snapshot for this JSON body, so the probe and the scrape are two
+	// renderings of one source of truth.
+	snap := s.refreshMetrics()
 	// Per-tenant load at a glance: verifier count per corpus, run count
 	// per verifier; live sessions per verifier come from the session
 	// registry's owner tags.
 	perCorpus := make(map[string]any)
-	for _, ci := range s.svc.Corpora() {
+	for _, ci := range snap.corpora {
 		perCorpus[ci.ID] = map[string]any{
 			"relations": ci.Relations,
 			"verifiers": ci.Verifiers,
 		}
 	}
 	perVerifier := make(map[string]any)
-	for _, vi := range s.svc.Verifiers() {
+	for _, vi := range snap.verifiers {
 		perVerifier[vi.ID] = map[string]any{
 			"corpus":           vi.CorpusID,
 			"runs_started":     vi.Runs,
 			"model_generation": vi.Generation,
 			"trained_on":       vi.TrainedOn,
-			"active_sessions":  sess.ByOwner[vi.ID],
+			"active_sessions":  snap.sess.ByOwner[vi.ID],
 		}
 	}
 	body := map[string]any{
 		"status":  "ok",
 		"version": buildVersion(),
 		"corpus": map[string]int{
-			"relations": stats.Relations,
-			"rows":      stats.Rows,
-			"cells":     stats.Cells,
+			"relations": snap.corpus.Relations,
+			"rows":      snap.corpus.Rows,
+			"cells":     snap.corpus.Cells,
 		},
 		// service: the /v1 registry — tenant counts plus per-corpus and
 		// per-verifier breakdowns.
 		"service": map[string]any{
-			"corpora":      svcStats.Corpora,
-			"verifiers":    svcStats.Verifiers,
-			"runs_started": svcStats.Runs,
+			"corpora":      snap.svc.Corpora,
+			"verifiers":    snap.svc.Verifiers,
+			"runs_started": snap.svc.Runs,
 			"per_corpus":   perCorpus,
 			"per_verifier": perVerifier,
 		},
 		"sessions": map[string]any{
-			"active":           sess.Active,
-			"queued_questions": sess.PendingQuestions,
-			"model_generation": sess.MaxGeneration,
-			"created_total":    sess.CreatedTotal,
-			"evicted_total":    sess.EvictedTotal,
-			"by_owner":         sess.ByOwner,
+			"active":           snap.sess.Active,
+			"queued_questions": snap.sess.PendingQuestions,
+			"model_generation": snap.sess.MaxGeneration,
+			"created_total":    snap.sess.CreatedTotal,
+			"evicted_total":    snap.sess.EvictedTotal,
+			"answered_total":   snap.sess.AnsweredTotal,
+			"by_owner":         snap.sess.ByOwner,
 		},
 		// query_cache: the default corpus's tentative-execution memo
 		// shared by every legacy request and session over it; generation
 		// is the corpus generation its entries were computed under.
-		"query_cache": qc,
+		"query_cache": snap.qc,
 		// interner: the interned columnar index compiled queries execute
 		// against (entries per ID space + the snapshot's generation).
 		"interner": map[string]any{
-			"relations":  ix.Relations,
-			"rows":       ix.Rows,
-			"cols":       ix.Cols,
-			"cells":      ix.Cells,
-			"generation": ix.Generation,
+			"relations":  snap.index.Relations,
+			"rows":       snap.index.Rows,
+			"cols":       snap.index.Cols,
+			"cells":      snap.index.Cells,
+			"generation": snap.index.Generation,
 		},
 		"parallelism":    s.parallel,
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		// admission: the global in-flight gate — shedding means the daemon
 		// is at -max-inflight and rejecting expensive requests with 503.
-		"admission": s.gate.Stats(),
+		"admission": snap.gate,
 	}
 	// store: durable-state health when the daemon runs with -data-dir —
 	// journal growth plus what the last boot replayed.
-	if storeStats, ok := s.svc.StoreStats(); ok {
+	if snap.hasStore {
 		body["store"] = map[string]any{
-			"backend":   storeStats,
+			"backend":   snap.store,
 			"recovered": s.recovered,
 		}
 	}
@@ -1085,7 +1132,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
-		log.Printf("scrutinizerd: encoding response: %v", err)
+		daemonLog.Error("encoding response", "err", err)
 	}
 }
 

@@ -642,6 +642,7 @@ func (e *Engine) assessMany(cs []*claims.Claim, parallelism int) {
 	if len(stale) == 0 {
 		return
 	}
+	obsBatchScored(len(stale))
 	n := len(stale)
 	feats := make([]textproc.Sparse, n)
 	runPool(n, parallelism, func(i int) { feats[i] = e.Featurize(stale[i]) })

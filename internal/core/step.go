@@ -481,11 +481,14 @@ func (e *Engine) StartDocument(ctx context.Context, doc *claims.Document, vc Ver
 	}
 	if len(dr.remaining) == 0 {
 		dr.done = true
+		obsRunStarted()
+		obsRunCompleted()
 		return dr, nil
 	}
 	if err := dr.selectBatch(ctx); err != nil {
 		return nil, err
 	}
+	obsRunStarted()
 	return dr, nil
 }
 
@@ -583,6 +586,7 @@ func (dr *DocumentRun) selectBatch(ctx context.Context) error {
 		}
 		dr.runs[id] = r
 	}
+	obsRound()
 	return nil
 }
 
@@ -622,6 +626,7 @@ func (dr *DocumentRun) completeBatch() error {
 		if err := dr.e.train(dr.labelled, dr.vc.Parallelism); err != nil {
 			return err
 		}
+		obsRetrain()
 	}
 	dr.res.Batches++
 	if dr.vc.AfterBatch != nil {
@@ -631,6 +636,7 @@ func (dr *DocumentRun) completeBatch() error {
 	dr.batchIDs = nil
 	if len(dr.remaining) == 0 {
 		dr.done = true
+		obsRunCompleted()
 		return nil
 	}
 	return dr.selectBatch(dr.runCtx)

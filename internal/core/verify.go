@@ -220,6 +220,12 @@ type Result struct {
 // session — there is nothing to strand by aborting mid-barrier). The
 // returned error wraps ctx.Err() when cancellation stopped the run.
 func (e *Engine) Verify(ctx context.Context, doc *claims.Document, team *crowd.Team, vc VerifyConfig) (*Result, error) {
+	res, err := e.verifyDoc(ctx, doc, team, vc)
+	obsMaybeCancelled(err)
+	return res, err
+}
+
+func (e *Engine) verifyDoc(ctx context.Context, doc *claims.Document, team *crowd.Team, vc VerifyConfig) (*Result, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("core: nil document")
 	}

@@ -65,6 +65,17 @@ type vecKey struct {
 // far above any real document's distinct claim count.
 const vecMemoCap = 8192
 
+// memoHits and memoMisses count Vector memo outcomes process-wide.
+// Package-global rather than per-pipeline because the metric consumer is
+// process-scoped anyway and a bare atomic add keeps the memoized hot path
+// free of any new indirection.
+var memoHits, memoMisses atomic.Uint64
+
+// MemoStats reports process-wide Vector memo hits and misses since start.
+func MemoStats() (hits, misses uint64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
 // Fit builds the pipeline from a training document's sentences and claims.
 // Neither the embedding nor the TF-IDF vocabulary depends on verification
 // labels, and a fitted pipeline is immutable: Vector may be applied to any
@@ -116,8 +127,10 @@ func (p *Pipeline) EmbeddingDim() int { return p.emb.Dim() }
 func (p *Pipeline) Vector(sentence, claim string) textproc.Sparse {
 	key := vecKey{sentence: sentence, claim: claim}
 	if v, ok := p.memo.Load(key); ok {
+		memoHits.Add(1)
 		return v.(textproc.Sparse)
 	}
+	memoMisses.Add(1)
 	emb := textproc.SparseFromDense(p.emb.SentenceVector(sentence))
 	tf := p.tfidf.Transform(textproc.ClaimTokens(claim))
 	v := emb.AddInto(tf, p.emb.Dim())

@@ -1,0 +1,46 @@
+// Package obs is the daemon's observability layer: an allocation-lean,
+// dependency-free metrics registry rendered in the Prometheus text
+// exposition format 0.0.4, plus a small leveled logfmt logger. Every
+// serving layer of scrutinizerd — HTTP handlers, the admission guards, the
+// session registry, the verification core's caches and the durable store —
+// reports through one Registry mounted at /metrics.
+//
+// # Metrics
+//
+// Three instrument kinds, all safe for concurrent use and allocation-free
+// on their hot paths:
+//
+//   - Counter: a monotonic float64 (Inc/Add). Set exists only for
+//     scrape-time mirrors of totals a component already maintains in its
+//     own atomics (cache hits, lifetime evictions) — the *_monitor.go
+//     idiom of surfacing existing stats rather than re-instrumenting the
+//     component.
+//   - Gauge: a float64 that moves both ways (Set/Add/Inc/Dec).
+//   - Histogram: observations bucketed into a fixed, strictly increasing
+//     ladder (ExpBuckets builds the exponential ones; DefLatencyBuckets is
+//     the 1ms–65s request-latency default), rendered cumulatively with
+//     _sum and _count per the exposition format.
+//
+// Each has a label-vector variant (CounterVec, GaugeVec, HistogramVec)
+// with bounded cardinality: past a vector's series cap (DefaultMaxSeries,
+// overridable per metric with Registry.SetMaxSeries) new label
+// combinations fold into one overflow series whose label values are all
+// OverflowLabel — an unbounded tenant-ID label can therefore never leak
+// memory or bloat a scrape.
+//
+// Values that only exist inside another component's Stats() snapshot are
+// registered as NewCounterFunc/NewGaugeFunc (read at scrape time) or
+// refreshed by an OnScrape hook; nothing in this package polls in the
+// background.
+//
+// # Logging
+//
+// Logger emits one logfmt line per record:
+//
+//	ts=2026-08-08T12:00:00.000Z level=info msg="corpus ready" relations=9
+//
+// Levels are debug/info/warn/error; records below the logger's level cost
+// a single comparison. The writer and clock are injectable so tests can
+// assert exact output, and With binds key=value context once rather than
+// per call. A nil *Logger is a valid no-op sink.
+package obs

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format 0.0.4: one `# HELP` and `# TYPE` line per family, then
+// its series (histograms expand to cumulative `_bucket` series plus `_sum`
+// and `_count`). Scrape hooks run first so mirrored gauges are current.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	families, hooks := r.snapshotFamilies()
+	for _, fn := range hooks {
+		fn()
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		writeFamily(bw, f)
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.typ))
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatValue(f.fn()))
+		w.WriteByte('\n')
+		return
+	}
+	for _, s := range f.sortedSeries() {
+		switch f.typ {
+		case typeCounter:
+			writeSample(w, f.name, "", f.labelNames, s.labelValues, "", "", s.counter.Value())
+		case typeGauge:
+			writeSample(w, f.name, "", f.labelNames, s.labelValues, "", "", s.gauge.Value())
+		case typeHistogram:
+			writeHistogram(w, f, s)
+		}
+	}
+}
+
+func writeHistogram(w *bufio.Writer, f *family, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		writeSample(w, f.name, "_bucket", f.labelNames, s.labelValues, "le", formatValue(upper), float64(cum))
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	writeSample(w, f.name, "_bucket", f.labelNames, s.labelValues, "le", "+Inf", float64(cum))
+	writeSample(w, f.name, "_sum", f.labelNames, s.labelValues, "", "", h.Sum())
+	writeSample(w, f.name, "_count", f.labelNames, s.labelValues, "", "", float64(h.count.Load()))
+}
+
+// writeSample emits one series line. extraName/extraValue append one more
+// label pair (the histogram `le`).
+func writeSample(w *bufio.Writer, name, suffix string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labelNames) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(ln)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(labelValues[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus parsers expect: shortest
+// round-trip representation, NaN/Inf spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler serves the registry in the text exposition format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. Records below the logger's level are
+// dropped before any formatting work happens.
+type Level int8
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel maps a flag string to a Level; unknown strings get LevelInfo.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	}
+	return LevelInfo
+}
+
+// Logger is a leveled structured logger emitting one logfmt line per
+// record:
+//
+//	ts=2026-08-08T12:00:00.000Z level=info msg="corpus ready" relations=9 rows=1200
+//
+// Keys and values come in pairs; values are quoted only when they need it.
+// The writer and clock are injectable so tests assert exact lines; With
+// derives a child logger that prefixes every record with bound key/value
+// context. A nil *Logger drops everything, so instrumented code never
+// nil-checks.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	clock func() time.Time
+	ctx   string // pre-rendered bound context, "" or " key=val ..."
+}
+
+// NewLogger builds a logger writing records at or above level to w. A nil
+// w means os.Stderr.
+func NewLogger(w io.Writer, level Level) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, clock: time.Now}
+}
+
+// WithClock returns a copy of the logger reading timestamps from fn — the
+// test seam. The copy shares the parent's writer lock.
+func (l *Logger) WithClock(fn func() time.Time) *Logger {
+	if l == nil || fn == nil {
+		return l
+	}
+	cp := *l
+	cp.clock = fn
+	return &cp
+}
+
+// With returns a child logger whose records all carry the given key/value
+// pairs (rendered once, here).
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil || len(kvs) == 0 {
+		return l
+	}
+	var b strings.Builder
+	appendKVs(&b, kvs)
+	cp := *l
+	cp.ctx = l.ctx + b.String()
+	return &cp
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func (l *Logger) log(level Level, msg string, kvs []any) {
+	if l == nil || level < l.level {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(l.ctx) + 16*len(kvs))
+	b.WriteString("ts=")
+	b.WriteString(l.clock().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(formatLogValue(msg))
+	b.WriteString(l.ctx)
+	appendKVs(&b, kvs)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendKVs renders " key=value" for each pair. A trailing odd value gets
+// the key "arg" rather than being dropped — losing data beats losing data
+// silently, and panicking in a log call is out of the question.
+func appendKVs(b *strings.Builder, kvs []any) {
+	for i := 0; i < len(kvs); i += 2 {
+		b.WriteByte(' ')
+		if i+1 >= len(kvs) {
+			b.WriteString("arg=")
+			b.WriteString(formatLogValue(kvs[i]))
+			return
+		}
+		key, ok := kvs[i].(string)
+		if !ok || key == "" {
+			key = fmt.Sprint(kvs[i])
+		}
+		b.WriteString(sanitizeKey(key))
+		b.WriteByte('=')
+		b.WriteString(formatLogValue(kvs[i+1]))
+	}
+}
+
+// sanitizeKey keeps keys single-token: anything that would break the
+// key=value grammar is replaced with '_'.
+func sanitizeKey(key string) string {
+	clean := true
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case ' ', '=', '"', '\n', '\t':
+			clean = false
+		}
+	}
+	if clean {
+		return key
+	}
+	var b strings.Builder
+	b.Grow(len(key))
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case ' ', '=', '"', '\n', '\t':
+			b.WriteByte('_')
+		default:
+			b.WriteByte(key[i])
+		}
+	}
+	return b.String()
+}
+
+// formatLogValue renders one value, quoting only when the bare form would
+// be ambiguous (spaces, quotes, '=', control characters, or empty).
+func formatLogValue(v any) string {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case error:
+		s = x.Error()
+	case fmt.Stringer:
+		s = x.String()
+	case time.Duration:
+		s = x.String()
+	case float64:
+		s = strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		s = strconv.FormatFloat(float64(x), 'g', -1, 32)
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] == '=' || s[i] == '"' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 123e6, time.UTC)
+}
+
+func TestLoggerOutput(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo).WithClock(fixedClock)
+
+	l.Info("corpus ready", "relations", 9, "rows", 1200)
+	l.Warn("slow append", "latency", 1500*time.Millisecond)
+	l.Error("replay failed", "err", errors.New("journal: bad record"))
+	l.Info("quoted", "path", "/tmp/a b", "empty", "", "ratio", 0.25)
+
+	want := strings.Join([]string{
+		`ts=2026-08-08T12:00:00.123Z level=info msg="corpus ready" relations=9 rows=1200`,
+		`ts=2026-08-08T12:00:00.123Z level=warn msg="slow append" latency=1.5s`,
+		`ts=2026-08-08T12:00:00.123Z level=error msg="replay failed" err="journal: bad record"`,
+		`ts=2026-08-08T12:00:00.123Z level=info msg=quoted path="/tmp/a b" empty="" ratio=0.25`,
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("log output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn).WithClock(fixedClock)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := b.String()
+	if strings.Contains(out, "nope") {
+		t.Errorf("filtered levels leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn msg=yes") || !strings.Contains(out, "level=error msg=also") {
+		t.Errorf("missing records:\n%s", out)
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo).WithClock(fixedClock).With("component", "store")
+	l.Info("append", "bytes", 128)
+	want := `ts=2026-08-08T12:00:00.123Z level=info msg=append component=store bytes=128` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestLoggerOddArgsAndBadKeys(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo).WithClock(fixedClock)
+	l.Info("odd", "key-only")
+	l.Info("bad", "has space", 1)
+	out := b.String()
+	if !strings.Contains(out, "arg=key-only") {
+		t.Errorf("odd trailing value dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "has_space=1") {
+		t.Errorf("key not sanitized:\n%s", out)
+	}
+}
+
+func TestNilLoggerNoop(t *testing.T) {
+	var l *Logger
+	// Must not panic; With/WithClock on nil stay nil-safe too.
+	l.With("a", 1).WithClock(fixedClock).Info("ignored")
+	l.Error("ignored")
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "ERROR": LevelError,
+		"bogus": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestLoggerConcurrent checks lines never interleave: every record written
+// from 16 goroutines arrives whole.
+func TestLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	l := NewLogger(lockedWriter, LevelInfo).WithClock(fixedClock)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "worker", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 1600 {
+		t.Fatalf("got %d lines, want 1600", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=2026-08-08T12:00:00.123Z level=info msg=tick worker=") {
+			t.Fatalf("mangled line %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

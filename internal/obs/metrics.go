@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the TYPE line of a family in the exposition output.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// DefaultMaxSeries bounds the series count of a label vector: past it, new
+// label combinations fold into a single overflow series (every label value
+// "other") instead of growing the map without bound. A misbehaving caller
+// — or a tenant ID used as a label — can therefore never turn the metrics
+// endpoint into a memory leak or a scrape the server chokes on.
+const DefaultMaxSeries = 64
+
+// OverflowLabel is the label value carried by a vector's overflow series.
+const OverflowLabel = "other"
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+// The zero value is unusable; obtain counters from a Registry.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are dropped (a counter only goes up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Set overwrites the counter's value. It exists for scrape-time mirrors of
+// externally maintained monotonic totals (a component's own atomic counters
+// surfaced through its Stats()); event-driven counters should only ever
+// Inc/Add. Setting a lower value is allowed — the source decides
+// monotonicity, not the mirror.
+func (c *Counter) Set(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Value reports the current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets (cumulative at render
+// time, per the exposition format) and tracks their sum and count. All
+// methods are safe for concurrent use; Observe performs no allocation.
+type Histogram struct {
+	// uppers are the inclusive upper bounds, strictly increasing; the
+	// implicit +Inf bucket is counts[len(uppers)].
+	uppers  []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing at %d: %v", i, uppers))
+		}
+	}
+	return &Histogram{
+		uppers: append([]float64(nil), uppers...),
+		counts: make([]atomic.Uint64, len(uppers)+1),
+	}
+}
+
+// Observe records one sample. An observation equal to a bucket's upper
+// bound lands in that bucket (le = "less than or equal"), matching the
+// Prometheus bucket contract.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: latency vectors have a dozen-odd buckets and the scan
+	// is branch-predictable, so this beats a binary search in practice
+	// and keeps the hot path trivially allocation-free.
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n strictly increasing bucket bounds starting at start
+// and multiplying by factor: the fixed exponential ladder latency
+// histograms want (e.g. ExpBuckets(0.001, 2, 16) spans 1ms to ~32s).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default request-latency ladder: 1ms doubling to
+// ~65s, which brackets everything from a cache-hit health poll to a
+// paper-scale batch verification.
+var DefLatencyBuckets = ExpBuckets(0.001, 2, 17)
+
+// series is one labelled sample set within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric: HELP, TYPE and its series (a single unlabelled
+// one for scalar metrics, a keyed set for vectors).
+type family struct {
+	name       string
+	help       string
+	typ        metricType
+	labelNames []string
+	buckets    []float64      // histograms only
+	fn         func() float64 // Func metrics only
+
+	mu        sync.Mutex
+	ordered   []*series
+	byKey     map[string]*series
+	maxSeries int
+	overflow  *series // lazily created fold-in series past maxSeries
+}
+
+func (f *family) lookup(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := join(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	if len(f.byKey) >= f.maxSeries {
+		if f.overflow == nil {
+			ov := make([]string, len(f.labelNames))
+			for i := range ov {
+				ov[i] = OverflowLabel
+			}
+			f.overflow = f.newSeries(ov)
+			f.ordered = append(f.ordered, f.overflow)
+		}
+		return f.overflow
+	}
+	s := f.newSeries(append([]string(nil), values...))
+	f.byKey[key] = s
+	f.ordered = append(f.ordered, s)
+	return s
+}
+
+func (f *family) newSeries(values []string) *series {
+	s := &series{labelValues: values}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	return s
+}
+
+// join builds a map key from label values; 0x00 never appears in sane label
+// values and a collision would only merge two series' samples, not corrupt
+// memory.
+func join(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := 0
+	for _, v := range values {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0x00)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// CounterVec is a Counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns (creating as needed) the counter for the given label values.
+// Past the vector's series bound every new combination folds into one
+// overflow series with all labels set to OverflowLabel.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.lookup(labelValues).counter
+}
+
+// GaugeVec is a Gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns (creating as needed) the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.lookup(labelValues).gauge
+}
+
+// HistogramVec is a Histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns (creating as needed) the histogram for the given label
+// values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.lookup(labelValues).hist
+}
+
+// Registry holds a process's metric families and renders them in the
+// Prometheus text exposition format. All registration methods panic on a
+// duplicate or invalid name — metric registration is programmer-controlled
+// startup code, and a silently dropped metric is worse than a crash in the
+// first minute of a deploy.
+type Registry struct {
+	mu       sync.Mutex
+	ordered  []*family
+	byName   map[string]*family
+	onScrape []func()
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, typ metricType, labelNames []string, buckets []float64, fn func() float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !labelRe.MatchString(ln) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, ln))
+		}
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: labelNames,
+		buckets:    buckets,
+		fn:         fn,
+		byKey:      make(map[string]*series),
+		maxSeries:  DefaultMaxSeries,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+// NewCounter registers and returns a scalar counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, nil, nil, nil)
+	return f.lookup(nil).counter
+}
+
+// NewGauge registers and returns a scalar gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, nil, nil, nil)
+	return f.lookup(nil).gauge
+}
+
+// NewHistogram registers and returns a scalar histogram over the given
+// strictly increasing bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, nil, buckets, nil)
+	return f.lookup(nil).hist
+}
+
+// NewCounterVec registers a counter family partitioned by labelNames.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %s needs at least one label", name))
+	}
+	return &CounterVec{r.register(name, help, typeCounter, labelNames, nil, nil)}
+}
+
+// NewGaugeVec registers a gauge family partitioned by labelNames.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %s needs at least one label", name))
+	}
+	return &GaugeVec{r.register(name, help, typeGauge, labelNames, nil, nil)}
+}
+
+// NewHistogramVec registers a histogram family partitioned by labelNames.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %s needs at least one label", name))
+	}
+	return &HistogramVec{r.register(name, help, typeHistogram, labelNames, buckets, nil)}
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the idiom for monotonic totals a component already maintains
+// itself (cache hit counts, lifetime eviction counts).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeCounter, nil, nil, fn)
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, nil, nil, fn)
+}
+
+// SetMaxSeries overrides the per-vector series bound for the named metric.
+// It must be called right after registration, before traffic.
+func (r *Registry) SetMaxSeries(name string, max int) {
+	if max < 1 {
+		panic(fmt.Sprintf("obs: SetMaxSeries(%q, %d): bound must be positive", name, max))
+	}
+	r.mu.Lock()
+	f := r.byName[name]
+	r.mu.Unlock()
+	if f == nil {
+		panic(fmt.Sprintf("obs: SetMaxSeries: no metric %q", name))
+	}
+	f.mu.Lock()
+	f.maxSeries = max
+	f.mu.Unlock()
+}
+
+// OnScrape registers a hook run before every render — the seam through
+// which scrape-time mirrors (gauges fed from component Stats() calls) stay
+// current without a background poller.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+// snapshotFamilies copies the family list so rendering never holds the
+// registry lock while formatting.
+func (r *Registry) snapshotFamilies() ([]*family, []func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.ordered...), append([]func(){}, r.onScrape...)
+}
+
+// sortedSeries returns a family's series sorted by label values for stable,
+// diffable output.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := append([]*series(nil), f.ordered...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].labelValues, out[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

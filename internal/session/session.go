@@ -123,6 +123,10 @@ type Stats struct {
 	// CreatedTotal and EvictedTotal count over the manager's lifetime.
 	CreatedTotal uint64 `json:"created_total"`
 	EvictedTotal uint64 `json:"evicted_total"`
+	// AnsweredTotal counts answers accepted by live sessions over the
+	// manager's lifetime, excluding snapshot replay (those were counted
+	// when first posted).
+	AnsweredTotal uint64 `json:"answered_total"`
 	// ByOwner counts live sessions per Options.Owner tag (untagged
 	// sessions are omitted); nil when no live session carries a tag.
 	ByOwner map[string]int `json:"by_owner,omitempty"`
@@ -164,6 +168,11 @@ type Manager struct {
 	seq      uint64
 	created  uint64
 	evicted  uint64
+
+	// answered counts accepted (non-replay) answers; an atomic rather
+	// than an m.mu field because it is bumped under a session lock, not
+	// the registry lock.
+	answered atomic.Uint64
 }
 
 // NewManager builds an empty registry.
@@ -354,9 +363,10 @@ func (m *Manager) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	st := Stats{
-		Active:       len(m.sessions),
-		CreatedTotal: m.created,
-		EvictedTotal: m.evicted,
+		Active:        len(m.sessions),
+		CreatedTotal:  m.created,
+		EvictedTotal:  m.evicted,
+		AnsweredTotal: m.answered.Load(),
 	}
 	for _, s := range m.sessions {
 		pending, gen := s.statsView()
@@ -506,8 +516,11 @@ func (s *Session) Answer(ctx context.Context, a Answer) (*Question, error) {
 	}
 	s.refreshStatsCache()
 	s.log = append(s.log, a)
-	if !s.replaying && s.mgr.hooks.OnAnswer != nil {
-		s.mgr.hooks.OnAnswer(s, a)
+	if !s.replaying {
+		s.mgr.answered.Add(1)
+		if s.mgr.hooks.OnAnswer != nil {
+			s.mgr.hooks.OnAnswer(s, a)
+		}
 	}
 	if next == nil {
 		return nil, nil

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/repro/scrutinizer/internal/obs"
+)
+
+func TestMonitoredCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := Monitor(NewMemoryStore(), reg)
+
+	for i := 0; i < 3; i++ {
+		if err := st.Append(&Record{Op: OpRelationPut, Corpus: "c"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SaveSnapshot("model", "m1", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := st.Replay(func(*Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records, want 3", n)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"scrutinizer_store_appends_total 3",
+		"scrutinizer_store_append_errors_total 0",
+		"scrutinizer_store_append_seconds_count 3",
+		"scrutinizer_store_journal_records 3",
+		"scrutinizer_store_snapshots 1",
+		"scrutinizer_store_snapshot_bytes 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Replay must have recorded a recovery duration (>= 0 is all we can
+	// assert; presence of the series is the contract).
+	if !strings.Contains(out, "scrutinizer_store_recovery_seconds") {
+		t.Errorf("missing recovery gauge in:\n%s", out)
+	}
+}
+
+func TestMonitoredAppendErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := NewMemoryStore()
+	if err := inner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := Monitor(inner, reg)
+	if err := st.Append(&Record{Op: OpRelationPut}); err == nil {
+		t.Fatal("append on closed store should fail")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "scrutinizer_store_append_errors_total 1") {
+		t.Errorf("error not counted:\n%s", out)
+	}
+	if !strings.Contains(out, "scrutinizer_store_appends_total 0") {
+		t.Errorf("failed append counted as success:\n%s", out)
+	}
+}
+
+func TestMonitoredPassthrough(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := Monitor(NewMemoryStore(), reg)
+	if st.Inner() == nil {
+		t.Fatal("Inner() lost the wrapped store")
+	}
+	if err := st.SaveSnapshot("k", "id", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadSnapshot("k", "id")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("LoadSnapshot = %q, %v", got, err)
+	}
+	if err := st.DeleteSnapshot("k", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadSnapshot("k", "id"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("expected ErrNoSnapshot, got %v", err)
+	}
+	if st.Stats().Backend != "memory" {
+		t.Fatalf("Stats passthrough broken: %+v", st.Stats())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

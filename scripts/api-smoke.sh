@@ -4,7 +4,9 @@
 # Boots the daemon, then drives the README walkthrough with curl:
 # create a corpus, upload its relations as CSV, train a verifier from an
 # annotated document, execute a batch run, open an interactive session
-# run and answer its first question, and check /healthz tenant stats.
+# run and answer its first question, check /healthz tenant stats, and
+# scrape /metrics, validating the Prometheus exposition (typed families,
+# no duplicate series, live samples from every serving layer).
 # Any non-2xx response or an empty verification report fails the script.
 #
 # Usage: scripts/api-smoke.sh   (from the repository root; needs curl + jq)
@@ -30,7 +32,9 @@ echo "api-smoke: building scrutinizerd and generating a world"
 go build -o "$WORK/scrutinizerd" ./cmd/scrutinizerd
 go run ./cmd/datagen -out "$WORK/world" -seed 7 >/dev/null
 
-"$WORK/scrutinizerd" -addr "$ADDR" -claims 40 >"$WORK/daemon.log" 2>&1 &
+# -data-dir makes the store layer live so its metrics (journal appends,
+# fsync latency) show up in the /metrics check below.
+"$WORK/scrutinizerd" -addr "$ADDR" -claims 40 -data-dir "$WORK/data" >"$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 
 for i in $(seq 1 60); do
@@ -101,5 +105,49 @@ echo "api-smoke: interactive run $RUN_ID answered and deleted"
 req GET /healthz | jq -e --arg vid "$VID" \
   '.service.verifiers >= 1 and .service.per_verifier[$vid].runs_started >= 2 and .version != ""' >/dev/null
 echo "api-smoke: healthz reports tenant load"
+
+# 7. Metrics scrape: valid exposition text, every sample under a typed
+# family, no duplicate series, and live series from each serving layer.
+curl -fsS -D "$WORK/metrics.hdr" "$BASE/metrics" >"$WORK/metrics.txt"
+grep -qi '^content-type: text/plain; version=0.0.4' "$WORK/metrics.hdr" || {
+  echo "api-smoke: /metrics content-type wrong:" >&2; cat "$WORK/metrics.hdr" >&2; exit 1
+}
+awk '
+  /^# TYPE / { if (NF != 4) { print "malformed TYPE: " $0; bad = 1 }
+               if ($3 in type) { print "duplicate TYPE: " $3; bad = 1 }
+               type[$3] = $4; next }
+  /^# HELP / { next }
+  /^#/       { print "unknown comment: " $0; bad = 1; next }
+  /^$/       { print "blank line in exposition"; bad = 1; next }
+  {
+    series = $0; sub(/ [^ ]*$/, "", series)
+    if (series in seen) { print "duplicate series: " series; bad = 1 }
+    seen[series] = 1
+    name = series; sub(/\{.*/, "", name)
+    base = name; sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in type) && !(base in type && type[base] == "histogram")) {
+      print "series without TYPE: " name; bad = 1
+    }
+    n++
+  }
+  END {
+    if (n < 20) { print "only " n " series, want >= 20"; bad = 1 }
+    exit bad
+  }' "$WORK/metrics.txt" || {
+    echo "api-smoke: /metrics exposition invalid" >&2; exit 1
+  }
+for series in \
+  'scrutinizer_http_requests_total{route="v1/verifiers",code="200"}' \
+  scrutinizer_runs_started_total \
+  scrutinizer_run_rounds_total \
+  scrutinizer_sessions_created_total \
+  scrutinizer_store_appends_total \
+  'scrutinizer_querycache_hits_total{corpus="iea"}' \
+  scrutinizer_go_goroutines; do
+  grep -qF "$series" "$WORK/metrics.txt" || {
+    echo "api-smoke: /metrics missing $series" >&2; exit 1
+  }
+done
+echo "api-smoke: /metrics serves $(grep -cv '^#' "$WORK/metrics.txt") valid series"
 
 echo "api-smoke: OK"
